@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths:
+// PS pull/push, psFunc dispatch, shuffle round trips, serialization and
+// minitorch kernels. These measure real wall time of the implementation,
+// not simulated cluster time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/byte_buffer.h"
+#include "common/random.h"
+#include "dataflow/dataset.h"
+#include "graph/generators.h"
+#include "minitorch/ops.h"
+#include "net/rpc.h"
+#include "ps/agent.h"
+#include "ps/context.h"
+#include "sim/cluster.h"
+#include "storage/hdfs.h"
+
+namespace psgraph {
+namespace {
+
+struct PsFixture {
+  PsFixture() {
+    sim::ClusterConfig cfg;
+    cfg.num_executors = 4;
+    cfg.num_servers = 4;
+    cfg.executor_mem_bytes = 1ull << 30;
+    cfg.server_mem_bytes = 1ull << 30;
+    cluster = std::make_unique<sim::SimCluster>(cfg);
+    fabric = std::make_unique<net::RpcFabric>(cluster.get());
+    ctx = std::make_unique<ps::PsContext>(cluster.get(), fabric.get(),
+                                          nullptr);
+    PSG_CHECK_OK(ctx->Start());
+    agent = std::make_unique<ps::PsAgent>(ctx.get(),
+                                          cluster->config().executor(0));
+    auto m = ctx->CreateMatrix("bench", 1 << 20, 8);
+    PSG_CHECK_OK(m.status());
+    meta = *m;
+  }
+  std::unique_ptr<sim::SimCluster> cluster;
+  std::unique_ptr<net::RpcFabric> fabric;
+  std::unique_ptr<ps::PsContext> ctx;
+  std::unique_ptr<ps::PsAgent> agent;
+  ps::MatrixMeta meta;
+};
+
+void BM_PsPushAdd(benchmark::State& state) {
+  PsFixture fx;
+  const size_t n = state.range(0);
+  std::vector<uint64_t> keys(n);
+  std::vector<float> vals(n * 8, 1.0f);
+  Rng rng(1);
+  for (auto& k : keys) k = rng.NextBounded(1 << 20);
+  for (auto _ : state) {
+    PSG_CHECK_OK(fx.agent->PushAdd(fx.meta, keys, vals));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PsPushAdd)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_PsPullRows(benchmark::State& state) {
+  PsFixture fx;
+  const size_t n = state.range(0);
+  std::vector<uint64_t> keys(n);
+  std::vector<float> vals(n * 8, 1.0f);
+  Rng rng(2);
+  for (auto& k : keys) k = rng.NextBounded(1 << 20);
+  PSG_CHECK_OK(fx.agent->PushAdd(fx.meta, keys, vals));
+  for (auto _ : state) {
+    auto rows = fx.agent->PullRows(fx.meta, keys);
+    PSG_CHECK_OK(rows.status());
+    benchmark::DoNotOptimize(rows->data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PsPullRows)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_ShuffleReduceByKey(benchmark::State& state) {
+  sim::ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.num_servers = 1;
+  cfg.executor_mem_bytes = 1ull << 30;
+  sim::SimCluster cluster(cfg);
+  dataflow::DataflowContext dctx(&cluster);
+  const size_t n = state.range(0);
+  std::vector<std::pair<uint64_t, uint64_t>> data(n);
+  Rng rng(3);
+  for (auto& kv : data) kv = {rng.NextBounded(n / 8 + 1), 1};
+  for (auto _ : state) {
+    auto ds = dataflow::Dataset<std::pair<uint64_t, uint64_t>>::FromVector(
+        &dctx, data, 4);
+    auto out = ds.ReduceByKey(
+                     [](const uint64_t& a, const uint64_t& b) {
+                       return a + b;
+                     })
+                   .Count();
+    PSG_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(*out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShuffleReduceByKey)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_SerializeEdges(benchmark::State& state) {
+  graph::EdgeList edges =
+      graph::GenerateErdosRenyi(1 << 12, state.range(0), 4);
+  for (auto _ : state) {
+    ByteBuffer buf;
+    buf.WriteVector(edges);
+    ByteReader reader(buf);
+    graph::EdgeList back;
+    PSG_CHECK_OK(reader.ReadVector(&back));
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          sizeof(graph::Edge));
+}
+BENCHMARK(BM_SerializeEdges)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MinitorchMatmulBackward(benchmark::State& state) {
+  Rng rng(5);
+  const int64_t n = state.range(0);
+  minitorch::Tensor a =
+      minitorch::Tensor::Randn(n, 64, rng, /*requires_grad=*/true);
+  minitorch::Tensor w =
+      minitorch::Tensor::Randn(64, 32, rng, /*requires_grad=*/true);
+  std::vector<int32_t> labels(n);
+  for (auto& l : labels) l = (int32_t)rng.NextBounded(32);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    w.ZeroGrad();
+    auto loss = minitorch::SoftmaxCrossEntropy(
+        minitorch::Matmul(minitorch::Relu(a), w), labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.data()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MinitorchMatmulBackward)->Arg(64)->Arg(512);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  graph::RmatParams params;
+  params.scale = 16;
+  params.num_edges = state.range(0);
+  for (auto _ : state) {
+    params.seed++;
+    auto edges = graph::GenerateRmat(params);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(1 << 16)->Arg(1 << 19);
+
+}  // namespace
+}  // namespace psgraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench prints, per experiment cell: the paper's reported number,
+// our measured wall-clock on the scaled-down dataset, and the simulated
+// cluster time extrapolated to the paper's scale (simulated makespan x
+// dataset scale factor). Absolute numbers are not expected to match the
+// paper (our substrate is a simulator); the *shape* — who wins, by what
+// factor, where OOM happens — is the reproduction target.
+
+#ifndef PSGRAPH_BENCH_BENCH_UTIL_H_
+#define PSGRAPH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace psgraph::bench {
+
+/// Environment-variable override with default (benches stay fast by
+/// default but can be scaled up: PSG_SCALE_DENOM=1000 runs 10x bigger).
+inline uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+inline std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 0) return "n/a";
+  if (seconds < 60) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds < 3600) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600);
+  }
+  return buf;
+}
+
+inline std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes < (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024);
+  } else if (bytes < (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / (1ull << 30));
+  }
+  return buf;
+}
+
+struct CellResult {
+  bool oom = false;
+  double sim_seconds = 0.0;   ///< simulated makespan on the mini dataset
+  double wall_seconds = 0.0;  ///< real time on this machine
+  std::string detail;
+};
+
+/// Prints one table row: paper value vs reproduction.
+inline void PrintRow(const char* system, const char* workload,
+                     const char* paper_value, const CellResult& cell,
+                     double paper_scale) {
+  std::string repro =
+      cell.oom ? "OOM"
+               : FormatDuration(cell.sim_seconds * paper_scale);
+  std::printf("%-10s %-28s paper=%-8s repro(sim)=%-10s wall=%-9s %s\n",
+              system, workload, paper_value, repro.c_str(),
+              FormatDuration(cell.wall_seconds).c_str(),
+              cell.detail.c_str());
+}
+
+}  // namespace psgraph::bench
+
+#endif  // PSGRAPH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Walker's alias method: O(1) sampling from a discrete distribution.
+// Used by LINE's negative sampler (noise distribution ~ degree^0.75).
+
+#ifndef PSGRAPH_COMMON_ALIAS_TABLE_H_
+#define PSGRAPH_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace psgraph {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from unnormalized non-negative weights. An all-zero or empty
+  /// input yields an empty table (Sample returns 0).
+  explicit AliasTable(const std::vector<double>& weights) {
+    const size_t n = weights.size();
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (n == 0 || total <= 0.0) return;
+    prob_.resize(n);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * n / total;
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      uint32_t s = small.back();
+      uint32_t l = large.back();
+      small.pop_back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = scaled[l] + scaled[s] - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (uint32_t i : large) prob_[i] = 1.0;
+    for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+  }
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// Draws an index in [0, size()).
+  uint64_t Sample(Rng& rng) const {
+    if (prob_.empty()) return 0;
+    uint64_t i = rng.NextBounded(prob_.size());
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_ALIAS_TABLE_H_

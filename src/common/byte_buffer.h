@@ -1,0 +1,124 @@
+// ByteBuffer: the wire format for everything that crosses a simulated node
+// boundary (RPC payloads, shuffle blocks, checkpoints).
+//
+// Fixed-width little-endian primitives plus length-prefixed strings and
+// PODvectors. Reads are bounds-checked and return Status on truncation so a
+// corrupted checkpoint never crashes the process.
+
+#ifndef PSGRAPH_COMMON_BYTE_BUFFER_H_
+#define PSGRAPH_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace psgraph {
+
+/// Append-only serialization buffer.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t>&& TakeData() { return std::move(data_); }
+  size_t size() const { return data_.size(); }
+  void Reserve(size_t n) { data_.reserve(n); }
+  void Clear() { data_.clear(); }
+
+  template <typename T>
+  void Write(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = data_.size();
+    data_.resize(off + sizeof(T));
+    std::memcpy(data_.data() + off, &v, sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    size_t off = data_.size();
+    data_.resize(off + s.size());
+    std::memcpy(data_.data() + off, s.data(), s.size());
+  }
+
+  /// Writes a length-prefixed vector of trivially copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(v.size());
+    size_t bytes = v.size() * sizeof(T);
+    size_t off = data_.size();
+    data_.resize(off + bytes);
+    if (bytes > 0) std::memcpy(data_.data() + off, v.data(), bytes);
+  }
+
+  void WriteRaw(const void* src, size_t n) {
+    size_t off = data_.size();
+    data_.resize(off + n);
+    if (n > 0) std::memcpy(data_.data() + off, src, n);
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// Bounds-checked reader over a byte span produced by ByteBuffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+  explicit ByteReader(const ByteBuffer& buf) : ByteReader(buf.data()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  template <typename T>
+  Status Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) {
+      return Status::OutOfRange("ByteReader: truncated primitive");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint64_t n = 0;
+    PSG_RETURN_NOT_OK(Read(&n));
+    if (remaining() < n) {
+      return Status::OutOfRange("ByteReader: truncated string");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    PSG_RETURN_NOT_OK(Read(&n));
+    if (remaining() < n * sizeof(T)) {
+      return Status::OutOfRange("ByteReader: truncated vector");
+    }
+    out->resize(n);
+    if (n > 0) std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_BYTE_BUFFER_H_

@@ -1,0 +1,42 @@
+// Integer and byte-string hashing used for data partitioning.
+//
+// Partitioners must agree on these across the whole system, so they live in
+// one place.
+
+#ifndef PSGRAPH_COMMON_HASH_H_
+#define PSGRAPH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace psgraph {
+
+/// Stateless 64-bit mix of an integer key (SplitMix64 finalizer).
+inline uint64_t Hash64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (Hash64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// FNV-1a over bytes, for string keys (matrix names etc.).
+inline uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_HASH_H_

@@ -1,0 +1,31 @@
+#include "common/metrics.h"
+
+namespace psgraph {
+
+void Metrics::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+uint64_t Metrics::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t> Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Metrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+Metrics& Metrics::Global() {
+  static Metrics instance;
+  return instance;
+}
+
+}  // namespace psgraph

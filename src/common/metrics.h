@@ -1,0 +1,33 @@
+// Named monotonically-increasing counters (bytes shuffled, RPCs issued,
+// records processed). Benches read them to report communication volume.
+
+#ifndef PSGRAPH_COMMON_METRICS_H_
+#define PSGRAPH_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace psgraph {
+
+/// A registry of named counters. Thread-safe.
+class Metrics {
+ public:
+  void Add(const std::string& name, uint64_t delta);
+  uint64_t Get(const std::string& name) const;
+  /// Snapshot of all counters, sorted by name.
+  std::map<std::string, uint64_t> Snapshot() const;
+  void Reset();
+
+  /// Process-wide default registry.
+  static Metrics& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_METRICS_H_

@@ -1,0 +1,15 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace psgraph {
+
+double Rng::NextGaussian() {
+  // Box-Muller; discard the second value to stay stateless.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace psgraph

@@ -1,0 +1,80 @@
+// Result<T>: a Status plus a value on success (Arrow's Result idiom).
+
+#ifndef PSGRAPH_COMMON_RESULT_H_
+#define PSGRAPH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace psgraph {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  using value_type = T;
+
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK
+  /// status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; valid only when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace psgraph
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define PSG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define PSG_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define PSG_ASSIGN_OR_RETURN_NAME(x, y) PSG_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define PSG_ASSIGN_OR_RETURN(lhs, expr) \
+  PSG_ASSIGN_OR_RETURN_IMPL(            \
+      PSG_ASSIGN_OR_RETURN_NAME(_psg_result_, __LINE__), lhs, expr)
+
+#endif  // PSGRAPH_COMMON_RESULT_H_

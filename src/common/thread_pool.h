@@ -1,0 +1,47 @@
+// Fixed-size thread pool. Logical cluster nodes (executors, PS shards) are
+// multiplexed over this pool; node identity is passed explicitly, never via
+// thread-locals.
+
+#ifndef PSGRAPH_COMMON_THREAD_POOL_H_
+#define PSGRAPH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psgraph {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for all.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_THREAD_POOL_H_

@@ -1,0 +1,258 @@
+#include "core/fast_unfolding.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algo_math.h"
+#include "ps/agent.h"
+
+namespace psgraph::core {
+
+namespace {
+
+int g_fu_job = 0;
+
+using ComEdge = std::pair<std::pair<uint64_t, uint64_t>, float>;
+
+}  // namespace
+
+Result<FastUnfoldingResult> FastUnfolding(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& input_edges,
+    const FastUnfoldingOptions& opts) {
+  FastUnfoldingResult result;
+  auto edges = input_edges;
+  double prev_q = -1.0;
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    const std::string job =
+        "fu" + std::to_string(g_fu_job++) + ".p" + std::to_string(pass);
+
+    // Not cached: partitions recompute from the persisted shuffle blocks
+    // on every access (Spark MEMORY_AND_DISK behaviour) so the resident
+    // footprint stays within the executor budget.
+    auto wnbr = ToWeightedNeighborTables(edges);
+
+    // Total weight and vertex-id space for this pass.
+    double total_w = 0.0;
+    graph::VertexId num_vertices = 0;
+    for (int32_t p = 0; p < wnbr.num_partitions(); ++p) {
+      PSG_ASSIGN_OR_RETURN(auto tables, wnbr.ComputePartition(p));
+      for (const WeightedNeighborPair& t : tables) {
+        num_vertices = std::max<graph::VertexId>(num_vertices,
+                                                 t.first + 1);
+        for (size_t i = 0; i < t.second.first.size(); ++i) {
+          num_vertices = std::max<graph::VertexId>(
+              num_vertices, t.second.first[i] + 1);
+          total_w += t.second.second[i];
+        }
+      }
+    }
+    const double m = total_w / 2.0;
+    if (m <= 0.0) break;
+    if (num_vertices >= (1ull << 24)) {
+      return Status::InvalidArgument(
+          "fast unfolding: community ids beyond float32 exactness");
+    }
+
+    // PS models (paper §IV-C): vertex2com and com2weight.
+    PSG_ASSIGN_OR_RETURN(
+        ps::MatrixMeta v2c,
+        ctx.ps().CreateMatrix(job + ".vertex2com", num_vertices, 1));
+    PSG_ASSIGN_OR_RETURN(
+        ps::MatrixMeta c2w,
+        ctx.ps().CreateMatrix(job + ".com2weight", num_vertices, 1));
+
+    // Init: community = own vertex id; Sigma_tot = weighted degree.
+    for (int32_t p = 0; p < wnbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, wnbr.ComputePartition(p));
+      std::vector<uint64_t> keys;
+      std::vector<float> coms, ks;
+      for (const WeightedNeighborPair& t : tables) {
+        keys.push_back(t.first);
+        coms.push_back(static_cast<float>(t.first));
+        float k = 0.0f;
+        for (float w : t.second.second) k += w;
+        ks.push_back(k);
+      }
+      PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(v2c, keys, coms));
+      PSG_RETURN_NOT_OK(ctx.agent(e).PushAdd(c2w, keys, ks));
+    }
+    ctx.sync().IterationBarrier();
+
+    // Modularity-optimization rounds.
+    for (int round = 0; round < opts.opt_iterations; ++round) {
+      PSG_ASSIGN_OR_RETURN(auto recovery,
+                           ctx.HandleFailures(round, opts.recovery));
+      (void)recovery;
+      uint64_t moves = 0;
+      for (int32_t p = 0; p < wnbr.num_partitions(); ++p) {
+        int32_t e = ctx.dataflow().ExecutorOf(p);
+        PSG_ASSIGN_OR_RETURN(auto tables, wnbr.ComputePartition(p));
+
+        // Pull communities for every vertex this partition touches.
+        std::vector<uint64_t> vkeys;
+        {
+          std::unordered_set<uint64_t> uniq;
+          for (const WeightedNeighborPair& t : tables) {
+            uniq.insert(t.first);
+            for (uint64_t u : t.second.first) uniq.insert(u);
+          }
+          vkeys.assign(uniq.begin(), uniq.end());
+        }
+        PSG_ASSIGN_OR_RETURN(std::vector<float> com_vals,
+                             ctx.agent(e).PullRows(v2c, vkeys));
+        std::unordered_map<uint64_t, uint64_t> com_of;
+        com_of.reserve(vkeys.size());
+        for (size_t i = 0; i < vkeys.size(); ++i) {
+          com_of[vkeys[i]] = static_cast<uint64_t>(com_vals[i]);
+        }
+
+        // Pull Sigma_tot for every candidate community.
+        std::vector<uint64_t> ckeys;
+        {
+          std::unordered_set<uint64_t> uniq;
+          for (const auto& [v, c] : com_of) uniq.insert(c);
+          ckeys.assign(uniq.begin(), uniq.end());
+        }
+        PSG_ASSIGN_OR_RETURN(std::vector<float> tot_vals,
+                             ctx.agent(e).PullRows(c2w, ckeys));
+        std::unordered_map<uint64_t, float> tot_of;
+        tot_of.reserve(ckeys.size());
+        for (size_t i = 0; i < ckeys.size(); ++i) {
+          tot_of[ckeys[i]] = tot_vals[i];
+        }
+
+        std::vector<uint64_t> assign_keys;
+        std::vector<float> assign_vals;
+        std::vector<uint64_t> add_keys;
+        std::vector<float> add_vals;
+        uint64_t ops = 0;
+        std::unordered_map<uint64_t, float> wsum;
+        for (const WeightedNeighborPair& t : tables) {
+          uint64_t own = com_of[t.first];
+          float k_v = 0.0f;
+          wsum.clear();
+          for (size_t i = 0; i < t.second.first.size(); ++i) {
+            k_v += t.second.second[i];
+            wsum[com_of[t.second.first[i]]] += t.second.second[i];
+          }
+          std::vector<graph::LouvainCandidate> candidates;
+          candidates.reserve(wsum.size());
+          for (const auto& [c, w] : wsum) {
+            candidates.push_back({c, {w, tot_of[c]}});
+          }
+          uint64_t best = graph::LouvainChooseCommunity(
+              own, k_v, tot_of[own], m, candidates);
+          if (best != own) {
+            ++moves;
+            assign_keys.push_back(t.first);
+            assign_vals.push_back(static_cast<float>(best));
+            add_keys.push_back(own);
+            add_vals.push_back(-k_v);
+            add_keys.push_back(best);
+            add_vals.push_back(k_v);
+            // Keep the local view coherent for later vertices in this
+            // partition (semi-asynchronous updates, PS style).
+            com_of[t.first] = best;
+            tot_of[own] -= k_v;
+            tot_of[best] += k_v;
+          }
+          ops += t.second.first.size();
+        }
+        ctx.cluster().clock().Advance(
+            ctx.cluster().config().executor(e),
+            ctx.cluster().cost().ComputeTime(ops));
+        if (!assign_keys.empty()) {
+          PSG_RETURN_NOT_OK(
+              ctx.agent(e).PushAssign(v2c, assign_keys, assign_vals));
+          PSG_RETURN_NOT_OK(ctx.agent(e).PushAdd(c2w, add_keys, add_vals));
+        }
+      }
+      ctx.sync().IterationBarrier();
+      PSG_RETURN_NOT_OK(ctx.MaybeCheckpoint(round));
+      if (moves == 0) break;
+    }
+
+    // Community aggregation: contract the graph with a dataflow reduce.
+    std::vector<std::vector<ComEdge>> contracted_parts(
+        wnbr.num_partitions());
+    for (int32_t p = 0; p < wnbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, wnbr.ComputePartition(p));
+      std::vector<uint64_t> vkeys;
+      {
+        std::unordered_set<uint64_t> uniq;
+        for (const WeightedNeighborPair& t : tables) {
+          uniq.insert(t.first);
+          for (uint64_t u : t.second.first) uniq.insert(u);
+        }
+        vkeys.assign(uniq.begin(), uniq.end());
+      }
+      PSG_ASSIGN_OR_RETURN(std::vector<float> com_vals,
+                           ctx.agent(e).PullRows(v2c, vkeys));
+      std::unordered_map<uint64_t, uint64_t> com_of;
+      for (size_t i = 0; i < vkeys.size(); ++i) {
+        com_of[vkeys[i]] = static_cast<uint64_t>(com_vals[i]);
+      }
+      auto& out = contracted_parts[p];
+      for (const WeightedNeighborPair& t : tables) {
+        uint64_t cs = com_of[t.first];
+        for (size_t i = 0; i < t.second.first.size(); ++i) {
+          out.push_back(
+              {{cs, com_of[t.second.first[i]]}, t.second.second[i]});
+        }
+      }
+    }
+    auto contracted =
+        dataflow::Dataset<ComEdge>::FromPartitions(
+            &ctx.dataflow(), std::move(contracted_parts))
+            .ReduceByKey([](const float& a, const float& b) {
+              return a + b;
+            });
+    PSG_ASSIGN_OR_RETURN(auto contracted_rows, contracted.Collect());
+
+    // Modularity: Q = inside/(2m) - sum_C (tot_C/(2m))^2.
+    double inside = 0.0;
+    for (const ComEdge& ce : contracted_rows) {
+      if (ce.first.first == ce.first.second) inside += ce.second;
+    }
+    ps::PsAgent driver_agent(&ctx.ps(), ctx.cluster().config().driver());
+    ByteBuffer args;
+    args.Write<ps::MatrixId>(c2w.id);
+    PSG_ASSIGN_OR_RETURN(double sumsq,
+                         driver_agent.CallFuncSum("sumsq", args));
+    double q = inside / (2.0 * m) - sumsq / (4.0 * m * m);
+
+    std::unordered_set<uint64_t> coms;
+    for (const ComEdge& ce : contracted_rows) {
+      coms.insert(ce.first.first);
+      coms.insert(ce.first.second);
+    }
+    result.modularity = q;
+    result.num_communities = coms.size();
+    result.passes = pass + 1;
+
+    PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".vertex2com"));
+    PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".com2weight"));
+
+    bool converged = pass > 0 && (q - prev_q) < opts.min_gain;
+    prev_q = q;
+    if (converged) break;
+
+    // Next pass input: the contracted multigraph.
+    graph::EdgeList new_edges;
+    new_edges.reserve(contracted_rows.size());
+    for (const ComEdge& ce : contracted_rows) {
+      new_edges.push_back({ce.first.first, ce.first.second, ce.second});
+    }
+    edges = dataflow::Dataset<graph::Edge>::FromVector(
+        &ctx.dataflow(), std::move(new_edges),
+        ctx.num_executors());
+  }
+
+  return result;
+}
+
+}  // namespace psgraph::core

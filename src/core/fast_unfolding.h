@@ -1,0 +1,44 @@
+// Fast unfolding (Louvain) on the parameter server (paper §IV-C).
+//
+// Two models live on the PS: vertex2com (the community of each vertex)
+// and com2weight (Sigma_tot, the total weighted degree of each
+// community). Executors hold the weighted neighbor tables, pull the two
+// models for their local vertices, run the modularity-optimization step,
+// and push community moves back. The community-aggregation phase
+// contracts the graph with a dataflow reduce and the passes repeat until
+// modularity stops improving.
+
+#ifndef PSGRAPH_CORE_FAST_UNFOLDING_H_
+#define PSGRAPH_CORE_FAST_UNFOLDING_H_
+
+#include <cstdint>
+
+#include "core/graph_loader.h"
+#include "core/psgraph_context.h"
+#include "graph/types.h"
+#include "ps/master.h"
+
+namespace psgraph::core {
+
+struct FastUnfoldingOptions {
+  int max_passes = 3;
+  int opt_iterations = 5;
+  double min_gain = 1e-4;
+  ps::RecoveryMode recovery = ps::RecoveryMode::kPartial;
+};
+
+struct FastUnfoldingResult {
+  double modularity = 0.0;
+  uint64_t num_communities = 0;
+  int passes = 0;
+};
+
+/// Input must be a symmetrized weighted edge list (both directions
+/// present), matching the GraphX baseline's convention.
+Result<FastUnfoldingResult> FastUnfolding(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    const FastUnfoldingOptions& opts = {});
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_FAST_UNFOLDING_H_

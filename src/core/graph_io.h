@@ -1,0 +1,49 @@
+// GraphIO (paper §III-D Listing 1): persisting algorithm outputs back to
+// HDFS so the next pipeline stage can consume them — the paper's
+// motivation for staying inside the Spark ecosystem is exactly this kind
+// of chaining.
+
+#ifndef PSGRAPH_CORE_GRAPH_IO_H_
+#define PSGRAPH_CORE_GRAPH_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/hdfs.h"
+
+namespace psgraph::core {
+
+/// Writes one "vertex value" text line per vertex: "id value\n".
+Status SaveVertexDoubles(storage::Hdfs& hdfs, const std::string& path,
+                         const std::vector<double>& values,
+                         sim::NodeId node = -1);
+Status SaveVertexLabels(storage::Hdfs& hdfs, const std::string& path,
+                        const std::vector<uint64_t>& labels,
+                        sim::NodeId node = -1);
+
+/// Reads back what SaveVertexDoubles wrote (dense by vertex id).
+Result<std::vector<double>> LoadVertexDoubles(storage::Hdfs& hdfs,
+                                              const std::string& path,
+                                              sim::NodeId node = -1);
+
+/// Row-major embedding matrix: header "num_vertices dim", then binary
+/// float payload.
+Status SaveEmbeddings(storage::Hdfs& hdfs, const std::string& path,
+                      const std::vector<float>& embeddings,
+                      uint64_t num_vertices, int dim,
+                      sim::NodeId node = -1);
+
+struct LoadedEmbeddings {
+  std::vector<float> values;
+  uint64_t num_vertices = 0;
+  int dim = 0;
+};
+Result<LoadedEmbeddings> LoadEmbeddings(storage::Hdfs& hdfs,
+                                        const std::string& path,
+                                        sim::NodeId node = -1);
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_GRAPH_IO_H_

@@ -1,0 +1,185 @@
+#include "core/graph_runner.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/deepwalk.h"
+#include "core/fast_unfolding.h"
+#include "core/graph_io.h"
+#include "core/graph_loader.h"
+#include "core/kcore.h"
+#include "core/label_propagation.h"
+#include "core/line.h"
+#include "core/neighbor_algos.h"
+#include "core/pagerank.h"
+
+namespace psgraph::core {
+
+namespace {
+
+int64_t ParamI64(const GraphRunnerArgs& args, const std::string& key,
+                 int64_t def) {
+  auto it = args.params.find(key);
+  if (it == args.params.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ParamF64(const GraphRunnerArgs& args, const std::string& key,
+                double def) {
+  auto it = args.params.find(key);
+  if (it == args.params.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+Result<GraphRunnerArgs> ParseGraphRunnerArgs(int argc,
+                                             const char* const* argv) {
+  GraphRunnerArgs args;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "output") {
+        args.output_path = value;
+      } else {
+        args.params[key] = value;
+      }
+    } else if (positional == 0) {
+      args.algorithm = token;
+      ++positional;
+    } else if (positional == 1) {
+      args.input_path = token;
+      ++positional;
+    } else {
+      return Status::InvalidArgument("unexpected argument: " + token);
+    }
+  }
+  if (args.algorithm.empty() || args.input_path.empty()) {
+    return Status::InvalidArgument(
+        "usage: <algorithm> <input_path> [output=PATH] [key=value ...]");
+  }
+  return args;
+}
+
+Result<GraphRunnerReport> RunGraphAlgorithm(PsGraphContext& ctx,
+                                            const GraphRunnerArgs& args) {
+  GraphRunnerReport report;
+  report.algorithm = args.algorithm;
+  double t0 = ctx.cluster().clock().Makespan();
+
+  PSG_ASSIGN_OR_RETURN(auto edges, LoadEdges(ctx, args.input_path));
+
+  if (args.algorithm == "pagerank") {
+    PageRankOptions opts;
+    opts.max_iterations =
+        static_cast<int>(ParamI64(args, "iterations", 20));
+    opts.tolerance = ParamF64(args, "tolerance", 0.0);
+    opts.prune_epsilon = ParamF64(args, "prune", 0.0);
+    PSG_ASSIGN_OR_RETURN(auto result, PageRank(ctx, edges, 0, opts));
+    if (!args.output_path.empty()) {
+      PSG_RETURN_NOT_OK(SaveVertexDoubles(ctx.hdfs(), args.output_path,
+                                          result.ranks));
+    }
+    report.summary = Fmt("pagerank: %d iterations, final delta L1 %.3e",
+                         result.iterations, result.final_delta_l1);
+  } else if (args.algorithm == "kcore") {
+    PSG_ASSIGN_OR_RETURN(auto result, KCore(ctx, edges, 0));
+    if (!args.output_path.empty()) {
+      std::vector<uint64_t> coreness(result.coreness.begin(),
+                                     result.coreness.end());
+      PSG_RETURN_NOT_OK(
+          SaveVertexLabels(ctx.hdfs(), args.output_path, coreness));
+    }
+    report.summary = Fmt("kcore: max coreness %u after %d iterations",
+                         result.max_coreness, result.iterations);
+  } else if (args.algorithm == "kcore_subgraph") {
+    uint32_t k = static_cast<uint32_t>(ParamI64(args, "k", 8));
+    PSG_ASSIGN_OR_RETURN(auto result, KCoreSubgraph(ctx, edges, 0, k));
+    report.summary =
+        Fmt("kcore_subgraph(k=%u): %llu vertices, %llu edges, %d rounds",
+            k, (unsigned long long)result.core_vertices,
+            (unsigned long long)result.core_edges, result.rounds);
+  } else if (args.algorithm == "common_neighbor") {
+    CommonNeighborOptions opts;
+    opts.pair_fraction = ParamF64(args, "pair_fraction", 1.0);
+    PSG_ASSIGN_OR_RETURN(auto result, CommonNeighbor(ctx, edges, opts));
+    report.summary =
+        Fmt("common_neighbor: %llu pairs, avg %.2f, max %llu",
+            (unsigned long long)result.pairs,
+            result.pairs ? (double)result.total_common / result.pairs
+                         : 0.0,
+            (unsigned long long)result.max_common);
+  } else if (args.algorithm == "triangle_count") {
+    PSG_ASSIGN_OR_RETURN(auto result, TriangleCount(ctx, edges));
+    report.summary =
+        Fmt("triangle_count: %llu triangles", (unsigned long long)result);
+  } else if (args.algorithm == "fast_unfolding") {
+    FastUnfoldingOptions opts;
+    opts.max_passes = static_cast<int>(ParamI64(args, "passes", 3));
+    PSG_ASSIGN_OR_RETURN(auto result, FastUnfolding(ctx, edges, opts));
+    report.summary =
+        Fmt("fast_unfolding: %llu communities, modularity %.4f",
+            (unsigned long long)result.num_communities, result.modularity);
+  } else if (args.algorithm == "label_propagation") {
+    PSG_ASSIGN_OR_RETURN(auto result, LabelPropagation(ctx, edges, 0));
+    if (!args.output_path.empty()) {
+      PSG_RETURN_NOT_OK(
+          SaveVertexLabels(ctx.hdfs(), args.output_path, result.labels));
+    }
+    report.summary = Fmt("label_propagation: %llu labels, %d iterations",
+                         (unsigned long long)result.num_labels,
+                         result.iterations);
+  } else if (args.algorithm == "line") {
+    LineOptions opts;
+    opts.embedding_dim = static_cast<int>(ParamI64(args, "dim", 32));
+    opts.epochs = static_cast<int>(ParamI64(args, "epochs", 5));
+    opts.order = static_cast<int>(ParamI64(args, "order", 2));
+    PSG_ASSIGN_OR_RETURN(auto result, Line(ctx, edges, 0, opts));
+    if (!args.output_path.empty()) {
+      PSG_RETURN_NOT_OK(SaveEmbeddings(ctx.hdfs(), args.output_path,
+                                       result.embeddings,
+                                       result.num_vertices, result.dim));
+    }
+    report.summary = Fmt("line(order=%d,dim=%d): final avg loss %.4f",
+                         opts.order, result.dim, result.final_avg_loss);
+  } else if (args.algorithm == "deepwalk") {
+    DeepWalkOptions opts;
+    opts.embedding_dim = static_cast<int>(ParamI64(args, "dim", 32));
+    opts.epochs = static_cast<int>(ParamI64(args, "epochs", 1));
+    opts.walk_length = static_cast<int>(ParamI64(args, "walk_length", 20));
+    opts.return_p = ParamF64(args, "p", 1.0);
+    opts.inout_q = ParamF64(args, "q", 1.0);
+    PSG_ASSIGN_OR_RETURN(auto result, DeepWalk(ctx, edges, 0, opts));
+    if (!args.output_path.empty()) {
+      PSG_RETURN_NOT_OK(SaveEmbeddings(ctx.hdfs(), args.output_path,
+                                       result.embeddings,
+                                       result.num_vertices, result.dim));
+    }
+    report.summary =
+        Fmt("deepwalk(dim=%d): %llu walks, %llu pairs, loss %.4f",
+            result.dim, (unsigned long long)result.total_walks,
+            (unsigned long long)result.total_pairs,
+            result.final_avg_loss);
+  } else {
+    return Status::InvalidArgument("unknown algorithm: " + args.algorithm);
+  }
+
+  report.sim_seconds = ctx.cluster().clock().Makespan() - t0;
+  return report;
+}
+
+}  // namespace psgraph::core

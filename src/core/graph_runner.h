@@ -1,0 +1,52 @@
+// GraphRunner (paper §III-D, Listing 1): the high-level entry point that
+// loads a graph from HDFS, runs one named algorithm, and saves the model
+// back to HDFS — the shape of every PSGraph job in a Spark pipeline.
+//
+//   GraphRunnerArgs args;
+//   args.algorithm = "pagerank";
+//   args.input_path = "data/edges.bin";
+//   args.output_path = "out/ranks.txt";
+//   auto report = RunGraphAlgorithm(ctx, args);
+
+#ifndef PSGRAPH_CORE_GRAPH_RUNNER_H_
+#define PSGRAPH_CORE_GRAPH_RUNNER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/psgraph_context.h"
+
+namespace psgraph::core {
+
+struct GraphRunnerArgs {
+  /// One of: pagerank, kcore, kcore_subgraph, common_neighbor,
+  /// triangle_count, fast_unfolding, label_propagation, line, deepwalk.
+  std::string algorithm;
+  std::string input_path;   ///< HDFS path of a binary edge file
+  std::string output_path;  ///< HDFS path for the result (may be empty)
+  /// Free-form algorithm parameters, e.g. {"iterations","20"},
+  /// {"dim","64"}, {"k","8"}, {"epochs","3"}. Unknown keys are ignored.
+  std::map<std::string, std::string> params;
+};
+
+struct GraphRunnerReport {
+  std::string algorithm;
+  /// One-line human-readable result summary.
+  std::string summary;
+  double sim_seconds = 0.0;
+};
+
+/// Parses "key=value" tokens into GraphRunnerArgs (first two positional
+/// tokens are algorithm and input path). For CLI front-ends.
+Result<GraphRunnerArgs> ParseGraphRunnerArgs(int argc,
+                                             const char* const* argv);
+
+/// Loads, runs, saves. Fails with InvalidArgument for an unknown
+/// algorithm name.
+Result<GraphRunnerReport> RunGraphAlgorithm(PsGraphContext& ctx,
+                                            const GraphRunnerArgs& args);
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_GRAPH_RUNNER_H_

@@ -1,0 +1,226 @@
+#include "core/kcore.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algo_math.h"
+#include "ps/agent.h"
+
+namespace psgraph::core {
+
+namespace {
+int g_kcore_job = 0;
+}
+
+Result<KCoreResult> KCore(PsGraphContext& ctx,
+                          const dataflow::Dataset<graph::Edge>& edges,
+                          graph::VertexId num_vertices,
+                          const KCoreOptions& opts) {
+  if (num_vertices == 0) {
+    PSG_ASSIGN_OR_RETURN(auto all, edges.Collect());
+    num_vertices = graph::NumVerticesOf(all);
+  }
+
+  // Undirected adjacency, vertex-partitioned on the executors.
+  auto nbr = ToNeighborTables(edges.FlatMap([](const graph::Edge& e) {
+               return std::vector<graph::Edge>{e, {e.dst, e.src, 1.0f}};
+             }))
+                 .Cache();
+  PSG_RETURN_NOT_OK(nbr.Evaluate());
+
+  const std::string job = "kcore" + std::to_string(g_kcore_job++);
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta est,
+                       ctx.ps().CreateMatrix(job + ".est", num_vertices, 1));
+
+  // Initialize estimates to the (undirected) degree.
+  for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+    int32_t e = ctx.dataflow().ExecutorOf(p);
+    PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+    std::vector<uint64_t> keys;
+    std::vector<float> values;
+    keys.reserve(tables.size());
+    for (const NeighborPair& t : tables) {
+      keys.push_back(t.first);
+      values.push_back(static_cast<float>(t.second.size()));
+    }
+    PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(est, keys, values));
+  }
+  ctx.sync().IterationBarrier();
+
+  KCoreResult result;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    PSG_ASSIGN_OR_RETURN(auto recovery,
+                         ctx.HandleFailures(iter, opts.recovery));
+    (void)recovery;
+
+    uint64_t changed = 0;
+    for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+      // Pull own + neighbor estimates in one batch per partition.
+      std::vector<uint64_t> keys;
+      for (const NeighborPair& t : tables) {
+        keys.push_back(t.first);
+        keys.insert(keys.end(), t.second.begin(), t.second.end());
+      }
+      PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                           ctx.agent(e).PullRows(est, keys));
+      std::vector<uint64_t> out_keys;
+      std::vector<float> out_vals;
+      size_t cursor = 0;
+      uint64_t ops = 0;
+      std::vector<uint32_t> nb_est;
+      for (const NeighborPair& t : tables) {
+        uint32_t own = static_cast<uint32_t>(vals[cursor++]);
+        nb_est.clear();
+        nb_est.reserve(t.second.size());
+        for (size_t i = 0; i < t.second.size(); ++i) {
+          nb_est.push_back(static_cast<uint32_t>(vals[cursor++]));
+        }
+        uint32_t h = graph::HIndexCapped(nb_est, own);
+        if (h != own) {
+          out_keys.push_back(t.first);
+          out_vals.push_back(static_cast<float>(h));
+          ++changed;
+        }
+        ops += t.second.size();
+      }
+      ctx.cluster().clock().Advance(
+          ctx.cluster().config().executor(e),
+          ctx.cluster().cost().ComputeTime(ops));
+      if (!out_keys.empty()) {
+        PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(est, out_keys, out_vals));
+      }
+    }
+    ctx.sync().IterationBarrier();
+    PSG_RETURN_NOT_OK(ctx.MaybeCheckpoint(iter));
+    result.iterations = iter + 1;
+    if (changed == 0) break;
+  }
+
+  // Read back the coreness vector.
+  ps::PsAgent driver_agent(&ctx.ps(), ctx.cluster().config().driver());
+  result.coreness.assign(num_vertices, 0);
+  const uint64_t kBatch = 1 << 16;
+  for (uint64_t begin = 0; begin < num_vertices; begin += kBatch) {
+    uint64_t end = std::min<uint64_t>(num_vertices, begin + kBatch);
+    std::vector<uint64_t> keys(end - begin);
+    for (uint64_t k = begin; k < end; ++k) keys[k - begin] = k;
+    PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                         driver_agent.PullRows(est, keys));
+    for (uint64_t k = begin; k < end; ++k) {
+      result.coreness[k] = static_cast<uint32_t>(vals[k - begin]);
+      result.max_coreness =
+          std::max(result.max_coreness, result.coreness[k]);
+    }
+  }
+  PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".est"));
+  nbr.Unpersist();
+  return result;
+}
+
+
+Result<KCoreSubgraphResult> KCoreSubgraph(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    graph::VertexId num_vertices, uint32_t k, int max_rounds,
+    ps::RecoveryMode recovery) {
+  if (num_vertices == 0) {
+    PSG_ASSIGN_OR_RETURN(auto all, edges.Collect());
+    num_vertices = graph::NumVerticesOf(all);
+  }
+  auto nbr = ToNeighborTables(edges.FlatMap([](const graph::Edge& e) {
+               return std::vector<graph::Edge>{e, {e.dst, e.src, 1.0f}};
+             }))
+                 .Cache();
+  PSG_RETURN_NOT_OK(nbr.Evaluate());
+
+  const std::string job = "kcs" + std::to_string(g_kcore_job++);
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta deg,
+                       ctx.ps().CreateMatrix(job + ".deg", num_vertices, 1));
+
+  // Initialize degrees and the per-partition alive bitmap.
+  std::vector<std::vector<bool>> alive(nbr.num_partitions());
+  for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+    int32_t e = ctx.dataflow().ExecutorOf(p);
+    PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+    alive[p].assign(tables.size(), true);
+    std::vector<uint64_t> keys;
+    std::vector<float> values;
+    for (const NeighborPair& t : tables) {
+      keys.push_back(t.first);
+      values.push_back(static_cast<float>(t.second.size()));
+    }
+    PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(deg, keys, values));
+  }
+  ctx.sync().IterationBarrier();
+
+  KCoreSubgraphResult result;
+  for (int round = 0; round < max_rounds; ++round) {
+    PSG_ASSIGN_OR_RETURN(auto recovery_report,
+                         ctx.HandleFailures(round, recovery));
+    (void)recovery_report;
+    uint64_t removed = 0;
+    for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+      std::vector<uint64_t> keys;
+      keys.reserve(tables.size());
+      for (const NeighborPair& t : tables) keys.push_back(t.first);
+      PSG_ASSIGN_OR_RETURN(std::vector<float> degs,
+                           ctx.agent(e).PullRows(deg, keys));
+      // Remove local vertices below k; decrement their neighbors.
+      std::unordered_map<graph::VertexId, float> decrements;
+      uint64_t ops = 0;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (!alive[p][i]) continue;
+        if (degs[i] >= static_cast<float>(k)) continue;
+        alive[p][i] = false;
+        ++removed;
+        for (graph::VertexId u : tables[i].second) {
+          decrements[u] -= 1.0f;
+        }
+        ops += tables[i].second.size();
+      }
+      ctx.cluster().clock().Advance(
+          ctx.cluster().config().executor(e),
+          ctx.cluster().cost().ComputeTime(ops + tables.size()));
+      if (!decrements.empty()) {
+        std::vector<uint64_t> dkeys;
+        std::vector<float> dvals;
+        dkeys.reserve(decrements.size());
+        for (const auto& [u, d] : decrements) {
+          dkeys.push_back(u);
+          dvals.push_back(d);
+        }
+        PSG_RETURN_NOT_OK(ctx.agent(e).PushAdd(deg, dkeys, dvals));
+      }
+    }
+    ctx.sync().IterationBarrier();
+    PSG_RETURN_NOT_OK(ctx.MaybeCheckpoint(round));
+    result.rounds = round + 1;
+    if (removed == 0) break;
+  }
+
+  // Survivors and their remaining degree sum (each undirected edge is
+  // counted at both endpoints).
+  uint64_t degree_sum = 0;
+  for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+    int32_t e = ctx.dataflow().ExecutorOf(p);
+    PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+    std::vector<uint64_t> keys;
+    for (const NeighborPair& t : tables) keys.push_back(t.first);
+    PSG_ASSIGN_OR_RETURN(std::vector<float> degs,
+                         ctx.agent(e).PullRows(deg, keys));
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (!alive[p][i]) continue;
+      result.core_vertices++;
+      degree_sum += static_cast<uint64_t>(degs[i]);
+    }
+  }
+  result.core_edges = degree_sum / 2;
+  PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".deg"));
+  nbr.Unpersist();
+  return result;
+}
+
+}  // namespace psgraph::core

@@ -1,0 +1,57 @@
+// K-core (coreness decomposition) on the parameter server ("the
+// implementation of K-core is similar to PageRank", paper footnote 2):
+// the per-vertex core estimates live in a PS vector; every iteration each
+// executor pulls the estimates of its local vertices' neighbors, refines
+// with the H-index operator, and pushes the new estimates back.
+
+#ifndef PSGRAPH_CORE_KCORE_H_
+#define PSGRAPH_CORE_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_loader.h"
+#include "core/psgraph_context.h"
+#include "graph/types.h"
+#include "ps/master.h"
+
+namespace psgraph::core {
+
+struct KCoreOptions {
+  int max_iterations = 50;
+  ps::RecoveryMode recovery = ps::RecoveryMode::kConsistent;
+};
+
+struct KCoreResult {
+  /// Core number per vertex id (0 for ids absent from the graph).
+  std::vector<uint32_t> coreness;
+  uint32_t max_coreness = 0;
+  int iterations = 0;
+};
+
+/// Treats the input as undirected (both endpoints of every record are
+/// adjacent).
+Result<KCoreResult> KCore(PsGraphContext& ctx,
+                          const dataflow::Dataset<graph::Edge>& edges,
+                          graph::VertexId num_vertices,
+                          const KCoreOptions& opts = {});
+
+struct KCoreSubgraphResult {
+  uint64_t core_vertices = 0;
+  uint64_t core_edges = 0;
+  int rounds = 0;
+};
+
+/// The k-core subgraph by iterative peeling with the degree vector on
+/// the PS ("the implementation of K-core is similar to PageRank": each
+/// round the executors pull their local vertices' degrees, remove those
+/// below k, and push degree decrements for the removed vertices'
+/// neighbors). Memory stays flat — no per-round RDD generations.
+Result<KCoreSubgraphResult> KCoreSubgraph(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    graph::VertexId num_vertices, uint32_t k, int max_rounds = 50,
+    ps::RecoveryMode recovery = ps::RecoveryMode::kConsistent);
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_KCORE_H_

@@ -1,0 +1,253 @@
+#include "core/label_propagation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ps/agent.h"
+
+namespace psgraph::core {
+
+namespace {
+int g_lpa_job = 0;
+}
+
+Result<LabelPropagationResult> LabelPropagation(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    graph::VertexId num_vertices, const LabelPropagationOptions& opts) {
+  if (num_vertices == 0) {
+    PSG_ASSIGN_OR_RETURN(auto all, edges.Collect());
+    num_vertices = graph::NumVerticesOf(all);
+  }
+  if (num_vertices >= (1ull << 24)) {
+    return Status::InvalidArgument(
+        "label propagation: ids beyond float32 exactness");
+  }
+
+  auto nbr = ToNeighborTables(edges.FlatMap([](const graph::Edge& e) {
+               return std::vector<graph::Edge>{e, {e.dst, e.src, 1.0f}};
+             }))
+                 .Cache();
+  PSG_RETURN_NOT_OK(nbr.Evaluate());
+
+  const std::string job = "lpa" + std::to_string(g_lpa_job++);
+  PSG_ASSIGN_OR_RETURN(
+      ps::MatrixMeta labels,
+      ctx.ps().CreateMatrix(job + ".labels", num_vertices, 1,
+                            ps::StorageKind::kRows,
+                            ps::Layout::kRowPartitioned,
+                            ps::PartitionScheme::kRange,
+                            /*init_value=*/-1.0f));
+
+  // Init: every vertex labeled with itself.
+  for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+    int32_t e = ctx.dataflow().ExecutorOf(p);
+    PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+    std::vector<uint64_t> keys;
+    std::vector<float> values;
+    for (const NeighborPair& t : tables) {
+      keys.push_back(t.first);
+      values.push_back(static_cast<float>(t.first));
+    }
+    PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(labels, keys, values));
+  }
+  ctx.sync().IterationBarrier();
+
+  LabelPropagationResult result;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    PSG_ASSIGN_OR_RETURN(auto recovery,
+                         ctx.HandleFailures(iter, opts.recovery));
+    (void)recovery;
+    uint64_t changed = 0;
+    for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+      std::vector<uint64_t> keys;
+      for (const NeighborPair& t : tables) {
+        keys.push_back(t.first);
+        keys.insert(keys.end(), t.second.begin(), t.second.end());
+      }
+      PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                           ctx.agent(e).PullRows(labels, keys));
+      std::vector<uint64_t> out_keys;
+      std::vector<float> out_vals;
+      size_t cursor = 0;
+      uint64_t ops = 0;
+      std::unordered_map<uint64_t, uint32_t> freq;
+      for (const NeighborPair& t : tables) {
+        uint64_t own = static_cast<uint64_t>(vals[cursor++]);
+        freq.clear();
+        for (size_t i = 0; i < t.second.size(); ++i) {
+          freq[static_cast<uint64_t>(vals[cursor++])]++;
+        }
+        if (freq.empty()) continue;
+        // Most frequent; ties break to the smallest label (deterministic).
+        uint64_t best = own;
+        uint32_t best_count = 0;
+        for (const auto& [label, count] : freq) {
+          if (count > best_count ||
+              (count == best_count && label < best)) {
+            best = label;
+            best_count = count;
+          }
+        }
+        if (best != own) {
+          out_keys.push_back(t.first);
+          out_vals.push_back(static_cast<float>(best));
+          ++changed;
+        }
+        ops += t.second.size();
+      }
+      ctx.cluster().clock().Advance(
+          ctx.cluster().config().executor(e),
+          ctx.cluster().cost().ComputeTime(ops));
+      if (!out_keys.empty()) {
+        PSG_RETURN_NOT_OK(
+            ctx.agent(e).PushAssign(labels, out_keys, out_vals));
+      }
+    }
+    ctx.sync().IterationBarrier();
+    result.iterations = iter + 1;
+    if (changed == 0) break;
+  }
+
+  // Read back.
+  ps::PsAgent driver_agent(&ctx.ps(), ctx.cluster().config().driver());
+  result.labels.resize(num_vertices);
+  const uint64_t kBatch = 1 << 16;
+  std::unordered_set<uint64_t> distinct;
+  for (uint64_t begin = 0; begin < num_vertices; begin += kBatch) {
+    uint64_t end = std::min<uint64_t>(num_vertices, begin + kBatch);
+    std::vector<uint64_t> keys(end - begin);
+    for (uint64_t k = begin; k < end; ++k) keys[k - begin] = k;
+    PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                         driver_agent.PullRows(labels, keys));
+    for (uint64_t k = begin; k < end; ++k) {
+      float label = vals[k - begin];
+      // Rows never pushed (absent ids) read the -1 sentinel; label them
+      // with their own id.
+      result.labels[k] =
+          label < 0.0f ? k : static_cast<uint64_t>(label);
+      distinct.insert(result.labels[k]);
+    }
+  }
+  result.num_labels = distinct.size();
+  PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".labels"));
+  nbr.Unpersist();
+  return result;
+}
+
+
+Result<ConnectedComponentsResult> ConnectedComponents(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    graph::VertexId num_vertices, int max_iterations) {
+  if (num_vertices == 0) {
+    PSG_ASSIGN_OR_RETURN(auto all, edges.Collect());
+    num_vertices = graph::NumVerticesOf(all);
+  }
+  if (num_vertices >= (1ull << 24)) {
+    return Status::InvalidArgument(
+        "connected components: ids beyond float32 exactness");
+  }
+
+  auto nbr = ToNeighborTables(edges.FlatMap([](const graph::Edge& e) {
+               return std::vector<graph::Edge>{e, {e.dst, e.src, 1.0f}};
+             }))
+                 .Cache();
+  PSG_RETURN_NOT_OK(nbr.Evaluate());
+
+  const std::string job = "cc" + std::to_string(g_lpa_job++);
+  PSG_ASSIGN_OR_RETURN(
+      ps::MatrixMeta labels,
+      ctx.ps().CreateMatrix(job + ".labels", num_vertices, 1,
+                            ps::StorageKind::kRows,
+                            ps::Layout::kRowPartitioned,
+                            ps::PartitionScheme::kRange,
+                            /*init_value=*/-1.0f));
+  for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+    int32_t e = ctx.dataflow().ExecutorOf(p);
+    PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+    std::vector<uint64_t> keys;
+    std::vector<float> values;
+    for (const NeighborPair& t : tables) {
+      keys.push_back(t.first);
+      values.push_back(static_cast<float>(t.first));
+    }
+    PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(labels, keys, values));
+  }
+  ctx.sync().IterationBarrier();
+
+  ConnectedComponentsResult result;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    PSG_ASSIGN_OR_RETURN(
+        auto recovery,
+        ctx.HandleFailures(iter, ps::RecoveryMode::kConsistent));
+    (void)recovery;
+    uint64_t changed = 0;
+    for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+      std::vector<uint64_t> keys;
+      for (const NeighborPair& t : tables) {
+        keys.push_back(t.first);
+        keys.insert(keys.end(), t.second.begin(), t.second.end());
+      }
+      PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                           ctx.agent(e).PullRows(labels, keys));
+      std::vector<uint64_t> out_keys;
+      std::vector<float> out_vals;
+      size_t cursor = 0;
+      uint64_t ops = 0;
+      for (const NeighborPair& t : tables) {
+        float own = vals[cursor++];
+        float best = own;
+        for (size_t i = 0; i < t.second.size(); ++i) {
+          best = std::min(best, vals[cursor++]);
+        }
+        if (best < own) {
+          out_keys.push_back(t.first);
+          out_vals.push_back(best);
+          ++changed;
+        }
+        ops += t.second.size();
+      }
+      ctx.cluster().clock().Advance(
+          ctx.cluster().config().executor(e),
+          ctx.cluster().cost().ComputeTime(ops));
+      if (!out_keys.empty()) {
+        PSG_RETURN_NOT_OK(
+            ctx.agent(e).PushAssign(labels, out_keys, out_vals));
+      }
+    }
+    ctx.sync().IterationBarrier();
+    result.iterations = iter + 1;
+    if (changed == 0) break;
+  }
+
+  ps::PsAgent driver_agent(&ctx.ps(), ctx.cluster().config().driver());
+  result.component.resize(num_vertices);
+  std::unordered_set<uint64_t> roots;
+  const uint64_t kBatch = 1 << 16;
+  for (uint64_t begin = 0; begin < num_vertices; begin += kBatch) {
+    uint64_t end = std::min<uint64_t>(num_vertices, begin + kBatch);
+    std::vector<uint64_t> keys(end - begin);
+    for (uint64_t k = begin; k < end; ++k) keys[k - begin] = k;
+    PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                         driver_agent.PullRows(labels, keys));
+    for (uint64_t k = begin; k < end; ++k) {
+      float label = vals[k - begin];
+      if (label < 0.0f) {
+        result.component[k] = k;  // absent from the graph
+      } else {
+        result.component[k] = static_cast<uint64_t>(label);
+        roots.insert(result.component[k]);
+      }
+    }
+  }
+  result.num_components = roots.size();
+  PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".labels"));
+  nbr.Unpersist();
+  return result;
+}
+
+}  // namespace psgraph::core

@@ -1,0 +1,53 @@
+// Label propagation community detection (paper §II-B lists it among the
+// traditional graph algorithms PSGraph runs). Labels live in a PS vector;
+// every iteration each executor pulls its local vertices' neighbor labels
+// and adopts the most frequent one.
+
+#ifndef PSGRAPH_CORE_LABEL_PROPAGATION_H_
+#define PSGRAPH_CORE_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_loader.h"
+#include "core/psgraph_context.h"
+#include "graph/types.h"
+#include "ps/master.h"
+
+namespace psgraph::core {
+
+struct LabelPropagationOptions {
+  int max_iterations = 20;
+  ps::RecoveryMode recovery = ps::RecoveryMode::kPartial;
+};
+
+struct LabelPropagationResult {
+  /// Final label per vertex id (own id for isolated/absent ids).
+  std::vector<uint64_t> labels;
+  uint64_t num_labels = 0;
+  int iterations = 0;
+};
+
+/// Treats the input as undirected.
+Result<LabelPropagationResult> LabelPropagation(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    graph::VertexId num_vertices,
+    const LabelPropagationOptions& opts = {});
+
+struct ConnectedComponentsResult {
+  /// Component id (the minimum vertex id in the component) per vertex;
+  /// own id for ids absent from the graph.
+  std::vector<uint64_t> component;
+  uint64_t num_components = 0;  ///< among vertices present in the graph
+  int iterations = 0;
+};
+
+/// Connected components by min-label propagation to a fixpoint, with the
+/// label vector on the PS. Treats the input as undirected.
+Result<ConnectedComponentsResult> ConnectedComponents(
+    PsGraphContext& ctx, const dataflow::Dataset<graph::Edge>& edges,
+    graph::VertexId num_vertices, int max_iterations = 100);
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_LABEL_PROPAGATION_H_

@@ -1,0 +1,59 @@
+// Delta-optimized PageRank on the parameter server (paper §IV-A).
+//
+// The PS stores two vectors sized to the maximal vertex index: ranks and
+// rank increments (deltas). Per iteration every executor pulls the deltas
+// of its local source vertices, computes the contributions to destination
+// vertices, the PS folds deltas into ranks and resets them (one psFunc),
+// and the executors push the new contributions. Transferring increments
+// instead of full ranks exploits the sparsity of rank changes: entries
+// below `prune_epsilon` are skipped.
+
+#ifndef PSGRAPH_CORE_PAGERANK_H_
+#define PSGRAPH_CORE_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_loader.h"
+#include "core/psgraph_context.h"
+#include "graph/types.h"
+#include "ps/master.h"
+
+namespace psgraph::core {
+
+struct PageRankOptions {
+  int max_iterations = 20;
+  double reset_prob = 0.15;
+  /// Stop when the L1 norm of applied deltas drops below
+  /// tolerance * num_vertices (0 disables; fixed iteration count).
+  double tolerance = 0.0;
+  /// Deltas with |d| below this are not propagated (the paper's
+  /// increment-sparsity optimization). 0 propagates everything.
+  double prune_epsilon = 0.0;
+  /// PageRank needs model consistency across partitions (§III-B).
+  ps::RecoveryMode recovery = ps::RecoveryMode::kConsistent;
+  /// true (paper §IV-A): run groupBy first so every source vertex lives
+  /// on exactly one executor. false: operate on the raw edge partitions
+  /// — sources replicate across executors and delta pulls multiply by
+  /// the replication factor (the Fig. 2 edge-cut-vs-vertex-cut ablation).
+  bool group_to_neighbor_tables = true;
+};
+
+struct PageRankResult {
+  /// Dense rank vector indexed by vertex id (ids absent from the graph
+  /// hold the bare reset mass).
+  std::vector<double> ranks;
+  int iterations = 0;
+  double final_delta_l1 = 0.0;
+};
+
+/// Runs PageRank over `edges`. `num_vertices` is the vertex-id space
+/// (max id + 1); pass 0 to infer it with one extra pass.
+Result<PageRankResult> PageRank(PsGraphContext& ctx,
+                                const dataflow::Dataset<graph::Edge>& edges,
+                                graph::VertexId num_vertices,
+                                const PageRankOptions& opts = {});
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_PAGERANK_H_

@@ -1,0 +1,62 @@
+#include "core/psgraph_context.h"
+
+#include "common/logging.h"
+
+namespace psgraph::core {
+
+Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
+    Options options) {
+  std::unique_ptr<PsGraphContext> ctx(new PsGraphContext(options));
+  ctx->cluster_ = std::make_unique<sim::SimCluster>(options.cluster);
+  ctx->hdfs_ = std::make_unique<storage::Hdfs>(ctx->cluster_.get());
+  ctx->fabric_ = std::make_unique<net::RpcFabric>(ctx->cluster_.get());
+  ctx->dataflow_ =
+      std::make_unique<dataflow::DataflowContext>(ctx->cluster_.get());
+  ctx->ps_ = std::make_unique<ps::PsContext>(
+      ctx->cluster_.get(), ctx->fabric_.get(), ctx->hdfs_.get());
+  PSG_RETURN_NOT_OK(ctx->ps_->Start());
+  ctx->master_ = std::make_unique<ps::PsMaster>(
+      ctx->ps_.get(), options.checkpoint_prefix);
+  ctx->sync_ = std::make_unique<ps::SyncController>(
+      ctx->cluster_.get(), options.sync, options.ssp_staleness);
+  for (int32_t e = 0; e < options.cluster.num_executors; ++e) {
+    ctx->agents_.push_back(std::make_unique<ps::PsAgent>(
+        ctx->ps_.get(), options.cluster.executor(e)));
+  }
+  return ctx;
+}
+
+Result<PsGraphContext::RecoveryReport> PsGraphContext::HandleFailures(
+    int64_t iteration, ps::RecoveryMode mode) {
+  failures_.Tick(*cluster_, iteration);
+  RecoveryReport report;
+  // Server failures: master detects and repairs (checkpoint restore).
+  PSG_ASSIGN_OR_RETURN(report.servers_restarted,
+                       master_->CheckAndRecover(mode));
+  // Executor failures: the resource manager restarts the container; its
+  // cached RDD partitions become stale (lineage recomputes them when next
+  // accessed). The synchronization controller blocks peers meanwhile —
+  // modeled by the restart delay folded into the next BSP barrier.
+  for (int32_t e = 0; e < num_executors(); ++e) {
+    sim::NodeId node = cluster_->config().executor(e);
+    if (!cluster_->IsAlive(node)) {
+      cluster_->ReviveNode(node);
+      dataflow_->BumpExecutorEpoch(e);
+      report.executors_restarted.push_back(e);
+      PSG_LOG(Info) << "executor " << e
+                    << " restarted; lineage will reload its partitions";
+    }
+  }
+  return report;
+}
+
+Status PsGraphContext::MaybeCheckpoint(int64_t iteration) {
+  if (options_.checkpoint_interval <= 0) return Status::OK();
+  if (iteration == 0 ||
+      iteration % options_.checkpoint_interval != 0) {
+    return Status::OK();
+  }
+  return master_->CheckpointAll();
+}
+
+}  // namespace psgraph::core

@@ -1,0 +1,56 @@
+#include "core/sage_model.h"
+
+namespace psgraph::core {
+
+namespace {
+
+/// Aggregates neighbor rows: plain mean, or max over a learned
+/// transformation (the pooling aggregator).
+minitorch::Tensor Aggregate(const SageParams& params,
+                            const minitorch::Tensor& rows,
+                            const std::vector<std::vector<int64_t>>& segs,
+                            const minitorch::Tensor& w_pool) {
+  using namespace minitorch;  // NOLINT(build/namespaces)
+  if (params.aggregator == SageAggregator::kMean) {
+    return SegmentMean(rows, segs);
+  }
+  return SegmentMax(Relu(Matmul(rows, w_pool)), segs);
+}
+
+}  // namespace
+
+minitorch::Tensor SageForward(const SageParams& params,
+                              const SageBatch& batch) {
+  using namespace minitorch;  // NOLINT(build/namespaces)
+  // Layer 1 over batch + sampled 1-hop nodes.
+  Tensor self1 = GatherRows(batch.features, batch.nodes1);
+  Tensor agg1 =
+      Aggregate(params, batch.features, batch.seg1, params.w_pool1);
+  Tensor h1 = Relu(Matmul(ConcatCols(self1, agg1), params.w1));
+
+  // Layer 2 over the batch prefix.
+  std::vector<int64_t> batch_rows(batch.batch_size);
+  for (int64_t i = 0; i < batch.batch_size; ++i) batch_rows[i] = i;
+  Tensor self2 = GatherRows(h1, batch_rows);
+  Tensor agg2 = Aggregate(params, h1, batch.seg2, params.w_pool2);
+  return Matmul(ConcatCols(self2, agg2), params.w2);
+}
+
+uint64_t SageForwardOps(const SageParams& params, const SageBatch& batch) {
+  uint64_t n1 = batch.nodes1.size();
+  uint64_t gathered = 0;
+  for (const auto& s : batch.seg1) gathered += s.size();
+  uint64_t ops = gathered * batch.features.cols();  // aggregation
+  ops += n1 * params.w1.rows() * params.w1.cols();  // layer-1 matmul
+  ops += static_cast<uint64_t>(batch.batch_size) * params.w2.rows() *
+         params.w2.cols();
+  if (params.aggregator == SageAggregator::kMaxPool) {
+    // Pool transformations over every gathered/hidden row.
+    ops += static_cast<uint64_t>(batch.features.rows()) *
+           params.w_pool1.rows() * params.w_pool1.cols();
+    ops += n1 * params.w_pool2.rows() * params.w_pool2.cols();
+  }
+  return ops;
+}
+
+}  // namespace psgraph::core

@@ -1,0 +1,66 @@
+// The GraphSage model math (Hamilton et al. 2017), shared by the PSGraph
+// implementation (src/core/graphsage.cc) and the Euler baseline
+// (src/euler) so Table I compares systems, not model variants.
+//
+// Two layers with mean aggregation:
+//   h1_u = relu(concat(x_u, mean_{w in S(u)} x_w) W1)
+//   logits_v = concat(h1_v, mean_{u in S1(v)} h1_u) W2
+// Both h1 inputs and the final logits use the sampled fixed-size
+// neighborhoods; training is supervised softmax cross-entropy.
+
+#ifndef PSGRAPH_CORE_SAGE_MODEL_H_
+#define PSGRAPH_CORE_SAGE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minitorch/ops.h"
+#include "minitorch/tensor.h"
+
+namespace psgraph::core {
+
+/// Neighborhood aggregator architecture (paper §IV-E step 3 lists mean,
+/// LSTM and pooling aggregators; mean and max-pooling are implemented).
+enum class SageAggregator {
+  kMean,
+  kMaxPool,  ///< max over relu(x W_pool) of the sampled neighbors
+};
+
+struct SageParams {
+  minitorch::Tensor w1;  ///< (2*in_dim) x hidden
+  minitorch::Tensor w2;  ///< (2*hidden) x classes
+  SageAggregator aggregator = SageAggregator::kMean;
+  minitorch::Tensor w_pool1;  ///< in_dim x in_dim (max-pool only)
+  minitorch::Tensor w_pool2;  ///< hidden x hidden (max-pool only)
+};
+
+/// One mini-batch, expressed as row indices into a feature tensor.
+struct SageBatch {
+  /// Features of every vertex involved (batch + sampled 1-hop + 2-hop),
+  /// deduplicated; rows indexed by the fields below. No gradient.
+  minitorch::Tensor features;
+  /// Rows (into features) of the layer-1 nodes (batch vertices first,
+  /// then sampled 1-hop neighbors).
+  std::vector<int64_t> nodes1;
+  /// Per layer-1 node: rows (into features) of its sampled neighbors.
+  std::vector<std::vector<int64_t>> seg1;
+  /// Per batch vertex: indices (into nodes1 order) of its sampled 1-hop
+  /// neighbors.
+  std::vector<std::vector<int64_t>> seg2;
+  /// Number of batch vertices (a prefix of nodes1).
+  int64_t batch_size = 0;
+  /// Labels of the batch vertices (empty for inference).
+  std::vector<int32_t> labels;
+};
+
+/// Forward pass producing batch logits.
+minitorch::Tensor SageForward(const SageParams& params,
+                              const SageBatch& batch);
+
+/// Approximate flop count of one forward pass (3x for backward); used to
+/// charge simulated compute time.
+uint64_t SageForwardOps(const SageParams& params, const SageBatch& batch);
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_SAGE_MODEL_H_

@@ -1,0 +1,260 @@
+#include "core/sgc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/graph_loader.h"
+#include "graph/edge_io.h"
+#include "minitorch/nn.h"
+#include "ps/agent.h"
+
+namespace psgraph::core {
+
+namespace {
+int g_sgc_job = 0;
+}
+
+Result<SgcResult> Sgc(PsGraphContext& ctx, const graph::LabeledGraph& g,
+                      const SgcOptions& opts) {
+  SgcResult result;
+  const std::string job = "sgc" + std::to_string(g_sgc_job++);
+  const int d = g.feature_dim;
+  const int classes = g.num_classes;
+  const graph::VertexId n = g.num_vertices;
+
+  // Stage + load + groupBy, like every PSGraph job.
+  PSG_ASSIGN_OR_RETURN(
+      auto edges, StageAndLoadEdges(ctx, g.edges, job + "/edges.bin"));
+  auto nbr = ToNeighborTables(edges.FlatMap([](const graph::Edge& e) {
+               return std::vector<graph::Edge>{e, {e.dst, e.src, 1.0f}};
+             }))
+                 .Cache();
+  PSG_RETURN_NOT_OK(nbr.Evaluate());
+
+  // Two feature matrices on the PS: ping-pong between H and H'.
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta h0,
+                       ctx.ps().CreateMatrix(job + ".h0", n, d));
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta h1,
+                       ctx.ps().CreateMatrix(job + ".h1", n, d));
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta w,
+                       ctx.ps().CreateMatrix(job + ".w", d, classes));
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta wm,
+                       ctx.ps().CreateMatrix(job + ".w.m", d, classes));
+  PSG_ASSIGN_OR_RETURN(ps::MatrixMeta wv,
+                       ctx.ps().CreateMatrix(job + ".w.v", d, classes));
+
+  // Push initial features and remember each executor's vertices and
+  // (undirected) degrees.
+  std::vector<std::vector<std::pair<graph::VertexId, uint32_t>>>
+      local_vertices(ctx.num_executors());
+  std::unordered_map<graph::VertexId, uint32_t> degree;
+  for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+    int32_t e = ctx.dataflow().ExecutorOf(p);
+    PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+    std::vector<uint64_t> keys;
+    std::vector<float> rows;
+    for (const NeighborPair& t : tables) {
+      keys.push_back(t.first);
+      const float* row =
+          g.features.data() + static_cast<size_t>(t.first) * d;
+      rows.insert(rows.end(), row, row + d);
+      uint32_t deg = static_cast<uint32_t>(t.second.size());
+      local_vertices[e].push_back({t.first, deg});
+      degree[t.first] = deg;
+    }
+    PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(h0, keys, rows));
+  }
+  ctx.sync().IterationBarrier();
+
+  // --- Phase 1: K propagation rounds (PageRank pattern over rows) ---
+  double prop_start = ctx.cluster().clock().Makespan();
+  ps::MatrixMeta src = h0, dst = h1;
+  for (int step = 0; step < opts.propagation_steps; ++step) {
+    PSG_ASSIGN_OR_RETURN(auto recovery,
+                         ctx.HandleFailures(step, opts.recovery));
+    (void)recovery;
+    for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
+      int32_t e = ctx.dataflow().ExecutorOf(p);
+      PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+      // Pull own + neighbor rows in one batch.
+      std::vector<uint64_t> keys;
+      for (const NeighborPair& t : tables) {
+        keys.push_back(t.first);
+        keys.insert(keys.end(), t.second.begin(), t.second.end());
+      }
+      PSG_ASSIGN_OR_RETURN(std::vector<float> rows,
+                           ctx.agent(e).PullRows(src, keys));
+      std::vector<uint64_t> out_keys;
+      std::vector<float> out_rows;
+      size_t cursor = 0;
+      uint64_t flops = 0;
+      for (const NeighborPair& t : tables) {
+        const float* own = rows.data() + (cursor++) * d;
+        double norm_v =
+            1.0 / std::sqrt(static_cast<double>(t.second.size()) + 1.0);
+        std::vector<float> agg(own, own + d);
+        for (float& x : agg) {
+          x = static_cast<float>(x * norm_v * norm_v);  // self loop
+        }
+        for (graph::VertexId u : t.second) {
+          const float* urow = rows.data() + (cursor++) * d;
+          auto it = degree.find(u);
+          double deg_u =
+              it == degree.end() ? 0.0 : static_cast<double>(it->second);
+          float scale =
+              static_cast<float>(norm_v / std::sqrt(deg_u + 1.0));
+          for (int c = 0; c < d; ++c) agg[c] += urow[c] * scale;
+        }
+        out_keys.push_back(t.first);
+        out_rows.insert(out_rows.end(), agg.begin(), agg.end());
+        flops += (t.second.size() + 2) * d;
+      }
+      ctx.cluster().clock().Advance(
+          ctx.cluster().config().executor(e),
+          ctx.cluster().cost().FlopsTime(flops));
+      PSG_RETURN_NOT_OK(ctx.agent(e).PushAssign(dst, out_keys, out_rows));
+    }
+    ctx.sync().IterationBarrier();
+    std::swap(src, dst);
+  }
+  result.propagation_sim_seconds =
+      ctx.cluster().clock().Makespan() - prop_start;
+
+  // --- Phase 2: linear softmax classifier on propagated features ---
+  {
+    Rng rng(opts.seed);
+    minitorch::Tensor w0 = minitorch::Tensor::Randn(d, classes, rng);
+    std::vector<uint64_t> wkeys(d);
+    for (int r = 0; r < d; ++r) wkeys[r] = r;
+    ps::PsAgent driver_agent(&ctx.ps(), ctx.cluster().config().driver());
+    PSG_RETURN_NOT_OK(driver_agent.PushAssign(w, wkeys, w0.data()));
+  }
+
+  int32_t step_counter = 0;
+  auto run_batch =
+      [&](int32_t e,
+          const std::vector<std::pair<graph::VertexId, int32_t>>& batch,
+          bool train) -> Result<std::pair<double, double>> {
+    std::vector<uint64_t> wkeys(d);
+    for (int r = 0; r < d; ++r) wkeys[r] = r;
+    PSG_ASSIGN_OR_RETURN(std::vector<float> wdata,
+                         ctx.agent(e).PullRows(w, wkeys));
+    minitorch::Tensor weights = minitorch::Tensor::FromData(
+        d, classes, std::move(wdata), /*requires_grad=*/true);
+
+    std::vector<uint64_t> keys;
+    std::vector<int32_t> labels;
+    for (const auto& [v, label] : batch) {
+      keys.push_back(v);
+      labels.push_back(label);
+    }
+    PSG_ASSIGN_OR_RETURN(std::vector<float> xdata,
+                         ctx.agent(e).PullRows(src, keys));
+    minitorch::Tensor x = minitorch::Tensor::FromData(
+        static_cast<int64_t>(keys.size()), d, std::move(xdata));
+    minitorch::Tensor logits = minitorch::Matmul(x, weights);
+    minitorch::Tensor loss =
+        minitorch::SoftmaxCrossEntropy(logits, labels);
+    double acc = minitorch::Accuracy(logits, labels);
+    uint64_t flops = keys.size() * d * classes;
+    if (train) {
+      loss.Backward();
+      flops *= 3;
+      ++step_counter;
+      // Adam on the PS, per owning server.
+      std::vector<std::vector<uint64_t>> by_server(
+          ctx.ps().num_servers());
+      for (uint64_t r = 0; r < static_cast<uint64_t>(d); ++r) {
+        by_server[ctx.ps().ServerOfKey(w, r)].push_back(r);
+      }
+      for (int32_t s = 0; s < ctx.ps().num_servers(); ++s) {
+        if (by_server[s].empty()) continue;
+        std::vector<float> grads;
+        for (uint64_t r : by_server[s]) {
+          grads.insert(grads.end(),
+                       weights.grad().begin() + r * classes,
+                       weights.grad().begin() + (r + 1) * classes);
+        }
+        ByteBuffer args;
+        args.Write<ps::MatrixId>(w.id);
+        args.Write<ps::MatrixId>(wm.id);
+        args.Write<ps::MatrixId>(wv.id);
+        args.Write<float>(opts.learning_rate);
+        args.Write<float>(0.9f);
+        args.Write<float>(0.999f);
+        args.Write<float>(1e-8f);
+        args.Write<int32_t>(step_counter);
+        args.WriteVector(by_server[s]);
+        args.WriteVector(grads);
+        PSG_ASSIGN_OR_RETURN(auto resp,
+                             ctx.agent(e).CallFunc(s, "adam.apply", args));
+        (void)resp;
+      }
+    }
+    ctx.cluster().clock().Advance(ctx.cluster().config().executor(e),
+                                  ctx.cluster().cost().FlopsTime(flops));
+    return std::pair<double, double>(loss.data()[0], acc);
+  };
+
+  // Train/test split by salted hash, executor-local batches.
+  std::vector<std::vector<std::pair<graph::VertexId, int32_t>>> train_set(
+      ctx.num_executors()),
+      test_set(ctx.num_executors());
+  for (int32_t e = 0; e < ctx.num_executors(); ++e) {
+    for (const auto& [v, deg] : local_vertices[e]) {
+      bool train = (Hash64(v ^ opts.seed) % 1000) <
+                   static_cast<uint64_t>(opts.train_fraction * 1000);
+      (train ? train_set[e] : test_set[e]).push_back({v, g.labels[v]});
+    }
+  }
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    uint64_t batches = 0;
+    for (int32_t e = 0; e < ctx.num_executors(); ++e) {
+      auto& mine = train_set[e];
+      Rng rng(opts.seed ^ Hash64(epoch * 31337 + e));
+      for (size_t i = mine.size(); i > 1; --i) {
+        std::swap(mine[i - 1], mine[rng.NextBounded(i)]);
+      }
+      for (size_t begin = 0; begin < mine.size();
+           begin += opts.batch_size) {
+        size_t end = std::min(mine.size(), begin + opts.batch_size);
+        std::vector<std::pair<graph::VertexId, int32_t>> batch(
+            mine.begin() + begin, mine.begin() + end);
+        PSG_ASSIGN_OR_RETURN(auto la, run_batch(e, batch, true));
+        loss_sum += la.first;
+        ++batches;
+      }
+    }
+    ctx.sync().IterationBarrier();
+    result.epochs = epoch + 1;
+    result.final_train_loss =
+        batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+  }
+
+  double correct = 0.0, total = 0.0;
+  for (int32_t e = 0; e < ctx.num_executors(); ++e) {
+    auto& mine = test_set[e];
+    for (size_t begin = 0; begin < mine.size(); begin += opts.batch_size) {
+      size_t end = std::min(mine.size(), begin + opts.batch_size);
+      std::vector<std::pair<graph::VertexId, int32_t>> batch(
+          mine.begin() + begin, mine.begin() + end);
+      PSG_ASSIGN_OR_RETURN(auto la, run_batch(e, batch, false));
+      correct += la.second * static_cast<double>(batch.size());
+      total += static_cast<double>(batch.size());
+    }
+  }
+  result.test_accuracy = total == 0.0 ? 0.0 : correct / total;
+
+  for (const char* suffix : {".h0", ".h1", ".w", ".w.m", ".w.v"}) {
+    PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + suffix));
+  }
+  nbr.Unpersist();
+  return result;
+}
+
+}  // namespace psgraph::core

@@ -1,0 +1,50 @@
+// SGC — Simple Graph Convolution (Wu et al. 2019) on the parameter
+// server, as a second GNN family beside GraphSage (the paper's §II-B
+// taxonomy lists convolutional GNNs; SGC is the linearized GCN).
+//
+// Two phases, both PS-centric:
+//  1. Feature propagation: the feature matrix H (|V| x d) lives on the
+//     PS; K times, every executor pulls the rows of its local vertices'
+//     neighbors, computes the degree-normalized average
+//     H'_v = sum_u H_u / sqrt((deg_v+1)(deg_u+1)) (+ self loop), and
+//     pushes the new rows. This is exactly the PageRank communication
+//     pattern applied to d-dimensional rows.
+//  2. A linear softmax classifier on the propagated features, trained
+//     with mini-batch gradient descent; the weight matrix lives on the
+//     PS with Adam applied server-side (psFunc), like GraphSage.
+
+#ifndef PSGRAPH_CORE_SGC_H_
+#define PSGRAPH_CORE_SGC_H_
+
+#include <cstdint>
+
+#include "core/psgraph_context.h"
+#include "graph/generators.h"
+#include "ps/master.h"
+
+namespace psgraph::core {
+
+struct SgcOptions {
+  int propagation_steps = 2;  ///< K
+  int epochs = 5;
+  int batch_size = 128;
+  float learning_rate = 0.05f;
+  double train_fraction = 0.7;
+  uint64_t seed = 7;
+  ps::RecoveryMode recovery = ps::RecoveryMode::kPartial;
+};
+
+struct SgcResult {
+  int epochs = 0;
+  double final_train_loss = 0.0;
+  double test_accuracy = 0.0;
+  double propagation_sim_seconds = 0.0;
+};
+
+/// Trains supervised node classification on `g` (features + labels).
+Result<SgcResult> Sgc(PsGraphContext& ctx, const graph::LabeledGraph& g,
+                      const SgcOptions& opts = {});
+
+}  // namespace psgraph::core
+
+#endif  // PSGRAPH_CORE_SGC_H_

@@ -1,0 +1,96 @@
+#include "dataflow/context.h"
+
+#include "common/metrics.h"
+
+namespace psgraph::dataflow {
+
+void ShuffleService::PutBlock(uint64_t shuffle_id, int32_t map_part,
+                              int32_t reduce_part,
+                              std::vector<uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_[{shuffle_id, map_part, reduce_part}] = std::move(bytes);
+}
+
+Result<std::vector<uint8_t>> ShuffleService::GetBlock(
+    uint64_t shuffle_id, int32_t map_part, int32_t reduce_part) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find({shuffle_id, map_part, reduce_part});
+  if (it == blocks_.end()) {
+    return Status::NotFound("shuffle block (" + std::to_string(shuffle_id) +
+                            "," + std::to_string(map_part) + "," +
+                            std::to_string(reduce_part) + ") missing");
+  }
+  return it->second;
+}
+
+void ShuffleService::DropShuffle(uint64_t shuffle_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.lower_bound({shuffle_id, 0, 0});
+  while (it != blocks_.end() && std::get<0>(it->first) == shuffle_id) {
+    it = blocks_.erase(it);
+  }
+}
+
+uint64_t ShuffleService::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, bytes] : blocks_) total += bytes.size();
+  return total;
+}
+
+void DataflowContext::ChargeCompute(int32_t partition, uint64_t ops) {
+  if (!cluster_) return;
+  cluster_->clock().Advance(ExecutorOf(partition),
+                            cluster_->cost().ComputeTime(ops));
+}
+
+void DataflowContext::ChargeDiskWrite(int32_t partition, uint64_t bytes) {
+  if (!cluster_) return;
+  Metrics::Global().Add("dataflow.shuffle_bytes_written", bytes);
+  cluster_->clock().Advance(ExecutorOf(partition),
+                            cluster_->cost().DiskWriteTime(bytes));
+}
+
+void DataflowContext::ChargeDiskRead(int32_t partition, uint64_t bytes) {
+  if (!cluster_) return;
+  Metrics::Global().Add("dataflow.shuffle_bytes_read", bytes);
+  cluster_->clock().Advance(ExecutorOf(partition),
+                            cluster_->cost().DiskReadTime(bytes));
+}
+
+void DataflowContext::ChargeTransfer(int32_t from_part, int32_t to_part,
+                                     uint64_t bytes) {
+  if (!cluster_) return;
+  int32_t from = ExecutorOf(from_part);
+  int32_t to = ExecutorOf(to_part);
+  if (from == to) return;  // local fetch
+  Metrics::Global().Add("dataflow.network_bytes", bytes);
+  double t = cluster_->cost().NetworkTime(bytes);
+  cluster_->clock().Advance(from, t);
+  cluster_->clock().AdvanceTo(to, cluster_->clock().Now(from));
+}
+
+Status DataflowContext::AllocatePartitionMemory(int32_t partition,
+                                                uint64_t bytes,
+                                                const char* what) {
+  if (!cluster_) return Status::OK();
+  return cluster_->memory().Allocate(ExecutorOf(partition), bytes, what);
+}
+
+void DataflowContext::ReleasePartitionMemory(int32_t partition,
+                                             uint64_t bytes) {
+  if (!cluster_) return;
+  cluster_->memory().Release(ExecutorOf(partition), bytes);
+}
+
+void DataflowContext::StageBarrier() {
+  if (!cluster_) return;
+  std::vector<int32_t> executors;
+  executors.reserve(cluster_->config().num_executors);
+  for (int32_t e = 0; e < cluster_->config().num_executors; ++e) {
+    executors.push_back(e);
+  }
+  cluster_->clock().Barrier(executors);
+}
+
+}  // namespace psgraph::dataflow

@@ -1,0 +1,100 @@
+// DataflowContext: the mini-Spark runtime shared by all Datasets.
+//
+// Partitions are assigned to executors round-robin (partition p lives on
+// executor p % num_executors). Evaluation is sequential on the driver
+// thread — logical parallelism is captured by the per-node simulated
+// clocks, not by real threads, so the makespan math is exact and
+// deterministic on any host.
+
+#ifndef PSGRAPH_DATAFLOW_CONTEXT_H_
+#define PSGRAPH_DATAFLOW_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/cluster.h"
+
+namespace psgraph::dataflow {
+
+/// Storage for shuffle blocks: (shuffle id, map partition, reduce
+/// partition) -> serialized bytes. Blocks live on the *map* executor's
+/// local disk in Spark; block size is tracked so fetches can be charged.
+class ShuffleService {
+ public:
+  void PutBlock(uint64_t shuffle_id, int32_t map_part, int32_t reduce_part,
+                std::vector<uint8_t> bytes);
+  /// NotFound if the block was never written (or was dropped).
+  Result<std::vector<uint8_t>> GetBlock(uint64_t shuffle_id,
+                                        int32_t map_part,
+                                        int32_t reduce_part) const;
+  /// Frees all blocks of one shuffle.
+  void DropShuffle(uint64_t shuffle_id);
+  uint64_t TotalBytes() const;
+
+ private:
+  using Key = std::tuple<uint64_t, int32_t, int32_t>;
+  mutable std::mutex mu_;
+  std::map<Key, std::vector<uint8_t>> blocks_;
+};
+
+class DataflowContext {
+ public:
+  explicit DataflowContext(sim::SimCluster* cluster)
+      : cluster_(cluster) {
+    executor_epochs_.assign(
+        cluster ? cluster->config().num_executors : 1, 0);
+  }
+
+  sim::SimCluster* cluster() { return cluster_; }
+  int32_t num_executors() const {
+    return cluster_ ? cluster_->config().num_executors : 1;
+  }
+  int32_t ExecutorOf(int32_t partition) const {
+    return partition % num_executors();
+  }
+
+  ShuffleService& shuffle() { return shuffle_; }
+  uint64_t NextShuffleId() { return next_shuffle_id_.fetch_add(1); }
+
+  /// CPU accounting: charges `ops` record-operations to the executor that
+  /// owns `partition`.
+  void ChargeCompute(int32_t partition, uint64_t ops);
+  /// Disk accounting on the partition's executor.
+  void ChargeDiskWrite(int32_t partition, uint64_t bytes);
+  void ChargeDiskRead(int32_t partition, uint64_t bytes);
+  /// Transfer of `bytes` from the executor of `from_part` to the executor
+  /// of `to_part`; local if both map to the same executor.
+  void ChargeTransfer(int32_t from_part, int32_t to_part, uint64_t bytes);
+
+  /// Memory accounting on the owning executor; OOM surfaces as
+  /// MemoryLimitExceeded, which aborts the job like a Spark executor OOM.
+  Status AllocatePartitionMemory(int32_t partition, uint64_t bytes,
+                                 const char* what);
+  void ReleasePartitionMemory(int32_t partition, uint64_t bytes);
+
+  /// BSP barrier across all executors at a stage boundary.
+  void StageBarrier();
+
+  /// Failure-recovery epochs: bumping an executor's epoch invalidates all
+  /// cached partitions living on it (Spark lineage then recomputes them).
+  uint64_t ExecutorEpoch(int32_t executor) const {
+    return executor_epochs_[executor];
+  }
+  void BumpExecutorEpoch(int32_t executor) { ++executor_epochs_[executor]; }
+
+ private:
+  sim::SimCluster* cluster_;
+  ShuffleService shuffle_;
+  std::atomic<uint64_t> next_shuffle_id_{1};
+  std::vector<uint64_t> executor_epochs_;
+};
+
+}  // namespace psgraph::dataflow
+
+#endif  // PSGRAPH_DATAFLOW_CONTEXT_H_

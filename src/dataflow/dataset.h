@@ -1,0 +1,754 @@
+// Dataset<T>: the RDD abstraction of the mini-Spark engine.
+//
+// A Dataset is a lazy, partitioned, immutable collection with lineage:
+// computing a partition re-derives it from its parents, so losing a cached
+// partition (executor failure) is recovered by recomputation — Spark's
+// fault-tolerance model. Narrow transforms (map/filter/flatMap) stay on
+// the owning executor; wide transforms (groupByKey/reduceByKey/coGroup)
+// run a real hash shuffle: map-side serialization to per-reducer blocks
+// (charged as disk writes), reduce-side fetches (disk read + network) and
+// hash-table builds (charged against the executor memory budget — the
+// source of GraphX's OOM behaviour).
+
+#ifndef PSGRAPH_DATAFLOW_DATASET_H_
+#define PSGRAPH_DATAFLOW_DATASET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/context.h"
+#include "dataflow/element_traits.h"
+
+namespace psgraph::dataflow {
+
+/// Hash used to route keys to reduce partitions. All shuffle participants
+/// must agree on it.
+template <typename K>
+uint64_t KeyHash(const K& k) {
+  if constexpr (std::is_integral_v<K>) {
+    return Hash64(static_cast<uint64_t>(k));
+  } else if constexpr (std::is_same_v<K, std::string>) {
+    return HashBytes(k);
+  } else if constexpr (detail::IsPair<K>::value) {
+    return HashCombine(KeyHash(k.first), KeyHash(k.second));
+  } else {
+    static_assert(std::is_integral_v<K>, "unsupported key type");
+    return 0;
+  }
+}
+
+/// Hash functor for internal shuffle hash tables (std::hash has no
+/// specialization for pairs).
+template <typename K>
+struct KeyHasher {
+  size_t operator()(const K& k) const {
+    return static_cast<size_t>(KeyHash(k));
+  }
+};
+
+namespace detail {
+
+/// Base of the lineage DAG. Compute(p) derives partition p from scratch
+/// (or from caches further up the chain).
+template <typename T>
+class Node {
+ public:
+  Node(DataflowContext* ctx, int32_t num_partitions)
+      : ctx_(ctx), num_partitions_(num_partitions) {}
+  virtual ~Node() = default;
+
+  virtual Result<std::vector<T>> Compute(int32_t partition) = 0;
+
+  DataflowContext* ctx() const { return ctx_; }
+  int32_t num_partitions() const { return num_partitions_; }
+
+ protected:
+  DataflowContext* ctx_;
+  int32_t num_partitions_;
+};
+
+template <typename T>
+class SourceNode final : public Node<T> {
+ public:
+  SourceNode(DataflowContext* ctx, std::vector<std::vector<T>> parts)
+      : Node<T>(ctx, static_cast<int32_t>(parts.size())),
+        parts_(std::move(parts)) {}
+
+  Result<std::vector<T>> Compute(int32_t p) override {
+    this->ctx_->ChargeCompute(p, parts_[p].size());
+    return parts_[p];
+  }
+
+ private:
+  std::vector<std::vector<T>> parts_;
+};
+
+template <typename T, typename U, typename F>
+class MapNode final : public Node<U> {
+ public:
+  MapNode(std::shared_ptr<Node<T>> parent, F fn)
+      : Node<U>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  Result<std::vector<U>> Compute(int32_t p) override {
+    PSG_ASSIGN_OR_RETURN(std::vector<T> in, parent_->Compute(p));
+    this->ctx_->ChargeCompute(p, in.size());
+    std::vector<U> out;
+    out.reserve(in.size());
+    for (auto& v : in) out.push_back(fn_(v));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+template <typename T, typename F>
+class FilterNode final : public Node<T> {
+ public:
+  FilterNode(std::shared_ptr<Node<T>> parent, F fn)
+      : Node<T>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  Result<std::vector<T>> Compute(int32_t p) override {
+    PSG_ASSIGN_OR_RETURN(std::vector<T> in, parent_->Compute(p));
+    this->ctx_->ChargeCompute(p, in.size());
+    std::vector<T> out;
+    for (auto& v : in) {
+      if (fn_(v)) out.push_back(std::move(v));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+template <typename T, typename U, typename F>
+class FlatMapNode final : public Node<U> {
+ public:
+  FlatMapNode(std::shared_ptr<Node<T>> parent, F fn)
+      : Node<U>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  Result<std::vector<U>> Compute(int32_t p) override {
+    PSG_ASSIGN_OR_RETURN(std::vector<T> in, parent_->Compute(p));
+    std::vector<U> out;
+    for (auto& v : in) {
+      std::vector<U> sub = fn_(v);
+      for (auto& s : sub) out.push_back(std::move(s));
+    }
+    this->ctx_->ChargeCompute(p, in.size() + out.size());
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+template <typename T, typename U, typename F>
+class MapPartitionsNode final : public Node<U> {
+ public:
+  MapPartitionsNode(std::shared_ptr<Node<T>> parent, F fn)
+      : Node<U>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  Result<std::vector<U>> Compute(int32_t p) override {
+    PSG_ASSIGN_OR_RETURN(std::vector<T> in, parent_->Compute(p));
+    this->ctx_->ChargeCompute(p, in.size());
+    return fn_(p, std::move(in));  // F -> Result<std::vector<U>>
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+template <typename T>
+class UnionNode final : public Node<T> {
+ public:
+  UnionNode(std::shared_ptr<Node<T>> a, std::shared_ptr<Node<T>> b)
+      : Node<T>(a->ctx(), a->num_partitions() + b->num_partitions()),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+
+  Result<std::vector<T>> Compute(int32_t p) override {
+    if (p < a_->num_partitions()) return a_->Compute(p);
+    return b_->Compute(p - a_->num_partitions());
+  }
+
+ private:
+  std::shared_ptr<Node<T>> a_;
+  std::shared_ptr<Node<T>> b_;
+};
+
+/// Materializes parent partitions once per executor epoch; a killed
+/// executor's cache entries become stale and are recomputed via lineage.
+template <typename T>
+class CacheNode final : public Node<T> {
+ public:
+  explicit CacheNode(std::shared_ptr<Node<T>> parent)
+      : Node<T>(parent->ctx(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        slots_(this->num_partitions_) {}
+
+  Result<std::vector<T>> Compute(int32_t p) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[p];
+    uint64_t epoch = this->ctx_->ExecutorEpoch(this->ctx_->ExecutorOf(p));
+    if (slot.data.has_value() && slot.epoch == epoch) {
+      return *slot.data;
+    }
+    if (slot.data.has_value()) {
+      // Stale cache from before the executor died. The simulated ledger
+      // was wiped with the container, so just drop the bytes.
+      slot.data.reset();
+    }
+    PSG_ASSIGN_OR_RETURN(std::vector<T> data, parent_->Compute(p));
+    uint64_t bytes = JvmBytesOf(data);
+    PSG_RETURN_NOT_OK(
+        this->ctx_->AllocatePartitionMemory(p, bytes, "rdd cache"));
+    slot.data = std::move(data);
+    slot.epoch = epoch;
+    slot.charged = bytes;
+    return *slot.data;
+  }
+
+  /// Drops all cached partitions (Spark unpersist), releasing memory.
+  void Unpersist() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int32_t p = 0; p < this->num_partitions_; ++p) {
+      Slot& slot = slots_[p];
+      if (slot.data.has_value()) {
+        uint64_t epoch =
+            this->ctx_->ExecutorEpoch(this->ctx_->ExecutorOf(p));
+        if (slot.epoch == epoch) {
+          this->ctx_->ReleasePartitionMemory(p, slot.charged);
+        }
+        slot.data.reset();
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::optional<std::vector<T>> data;
+    uint64_t epoch = 0;
+    uint64_t charged = 0;
+  };
+  std::shared_ptr<Node<T>> parent_;
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+/// Runs the map side of a shuffle once: partitions parent records by key
+/// hash into per-reducer blocks. `Combine` is an optional map-side
+/// combiner (nullptr -> none).
+template <typename K, typename V>
+class ShuffleWriter {
+ public:
+  using Combiner = std::function<V(const V&, const V&)>;
+
+  ShuffleWriter(DataflowContext* ctx,
+                std::shared_ptr<Node<std::pair<K, V>>> parent,
+                int32_t num_reducers, Combiner combiner)
+      : ctx_(ctx),
+        parent_(std::move(parent)),
+        num_reducers_(num_reducers),
+        combiner_(std::move(combiner)),
+        shuffle_id_(ctx_->NextShuffleId()) {}
+
+  uint64_t shuffle_id() const { return shuffle_id_; }
+  int32_t num_map_partitions() const { return parent_->num_partitions(); }
+
+  /// Idempotent; thread-compatible (driver-thread execution model).
+  Status EnsureWritten() {
+    if (done_) return map_status_;
+    done_ = true;
+    for (int32_t m = 0; m < parent_->num_partitions(); ++m) {
+      map_status_ = WriteMapPartition(m);
+      if (!map_status_.ok()) return map_status_;
+    }
+    ctx_->StageBarrier();  // shuffle map side ends a stage
+    return map_status_;
+  }
+
+ private:
+  Status WriteMapPartition(int32_t m) {
+    auto in = parent_->Compute(m);
+    if (!in.ok()) return in.status();
+    ctx_->ChargeCompute(m, in->size());
+
+    std::vector<ByteBuffer> buckets(num_reducers_);
+    uint64_t transient = 0;
+    if (combiner_) {
+      // Map-side combine: build a per-partition hash map first (this is
+      // what Spark's reduceByKey does; it costs memory but shrinks IO).
+      std::unordered_map<K, V, KeyHasher<K>> combined;
+      combined.reserve(in->size());
+      for (auto& [k, v] : *in) {
+        auto [it, inserted] = combined.emplace(k, v);
+        if (!inserted) it->second = combiner_(it->second, v);
+      }
+      transient = combined.size() *
+                  (kJvmHashEntryOverhead + sizeof(K) + sizeof(V));
+      PSG_RETURN_NOT_OK(ctx_->AllocatePartitionMemory(
+          m, transient, "shuffle map-side combine"));
+      for (auto& [k, v] : combined) {
+        ByteBuffer& buf = buckets[KeyHash(k) % num_reducers_];
+        SerializeElem(buf, k);
+        SerializeElem(buf, v);
+      }
+    } else {
+      for (auto& [k, v] : *in) {
+        ByteBuffer& buf = buckets[KeyHash(k) % num_reducers_];
+        SerializeElem(buf, k);
+        SerializeElem(buf, v);
+      }
+    }
+    // Spark consolidates a map task's output into one file (plus an
+    // index), so the write pays a single seek for all buckets.
+    uint64_t total_bytes = 0;
+    for (int32_t r = 0; r < num_reducers_; ++r) {
+      total_bytes += buckets[r].size();
+    }
+    ctx_->ChargeDiskWrite(m, total_bytes);
+    for (int32_t r = 0; r < num_reducers_; ++r) {
+      ctx_->shuffle().PutBlock(shuffle_id_, m, r,
+                               std::move(buckets[r]).TakeData());
+    }
+    if (transient > 0) ctx_->ReleasePartitionMemory(m, transient);
+    return Status::OK();
+  }
+
+  DataflowContext* ctx_;
+  std::shared_ptr<Node<std::pair<K, V>>> parent_;
+  int32_t num_reducers_;
+  Combiner combiner_;
+  uint64_t shuffle_id_;
+  bool done_ = false;
+  Status map_status_;
+};
+
+/// Fetches and deserializes all blocks for reduce partition `r`, invoking
+/// `sink(key, value)` per record. Charges disk read on the map executor
+/// and network transfer map->reduce.
+template <typename K, typename V, typename Sink>
+Status FetchShuffleBlocks(DataflowContext* ctx, uint64_t shuffle_id,
+                          int32_t num_map_partitions, int32_t r,
+                          Sink&& sink) {
+  for (int32_t m = 0; m < num_map_partitions; ++m) {
+    auto block = ctx->shuffle().GetBlock(shuffle_id, m, r);
+    if (!block.ok()) return block.status();
+    ctx->ChargeDiskRead(m, block->size());
+    ctx->ChargeTransfer(m, r, block->size());
+    ByteReader reader(*block);
+    while (reader.remaining() > 0) {
+      K k{};
+      V v{};
+      PSG_RETURN_NOT_OK(DeserializeElem(reader, &k));
+      PSG_RETURN_NOT_OK(DeserializeElem(reader, &v));
+      sink(std::move(k), std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+template <typename K, typename V>
+class GroupByKeyNode final : public Node<std::pair<K, std::vector<V>>> {
+ public:
+  GroupByKeyNode(std::shared_ptr<Node<std::pair<K, V>>> parent,
+                 int32_t num_reducers)
+      : Node<std::pair<K, std::vector<V>>>(parent->ctx(), num_reducers),
+        writer_(parent->ctx(), parent, num_reducers, nullptr) {}
+
+  Result<std::vector<std::pair<K, std::vector<V>>>> Compute(
+      int32_t r) override {
+    PSG_RETURN_NOT_OK(writer_.EnsureWritten());
+    auto* ctx = this->ctx_;
+    std::unordered_map<K, std::vector<V>, KeyHasher<K>> groups;
+    uint64_t charged = 0;
+    Status mem_ok;
+    Status fetch = FetchShuffleBlocks<K, V>(
+        ctx, writer_.shuffle_id(), writer_.num_map_partitions(), r,
+        [&](K k, V v) {
+          if (!mem_ok.ok()) return;
+          auto [it, inserted] = groups.try_emplace(std::move(k));
+          uint64_t delta = JvmBytesOf(v) +
+                           (inserted ? kJvmHashEntryOverhead : 0);
+          Status s = ctx->AllocatePartitionMemory(r, delta,
+                                                  "groupByKey hash table");
+          if (!s.ok()) {
+            mem_ok = s;
+            return;
+          }
+          charged += delta;
+          it->second.push_back(std::move(v));
+        });
+    if (fetch.ok() && !mem_ok.ok()) fetch = mem_ok;
+    if (!fetch.ok()) {
+      ctx->ReleasePartitionMemory(r, charged);
+      return fetch;
+    }
+    ctx->ChargeCompute(r, groups.size());
+    std::vector<std::pair<K, std::vector<V>>> out;
+    out.reserve(groups.size());
+    for (auto& [k, vs] : groups) out.emplace_back(k, std::move(vs));
+    ctx->ReleasePartitionMemory(r, charged);
+    return out;
+  }
+
+ private:
+  ShuffleWriter<K, V> writer_;
+};
+
+template <typename K, typename V>
+class ReduceByKeyNode final : public Node<std::pair<K, V>> {
+ public:
+  using Combiner = std::function<V(const V&, const V&)>;
+
+  ReduceByKeyNode(std::shared_ptr<Node<std::pair<K, V>>> parent,
+                  int32_t num_reducers, Combiner combiner)
+      : Node<std::pair<K, V>>(parent->ctx(), num_reducers),
+        combiner_(combiner),
+        writer_(parent->ctx(), parent, num_reducers, combiner) {}
+
+  Result<std::vector<std::pair<K, V>>> Compute(int32_t r) override {
+    PSG_RETURN_NOT_OK(writer_.EnsureWritten());
+    auto* ctx = this->ctx_;
+    std::unordered_map<K, V, KeyHasher<K>> agg;
+    uint64_t charged = 0;
+    Status mem_ok;
+    Status fetch = FetchShuffleBlocks<K, V>(
+        ctx, writer_.shuffle_id(), writer_.num_map_partitions(), r,
+        [&](K k, V v) {
+          if (!mem_ok.ok()) return;
+          auto it = agg.find(k);
+          if (it != agg.end()) {
+            it->second = combiner_(it->second, v);
+            return;
+          }
+          uint64_t delta = kJvmHashEntryOverhead + JvmBytesOf(v);
+          Status s = ctx->AllocatePartitionMemory(r, delta,
+                                                  "reduceByKey hash table");
+          if (!s.ok()) {
+            mem_ok = s;
+            return;
+          }
+          charged += delta;
+          agg.emplace(std::move(k), std::move(v));
+        });
+    if (fetch.ok() && !mem_ok.ok()) fetch = mem_ok;
+    if (!fetch.ok()) {
+      ctx->ReleasePartitionMemory(r, charged);
+      return fetch;
+    }
+    ctx->ChargeCompute(r, agg.size());
+    std::vector<std::pair<K, V>> out(agg.begin(), agg.end());
+    ctx->ReleasePartitionMemory(r, charged);
+    return out;
+  }
+
+ private:
+  Combiner combiner_;
+  ShuffleWriter<K, V> writer_;
+};
+
+template <typename K, typename V, typename W>
+class CoGroupNode final
+    : public Node<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> {
+ public:
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+
+  CoGroupNode(std::shared_ptr<Node<std::pair<K, V>>> left,
+              std::shared_ptr<Node<std::pair<K, W>>> right,
+              int32_t num_reducers)
+      : Node<Out>(left->ctx(), num_reducers),
+        left_writer_(left->ctx(), left, num_reducers, nullptr),
+        right_writer_(left->ctx(), right, num_reducers, nullptr) {}
+
+  Result<std::vector<Out>> Compute(int32_t r) override {
+    PSG_RETURN_NOT_OK(left_writer_.EnsureWritten());
+    PSG_RETURN_NOT_OK(right_writer_.EnsureWritten());
+    auto* ctx = this->ctx_;
+    std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
+                       KeyHasher<K>>
+        groups;
+    uint64_t charged = 0;
+    Status mem_ok;
+    auto charge = [&](uint64_t delta) {
+      Status s =
+          ctx->AllocatePartitionMemory(r, delta, "coGroup hash table");
+      if (!s.ok()) mem_ok = s;
+      else charged += delta;
+    };
+    Status fetch = FetchShuffleBlocks<K, V>(
+        ctx, left_writer_.shuffle_id(), left_writer_.num_map_partitions(),
+        r, [&](K k, V v) {
+          if (!mem_ok.ok()) return;
+          auto [it, inserted] = groups.try_emplace(std::move(k));
+          charge(JvmBytesOf(v) + (inserted ? kJvmHashEntryOverhead : 0));
+          if (mem_ok.ok()) it->second.first.push_back(std::move(v));
+        });
+    if (fetch.ok()) {
+      fetch = FetchShuffleBlocks<K, W>(
+          ctx, right_writer_.shuffle_id(),
+          right_writer_.num_map_partitions(), r, [&](K k, W w) {
+            if (!mem_ok.ok()) return;
+            auto [it, inserted] = groups.try_emplace(std::move(k));
+            charge(JvmBytesOf(w) + (inserted ? kJvmHashEntryOverhead : 0));
+            if (mem_ok.ok()) it->second.second.push_back(std::move(w));
+          });
+    }
+    if (fetch.ok() && !mem_ok.ok()) fetch = mem_ok;
+    if (!fetch.ok()) {
+      ctx->ReleasePartitionMemory(r, charged);
+      return fetch;
+    }
+    ctx->ChargeCompute(r, groups.size());
+    std::vector<Out> out;
+    out.reserve(groups.size());
+    for (auto& [k, vw] : groups) out.emplace_back(k, std::move(vw));
+    ctx->ReleasePartitionMemory(r, charged);
+    return out;
+  }
+
+ private:
+  ShuffleWriter<K, V> left_writer_;
+  ShuffleWriter<K, W> right_writer_;
+};
+
+}  // namespace detail
+
+template <typename T>
+struct PairTraits {
+  static constexpr bool is_pair = false;
+};
+template <typename K, typename V>
+struct PairTraits<std::pair<K, V>> {
+  static constexpr bool is_pair = true;
+  using Key = K;
+  using Value = V;
+};
+
+/// User-facing handle (cheap to copy; shares the lineage node).
+template <typename T>
+class Dataset {
+ public:
+  Dataset(DataflowContext* ctx, std::shared_ptr<detail::Node<T>> node)
+      : ctx_(ctx), node_(std::move(node)) {}
+
+  /// Distributes `data` across `num_partitions` partitions round-robin —
+  /// the "load from HDFS into an RDD" step.
+  static Dataset FromVector(DataflowContext* ctx, std::vector<T> data,
+                            int32_t num_partitions) {
+    if (num_partitions <= 0) num_partitions = ctx->num_executors();
+    std::vector<std::vector<T>> parts(num_partitions);
+    for (auto& p : parts) p.reserve(data.size() / num_partitions + 1);
+    for (size_t i = 0; i < data.size(); ++i) {
+      parts[i % num_partitions].push_back(std::move(data[i]));
+    }
+    return Dataset(
+        ctx, std::make_shared<detail::SourceNode<T>>(ctx, std::move(parts)));
+  }
+
+  /// Builds from explicit pre-split partitions (custom partitioners).
+  static Dataset FromPartitions(DataflowContext* ctx,
+                                std::vector<std::vector<T>> parts) {
+    return Dataset(
+        ctx, std::make_shared<detail::SourceNode<T>>(ctx, std::move(parts)));
+  }
+
+  DataflowContext* context() const { return ctx_; }
+  int32_t num_partitions() const { return node_->num_partitions(); }
+  std::shared_ptr<detail::Node<T>> node() const { return node_; }
+
+  template <typename F, typename U = std::invoke_result_t<F, T&>>
+  Dataset<U> Map(F fn) const {
+    return Dataset<U>(
+        ctx_, std::make_shared<detail::MapNode<T, U, F>>(node_, std::move(fn)));
+  }
+
+  template <typename F>
+  Dataset<T> Filter(F fn) const {
+    return Dataset<T>(
+        ctx_, std::make_shared<detail::FilterNode<T, F>>(node_, std::move(fn)));
+  }
+
+  template <typename F,
+            typename U = typename std::invoke_result_t<F, T&>::value_type>
+  Dataset<U> FlatMap(F fn) const {
+    return Dataset<U>(
+        ctx_,
+        std::make_shared<detail::FlatMapNode<T, U, F>>(node_, std::move(fn)));
+  }
+
+  /// F: (int32_t partition, std::vector<T>&&) -> Result<std::vector<U>>.
+  template <typename F,
+            typename U = typename std::invoke_result_t<
+                F, int32_t, std::vector<T>&&>::value_type::value_type>
+  Dataset<U> MapPartitionsWithIndex(F fn) const {
+    return Dataset<U>(ctx_,
+                      std::make_shared<detail::MapPartitionsNode<T, U, F>>(
+                          node_, std::move(fn)));
+  }
+
+  Dataset<T> Union(const Dataset<T>& other) const {
+    return Dataset<T>(
+        ctx_, std::make_shared<detail::UnionNode<T>>(node_, other.node_));
+  }
+
+  /// Marks this dataset persisted in executor memory. Returns the cached
+  /// handle; keep it and reuse it to benefit from the cache.
+  Dataset<T> Cache() const {
+    return Dataset<T>(ctx_, std::make_shared<detail::CacheNode<T>>(node_));
+  }
+
+  /// Drops materialized partitions if this dataset is a Cache() handle
+  /// (Spark unpersist). Returns false when there is nothing to drop.
+  bool Unpersist() const {
+    auto cache = std::dynamic_pointer_cast<detail::CacheNode<T>>(node_);
+    if (!cache) return false;
+    cache->Unpersist();
+    return true;
+  }
+
+  // ----- wide (shuffle) transformations; require T == pair<K, V> -----
+
+  template <typename P = PairTraits<T>>
+  Dataset<std::pair<typename P::Key, std::vector<typename P::Value>>>
+  GroupByKey(int32_t num_reducers = 0) const {
+    static_assert(P::is_pair, "GroupByKey requires Dataset<pair<K,V>>");
+    if (num_reducers <= 0) num_reducers = node_->num_partitions();
+    using K = typename P::Key;
+    using V = typename P::Value;
+    return {ctx_,
+            std::make_shared<detail::GroupByKeyNode<K, V>>(node_,
+                                                           num_reducers)};
+  }
+
+  template <typename F, typename P = PairTraits<T>>
+  Dataset<T> ReduceByKey(F combiner, int32_t num_reducers = 0) const {
+    static_assert(P::is_pair, "ReduceByKey requires Dataset<pair<K,V>>");
+    if (num_reducers <= 0) num_reducers = node_->num_partitions();
+    using K = typename P::Key;
+    using V = typename P::Value;
+    return {ctx_, std::make_shared<detail::ReduceByKeyNode<K, V>>(
+                      node_, num_reducers,
+                      typename detail::ReduceByKeyNode<K, V>::Combiner(
+                          std::move(combiner)))};
+  }
+
+  template <typename W, typename P = PairTraits<T>>
+  Dataset<std::pair<typename P::Key,
+                    std::pair<std::vector<typename P::Value>,
+                              std::vector<W>>>>
+  CoGroup(const Dataset<std::pair<typename P::Key, W>>& other,
+          int32_t num_reducers = 0) const {
+    static_assert(P::is_pair, "CoGroup requires Dataset<pair<K,V>>");
+    if (num_reducers <= 0) num_reducers = node_->num_partitions();
+    using K = typename P::Key;
+    using V = typename P::Value;
+    return {ctx_, std::make_shared<detail::CoGroupNode<K, V, W>>(
+                      node_, other.node(), num_reducers)};
+  }
+
+  /// Inner join via coGroup + flatMap (CoGroupedRDD, like Spark).
+  template <typename W, typename P = PairTraits<T>>
+  Dataset<std::pair<typename P::Key, std::pair<typename P::Value, W>>>
+  Join(const Dataset<std::pair<typename P::Key, W>>& other,
+       int32_t num_reducers = 0) const {
+    using K = typename P::Key;
+    using V = typename P::Value;
+    using Grouped = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+    using Out = std::pair<K, std::pair<V, W>>;
+    return CoGroup<W>(other, num_reducers)
+        .FlatMap([](Grouped& g) {
+          std::vector<Out> out;
+          out.reserve(g.second.first.size() * g.second.second.size());
+          for (const V& v : g.second.first) {
+            for (const W& w : g.second.second) {
+              out.push_back({g.first, {v, w}});
+            }
+          }
+          return out;
+        });
+  }
+
+  /// Distinct keys of a pair dataset (helper for vertex-id extraction).
+  template <typename P = PairTraits<T>>
+  Dataset<typename P::Key> DistinctKeys(int32_t num_reducers = 0) const {
+    static_assert(P::is_pair, "DistinctKeys requires Dataset<pair<K,V>>");
+    using K = typename P::Key;
+    using V = typename P::Value;
+    return ReduceByKey([](const V& a, const V&) { return a; }, num_reducers)
+        .Map([](std::pair<K, V>& kv) { return kv.first; });
+  }
+
+  // ----- actions -----
+
+  /// Computes one partition (engines that pin work per executor use this).
+  Result<std::vector<T>> ComputePartition(int32_t p) const {
+    return node_->Compute(p);
+  }
+
+  /// Materializes every partition on the driver.
+  Result<std::vector<T>> Collect() const {
+    std::vector<T> all;
+    for (int32_t p = 0; p < node_->num_partitions(); ++p) {
+      auto part = node_->Compute(p);
+      if (!part.ok()) return part.status();
+      for (auto& v : *part) all.push_back(std::move(v));
+    }
+    ctx_->StageBarrier();
+    return all;
+  }
+
+  Result<uint64_t> Count() const {
+    uint64_t n = 0;
+    for (int32_t p = 0; p < node_->num_partitions(); ++p) {
+      auto part = node_->Compute(p);
+      if (!part.ok()) return part.status();
+      n += part->size();
+    }
+    ctx_->StageBarrier();
+    return n;
+  }
+
+  /// Evaluates all partitions for side effects / materialization.
+  Status Evaluate() const {
+    for (int32_t p = 0; p < node_->num_partitions(); ++p) {
+      auto part = node_->Compute(p);
+      if (!part.ok()) return part.status();
+    }
+    ctx_->StageBarrier();
+    return Status::OK();
+  }
+
+ private:
+  DataflowContext* ctx_;
+  std::shared_ptr<detail::Node<T>> node_;
+};
+
+}  // namespace psgraph::dataflow
+
+#endif  // PSGRAPH_DATAFLOW_DATASET_H_

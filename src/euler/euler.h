@@ -1,0 +1,80 @@
+// Euler baseline (Alibaba's GNN system), reproduced for Table I.
+//
+// Two properties of Euler drive the paper's numbers, and both are
+// modeled structurally rather than by fiat:
+//
+//  1. Heavyweight preprocessing: the original graph must be transformed
+//     into Euler's format by three *sequential* jobs, each reading its
+//     whole input from HDFS and writing its whole output back — index
+//     mapping, data-to-JSON conversion, and JSON partitioning (paper:
+//     4 h + 4 h + minutes on DS3). We execute the same three passes over
+//     the simulated HDFS, producing real JSON, on a single driver.
+//
+//  2. Per-vertex graph access: training fetches neighbors and features
+//     through the graph service one vertex per RPC (`fetch_granularity`),
+//     so every step pays per-call latency that PSGraph's batched PS pulls
+//     amortize — the source of the 200 s vs 7 s per-epoch gap.
+//
+// The model math is shared with PSGraph (core::SageForward), so Table I
+// compares systems, not model variants.
+
+#ifndef PSGRAPH_EULER_EULER_H_
+#define PSGRAPH_EULER_EULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/generators.h"
+#include "sim/cluster.h"
+
+namespace psgraph::euler {
+
+struct EulerOptions {
+  // Model hyper-parameters (keep equal to the PSGraph run for Table I).
+  int hidden_dim = 64;
+  int fanout1 = 10;
+  int fanout2 = 5;
+  int epochs = 5;
+  int batch_size = 64;
+  float learning_rate = 0.01f;
+  double train_fraction = 0.7;
+  uint64_t seed = 7;
+
+  /// Cluster geometry (paper: 90 workers with 16 cores / 50 GB each).
+  sim::ClusterConfig cluster;
+
+  /// Vertices fetched per graph-service RPC. Euler's sampling API walks
+  /// the graph vertex by vertex (PSGraph pulls a whole batch's vertices
+  /// in one request per server).
+  int fetch_granularity = 1;
+};
+
+struct EulerResult {
+  double preprocess_sim_seconds = 0.0;
+  /// Breakdown of the three sequential passes.
+  double index_mapping_sim_seconds = 0.0;
+  double json_convert_sim_seconds = 0.0;
+  double partition_sim_seconds = 0.0;
+  std::vector<double> epoch_sim_seconds;
+  double final_train_loss = 0.0;
+  double test_accuracy = 0.0;
+  int epochs = 0;
+
+  double AvgEpochSimSeconds() const {
+    if (epoch_sim_seconds.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : epoch_sim_seconds) s += v;
+    return s / static_cast<double>(epoch_sim_seconds.size());
+  }
+};
+
+/// Runs the full Euler pipeline (preprocessing + GraphSage training) on
+/// its own simulated cluster.
+Result<EulerResult> RunEulerGraphSage(const graph::LabeledGraph& g,
+                                      const EulerOptions& opts);
+
+}  // namespace psgraph::euler
+
+#endif  // PSGRAPH_EULER_EULER_H_

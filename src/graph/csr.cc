@@ -1,0 +1,34 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace psgraph::graph {
+
+Csr Csr::FromEdges(const EdgeList& edges, VertexId num_vertices) {
+  Csr csr;
+  if (num_vertices == 0) num_vertices = NumVerticesOf(edges);
+  csr.num_vertices_ = num_vertices;
+  csr.offsets_.assign(num_vertices + 1, 0);
+
+  bool weighted = false;
+  for (const Edge& e : edges) {
+    csr.offsets_[e.src + 1]++;
+    if (e.weight != 1.0f) weighted = true;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    csr.offsets_[v + 1] += csr.offsets_[v];
+  }
+
+  csr.neighbors_.resize(edges.size());
+  if (weighted) csr.weights_.resize(edges.size());
+  std::vector<uint64_t> cursor(csr.offsets_.begin(),
+                               csr.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    uint64_t pos = cursor[e.src]++;
+    csr.neighbors_[pos] = e.dst;
+    if (weighted) csr.weights_[pos] = e.weight;
+  }
+  return csr;
+}
+
+}  // namespace psgraph::graph

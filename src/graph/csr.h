@@ -1,0 +1,58 @@
+// Compressed sparse row adjacency — one of the PS-supported data
+// structures (§III-A) and the in-memory format single-node baselines use.
+
+#ifndef PSGRAPH_GRAPH_CSR_H_
+#define PSGRAPH_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace psgraph::graph {
+
+/// Immutable CSR representation of a directed graph.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from an edge list. `num_vertices` == 0 infers it from the max
+  /// id. Edge order within a row follows input order.
+  static Csr FromEdges(const EdgeList& edges, VertexId num_vertices = 0);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return neighbors_.size(); }
+
+  uint64_t OutDegree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], OutDegree(v)};
+  }
+
+  std::span<const float> Weights(VertexId v) const {
+    if (weights_.empty()) return {};
+    return {weights_.data() + offsets_[v], OutDegree(v)};
+  }
+
+  bool weighted() const { return !weights_.empty(); }
+
+  /// Approximate heap footprint in bytes (for memory accounting).
+  uint64_t ByteSize() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           neighbors_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(float);
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;  // size num_vertices_ + 1
+  std::vector<VertexId> neighbors_;
+  std::vector<float> weights_;
+};
+
+}  // namespace psgraph::graph
+
+#endif  // PSGRAPH_GRAPH_CSR_H_

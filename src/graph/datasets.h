@@ -1,0 +1,57 @@
+// Catalog of the experiment datasets.
+//
+// Paper datasets (Tencent production graphs, §V-A):
+//   DS1: 0.8 B vertices, 11 B edges
+//   DS2: 2 B vertices, 140 B edges
+//   DS3: 30 M vertices, 100 M edges (WeChat Pay, with features/labels)
+//
+// The catalog generates `*-mini` versions scaled down by `scale_denom`
+// (default 10000 for DS1/DS2, 1000 for DS3), preserving the vertex:edge
+// ratio and power-law skew. `paper_scale()` returns the factor the cost
+// model multiplies simulated makespans by to report cluster-scale numbers.
+
+#ifndef PSGRAPH_GRAPH_DATASETS_H_
+#define PSGRAPH_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/types.h"
+
+namespace psgraph::graph {
+
+struct DatasetInfo {
+  std::string name;
+  VertexId paper_vertices = 0;
+  uint64_t paper_edges = 0;
+  VertexId mini_vertices = 0;
+  uint64_t mini_edges = 0;
+  /// Degree cap applied after generation (0 = none); keeps the relative
+  /// hubness of the mini graph comparable to the paper's graphs instead
+  /// of the far heavier concentration R-MAT produces at small scales.
+  uint64_t max_degree = 0;
+
+  /// Ratio between paper edge count and generated edge count.
+  double paper_scale() const {
+    return static_cast<double>(paper_edges) /
+           static_cast<double>(mini_edges);
+  }
+};
+
+/// DS1-mini: RMAT, ~0.8 M/`scale_denom` * 10^9-scale ... concretely with
+/// the default denominator: 2^17 = 131072 vertex id space, 1.1 M edges.
+DatasetInfo Ds1MiniInfo(uint64_t scale_denom = 25000);
+EdgeList MakeDs1Mini(const DatasetInfo& info, uint64_t seed = 11);
+
+/// DS2-mini: RMAT, denser and larger (the paper's 2 B x 140 B graph).
+DatasetInfo Ds2MiniInfo(uint64_t scale_denom = 100000);
+EdgeList MakeDs2Mini(const DatasetInfo& info, uint64_t seed = 12);
+
+/// DS3-mini: SBM with features and labels for GraphSage (Table I).
+DatasetInfo Ds3MiniInfo(uint64_t scale_denom = 1000);
+LabeledGraph MakeDs3Mini(const DatasetInfo& info, uint64_t seed = 13);
+
+}  // namespace psgraph::graph
+
+#endif  // PSGRAPH_GRAPH_DATASETS_H_

@@ -1,0 +1,39 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+
+namespace psgraph::graph {
+
+std::vector<uint64_t> OutDegrees(const EdgeList& edges,
+                                 VertexId num_vertices) {
+  if (num_vertices == 0) num_vertices = NumVerticesOf(edges);
+  std::vector<uint64_t> deg(num_vertices, 0);
+  for (const Edge& e : edges) deg[e.src]++;
+  return deg;
+}
+
+std::vector<uint64_t> InDegrees(const EdgeList& edges,
+                                VertexId num_vertices) {
+  if (num_vertices == 0) num_vertices = NumVerticesOf(edges);
+  std::vector<uint64_t> deg(num_vertices, 0);
+  for (const Edge& e : edges) deg[e.dst]++;
+  return deg;
+}
+
+DegreeStats ComputeDegreeStats(const EdgeList& edges) {
+  DegreeStats stats;
+  if (edges.empty()) return stats;
+  std::vector<uint64_t> deg = OutDegrees(edges);
+  std::sort(deg.begin(), deg.end(), std::greater<uint64_t>());
+  stats.max_degree = deg.front();
+  stats.mean_degree =
+      static_cast<double>(edges.size()) / static_cast<double>(deg.size());
+  size_t top = std::max<size_t>(1, deg.size() / 100);
+  uint64_t top_edges = 0;
+  for (size_t i = 0; i < top; ++i) top_edges += deg[i];
+  stats.top1pct_edge_fraction =
+      static_cast<double>(top_edges) / static_cast<double>(edges.size());
+  return stats;
+}
+
+}  // namespace psgraph::graph

@@ -1,0 +1,34 @@
+// Degree utilities shared by PageRank (out-degree normalization), K-core
+// (degree peeling) and the generators' skew diagnostics.
+
+#ifndef PSGRAPH_GRAPH_DEGREE_H_
+#define PSGRAPH_GRAPH_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace psgraph::graph {
+
+/// Out-degree per vertex (dense, indexed by vertex id).
+std::vector<uint64_t> OutDegrees(const EdgeList& edges,
+                                 VertexId num_vertices = 0);
+
+/// In-degree per vertex.
+std::vector<uint64_t> InDegrees(const EdgeList& edges,
+                                VertexId num_vertices = 0);
+
+/// Degree distribution summary for skew diagnostics.
+struct DegreeStats {
+  uint64_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// Fraction of all edges incident (as src) to the top 1% vertices —
+  /// close to 1 means heavy power-law skew.
+  double top1pct_edge_fraction = 0.0;
+};
+DegreeStats ComputeDegreeStats(const EdgeList& edges);
+
+}  // namespace psgraph::graph
+
+#endif  // PSGRAPH_GRAPH_DEGREE_H_

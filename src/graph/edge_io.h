@@ -1,0 +1,36 @@
+// Edge-list persistence on the simulated HDFS.
+//
+// The paper assumes "the original dataset is stored on HDFS, and each data
+// item is a pair (src, dst)" (§IV). Text format is one `src dst [weight]`
+// line per edge; binary format is a memcpy'd Edge vector with a header.
+
+#ifndef PSGRAPH_GRAPH_EDGE_IO_H_
+#define PSGRAPH_GRAPH_EDGE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/types.h"
+#include "storage/hdfs.h"
+
+namespace psgraph::graph {
+
+/// Writes edges as text lines ("src dst weight\n"; weight omitted when 1).
+Status WriteEdgesText(storage::Hdfs& hdfs, const std::string& path,
+                      const EdgeList& edges, sim::NodeId node = -1);
+
+/// Parses a text edge file. Lines starting with '#' and blank lines are
+/// skipped; malformed lines yield InvalidArgument.
+Result<EdgeList> ReadEdgesText(storage::Hdfs& hdfs, const std::string& path,
+                               sim::NodeId node = -1);
+
+/// Binary round trip (much faster; used by benches for large inputs).
+Status WriteEdgesBinary(storage::Hdfs& hdfs, const std::string& path,
+                        const EdgeList& edges, sim::NodeId node = -1);
+Result<EdgeList> ReadEdgesBinary(storage::Hdfs& hdfs,
+                                 const std::string& path,
+                                 sim::NodeId node = -1);
+
+}  // namespace psgraph::graph
+
+#endif  // PSGRAPH_GRAPH_EDGE_IO_H_

@@ -1,0 +1,45 @@
+// Graph partitioning strategies (paper §II-D, Fig. 2).
+//
+// Vertex partitioning (edge cut): each worker owns a vertex subset plus
+// the adjacent edges, i.e. whole neighbor tables. Edge partitioning
+// (vertex cut): each worker owns an arbitrary edge subset; a vertex's
+// edges may span many workers.
+
+#ifndef PSGRAPH_GRAPH_PARTITION_H_
+#define PSGRAPH_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace psgraph::graph {
+
+enum class PartitionStrategy {
+  kVertexPartition,  ///< edge cut: edges grouped by hash(src)
+  kEdgePartition,    ///< vertex cut: edges dealt round-robin/hashed whole
+};
+
+/// Splits `edges` into `num_parts` partitions under the given strategy.
+std::vector<EdgeList> PartitionEdges(const EdgeList& edges,
+                                     int32_t num_parts,
+                                     PartitionStrategy strategy);
+
+/// Groups a partition's edges into neighbor tables — the paper's groupBy
+/// step turning (src, dst) pairs into (src, Array[dst]). Neighbor order
+/// follows edge order; output sorted by vertex id for determinism.
+std::vector<NeighborList> GroupBysrc(const EdgeList& edges);
+
+/// Statistics used by the partitioning ablation bench.
+struct PartitionStats {
+  /// Sum over vertices of (#partitions the vertex appears in as src) — the
+  /// replication factor that determines pull traffic under vertex cut.
+  double avg_src_replication = 0.0;
+  uint64_t max_partition_edges = 0;
+  uint64_t min_partition_edges = 0;
+};
+PartitionStats ComputePartitionStats(const std::vector<EdgeList>& parts);
+
+}  // namespace psgraph::graph
+
+#endif  // PSGRAPH_GRAPH_PARTITION_H_

@@ -1,0 +1,53 @@
+// Core graph value types shared by every layer.
+
+#ifndef PSGRAPH_GRAPH_TYPES_H_
+#define PSGRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace psgraph::graph {
+
+/// Vertex indices are encoded as long integers in the paper (§IV); we use
+/// unsigned 64-bit.
+using VertexId = uint64_t;
+
+/// A directed, optionally weighted edge. Trivially copyable so edge
+/// batches serialize with memcpy.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+
+  bool operator==(const Edge& other) const {
+    return src == other.src && dst == other.dst && weight == other.weight;
+  }
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// One vertex plus its adjacency — the paper's "neighbor table" item
+/// (src, Array[dst]) produced by the groupBy transformation.
+struct NeighborList {
+  VertexId vertex = 0;
+  std::vector<VertexId> neighbors;
+  std::vector<float> weights;  ///< empty for unweighted graphs
+
+  bool weighted() const { return !weights.empty(); }
+};
+
+/// Returns max(vertex id) + 1 over the edge list, i.e. the size of dense
+/// per-vertex arrays ("the size of both vectors is equal to the maximal
+/// index of vertex", §IV-A). Zero for an empty list.
+inline VertexId NumVerticesOf(const EdgeList& edges) {
+  VertexId n = 0;
+  for (const Edge& e : edges) {
+    if (e.src + 1 > n) n = e.src + 1;
+    if (e.dst + 1 > n) n = e.dst + 1;
+  }
+  return n;
+}
+
+}  // namespace psgraph::graph
+
+#endif  // PSGRAPH_GRAPH_TYPES_H_

@@ -1,0 +1,119 @@
+// Traditional graph algorithms on the GraphX baseline (join/shuffle
+// implementations). These are the "GraphX" bars/cells of Fig. 6.
+//
+// Every function takes the edge dataset (plus options) and returns either
+// the algorithm output or a Status — in particular
+// Status::MemoryLimitExceeded when a join hash table or cached RDD
+// generation exceeds an executor budget, which the benches report as the
+// paper's OOM cells.
+
+#ifndef PSGRAPH_GRAPHX_ALGORITHMS_H_
+#define PSGRAPH_GRAPHX_ALGORITHMS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/dataset.h"
+#include "graph/types.h"
+
+namespace psgraph::graphx {
+
+using graph::Edge;
+using graph::VertexId;
+
+struct PageRankOptions {
+  int max_iterations = 20;
+  double reset_prob = 0.15;
+};
+
+/// Static PageRank (GraphX's staticPageRank): per iteration one
+/// aggregateMessages (2 joins + 1 reduce shuffle) and one vertex join.
+Result<std::vector<std::pair<VertexId, double>>> PageRank(
+    const dataflow::Dataset<Edge>& edges, const PageRankOptions& opts = {});
+
+/// Total number of triangles (input is canonicalized internally to an
+/// undirected simple graph). Ships whole neighbor sets through two joins
+/// — the memory-explosion path of the baseline.
+Result<uint64_t> TriangleCount(const dataflow::Dataset<Edge>& edges);
+
+struct CommonNeighborOptions {
+  /// Fraction of edges scored as candidate pairs (the paper's workload
+  /// processes "a batch of edges"; link prediction scores candidates,
+  /// not the whole edge set). Selection is by a deterministic hash so
+  /// both engines score the same pairs.
+  double pair_fraction = 1.0;
+};
+
+struct CommonNeighborStats {
+  uint64_t pairs = 0;          ///< scored vertex pairs
+  uint64_t total_common = 0;   ///< sum of common-neighbor counts
+  uint64_t max_common = 0;
+};
+
+/// Computes |N_out(u) ∩ N_out(v)| for the sampled candidate pairs.
+Result<CommonNeighborStats> CommonNeighbor(
+    const dataflow::Dataset<Edge>& edges,
+    const CommonNeighborOptions& opts = {});
+
+struct KCoreOptions {
+  int max_iterations = 30;
+};
+
+struct KCoreResult {
+  std::vector<std::pair<VertexId, uint32_t>> coreness;
+  uint32_t max_coreness = 0;
+  int iterations = 0;
+};
+
+/// Coreness decomposition by iterated h-index refinement (converges to
+/// the exact core numbers). Each round sends *vectors* of neighbor
+/// estimates through the join pipeline and caches a new vertex
+/// generation — the baseline's memory-hungry path.
+Result<KCoreResult> KCore(const dataflow::Dataset<Edge>& edges,
+                          const KCoreOptions& opts = {});
+
+struct KCoreSubgraphResult {
+  uint64_t core_vertices = 0;  ///< vertices in the k-core
+  uint64_t core_edges = 0;     ///< undirected edges in the k-core
+  int rounds = 0;
+};
+
+/// The k-core subgraph by iterative peeling (remove vertices of degree
+/// < k until a fixpoint). Each round materializes and caches a new edge
+/// generation via two joins; earlier generations cannot be unpersisted
+/// without triggering cascading lineage recomputation, so resident
+/// memory grows with the number of peel rounds — the well-known failure
+/// mode that drives GraphX out of memory on this workload (Fig. 6).
+Result<KCoreSubgraphResult> KCoreSubgraph(
+    const dataflow::Dataset<Edge>& edges, uint32_t k,
+    int max_rounds = 50);
+
+struct FastUnfoldingOptions {
+  int max_passes = 3;          ///< modularity-optimization + aggregation
+  int opt_iterations = 5;      ///< vertex-move rounds per pass
+  double min_gain = 1e-4;      ///< stop when a pass gains less than this
+};
+
+struct FastUnfoldingResult {
+  double modularity = 0.0;
+  uint64_t num_communities = 0;
+  int passes = 0;
+};
+
+/// Louvain community detection (paper §IV-C) in join form. Input must be
+/// an undirected (symmetrized) weighted edge list.
+Result<FastUnfoldingResult> FastUnfolding(
+    const dataflow::Dataset<Edge>& edges,
+    const FastUnfoldingOptions& opts = {});
+
+/// Connected components by iterative min-label propagation; returns the
+/// number of components. (Not part of the paper's evaluation; used by
+/// tests to validate the message-passing layer.)
+Result<uint64_t> ConnectedComponents(const dataflow::Dataset<Edge>& edges,
+                                     int max_iterations = 50);
+
+}  // namespace psgraph::graphx
+
+#endif  // PSGRAPH_GRAPHX_ALGORITHMS_H_

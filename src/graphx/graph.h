@@ -1,0 +1,197 @@
+// GraphX-style property graph on the mini-Spark dataflow engine.
+//
+// This is the *baseline* the paper compares against: graphs are a vertex
+// table plus an edge table, and message passing is implemented with table
+// joins (CoGroupedRDD-style shuffles). Each AggregateMessages round runs
+// two joins (ship vertex attributes to edges by src, then by dst) and one
+// reduce shuffle for the messages — the shuffle volume and join hash
+// tables are exactly the costs the paper blames for GraphX's slowdown and
+// OOM on billion-scale graphs.
+
+#ifndef PSGRAPH_GRAPHX_GRAPH_H_
+#define PSGRAPH_GRAPHX_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "graph/types.h"
+
+namespace psgraph::graphx {
+
+using graph::Edge;
+using graph::VertexId;
+
+/// One edge with both endpoint attributes attached (GraphX's EdgeTriplet).
+template <typename VD>
+struct EdgeTriplet {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+  VD src_attr{};
+  VD dst_attr{};
+};
+
+/// Left outer join expressed on datasets: for every (k, v) in `left`,
+/// emits fn(k, v, ws) where ws are all right-side values for k (possibly
+/// empty). One coGroup shuffle.
+template <typename K, typename V, typename W, typename F,
+          typename Out = std::invoke_result_t<F, const K&, V&,
+                                              const std::vector<W>&>>
+dataflow::Dataset<std::pair<K, Out>> LeftJoinWith(
+    const dataflow::Dataset<std::pair<K, V>>& left,
+    const dataflow::Dataset<std::pair<K, W>>& right, F fn) {
+  using Grouped = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  return left.template CoGroup<W>(right).FlatMap([fn](Grouped& g) {
+    std::vector<std::pair<K, Out>> out;
+    out.reserve(g.second.first.size());
+    for (V& v : g.second.first) {
+      out.push_back({g.first, fn(g.first, v, g.second.second)});
+    }
+    return out;
+  });
+}
+
+/// A property graph: vertex table + edge table, both lazily partitioned
+/// datasets. VD must be a dataflow-serializable type.
+template <typename VD>
+class Graph {
+ public:
+  using Vertices = dataflow::Dataset<std::pair<VertexId, VD>>;
+  using Edges = dataflow::Dataset<Edge>;
+
+  Graph(Vertices vertices, Edges edges)
+      : vertices_(std::move(vertices)), edges_(std::move(edges)) {}
+
+  const Vertices& vertices() const { return vertices_; }
+  const Edges& edges() const { return edges_; }
+  dataflow::DataflowContext* context() const {
+    return vertices_.context();
+  }
+
+  /// Builds a graph from an edge dataset, initializing every distinct
+  /// endpoint's attribute to `init`. Costs one reduce shuffle (vertex-id
+  /// dedup), like GraphX's Graph.fromEdges.
+  static Graph FromEdges(const Edges& edges, VD init) {
+    auto vertices =
+        edges
+            .FlatMap([init](const Edge& e) {
+              return std::vector<std::pair<VertexId, VD>>{
+                  {e.src, init}, {e.dst, init}};
+            })
+            .ReduceByKey([](const VD& a, const VD&) { return a; });
+    return Graph(vertices, edges);
+  }
+
+  /// GraphX's aggregateMessages: `send` inspects one triplet and emits
+  /// (target vertex, message) pairs; `merge` combines messages per
+  /// vertex. Executes 2 joins + 1 reduce shuffle.
+  template <typename M, typename SendFn, typename MergeFn>
+  dataflow::Dataset<std::pair<VertexId, M>> AggregateMessages(
+      SendFn send, MergeFn merge) const {
+    using WithSrc = std::pair<VertexId, std::pair<Edge, VD>>;
+    // Ship src attributes to edges.
+    auto edges_by_src =
+        edges_.Map([](const Edge& e) {
+          return std::pair<VertexId, Edge>(e.src, e);
+        });
+    auto with_src = edges_by_src.template Join<VD>(vertices_);
+    // Re-key by dst, ship dst attributes.
+    auto by_dst = with_src.Map([](std::pair<VertexId,
+                                            std::pair<Edge, VD>>& kv) {
+      return std::pair<VertexId, std::pair<Edge, VD>>(kv.second.first.dst,
+                                                      kv.second);
+    });
+    auto with_both = by_dst.template Join<VD>(vertices_);
+    // Assemble triplets and send messages.
+    auto messages = with_both.FlatMap(
+        [send](std::pair<VertexId,
+                         std::pair<std::pair<Edge, VD>, VD>>& kv) {
+          EdgeTriplet<VD> t;
+          t.src = kv.second.first.first.src;
+          t.dst = kv.second.first.first.dst;
+          t.weight = kv.second.first.first.weight;
+          t.src_attr = kv.second.first.second;
+          t.dst_attr = kv.second.second;
+          std::vector<std::pair<VertexId, M>> out;
+          send(t, &out);
+          return out;
+        });
+    (void)sizeof(WithSrc);
+    return messages.ReduceByKey(merge);
+  }
+
+  /// Out-degrees as a dataset (one reduce shuffle).
+  dataflow::Dataset<std::pair<VertexId, uint64_t>> OutDegrees() const {
+    return edges_
+        .Map([](const Edge& e) {
+          return std::pair<VertexId, uint64_t>(e.src, 1);
+        })
+        .ReduceByKey([](const uint64_t& a, const uint64_t& b) {
+          return a + b;
+        });
+  }
+
+  /// Degrees counting both directions.
+  dataflow::Dataset<std::pair<VertexId, uint64_t>> Degrees() const {
+    return edges_
+        .FlatMap([](const Edge& e) {
+          return std::vector<std::pair<VertexId, uint64_t>>{{e.src, 1},
+                                                            {e.dst, 1}};
+        })
+        .ReduceByKey([](const uint64_t& a, const uint64_t& b) {
+          return a + b;
+        });
+  }
+
+  /// Replaces vertex attributes by joining with `other` (left join;
+  /// vertices without a match keep their attribute via `fn(k, v, {})`).
+  template <typename W, typename F>
+  Graph JoinVertices(
+      const dataflow::Dataset<std::pair<VertexId, W>>& other, F fn) const {
+    auto joined = LeftJoinWith(vertices_, other, fn);
+    return Graph(joined, edges_);
+  }
+
+  /// Restricts the graph to edges whose endpoints satisfy `keep`
+  /// (GraphX subgraph). Ships the predicate attribute through the same
+  /// two-join pattern, then filters; the surviving edge set is cached —
+  /// iterative peeling algorithms accumulate these cached generations,
+  /// which is what drives K-core out of memory in the baseline.
+  template <typename KeepFn>
+  Graph SubgraphByVertices(KeepFn keep) const {
+    auto keep_set = vertices_.Filter([keep](const std::pair<VertexId, VD>&
+                                                kv) { return keep(kv); });
+    auto surviving = AggregateEdgesWithBothAttrs(keep_set);
+    return Graph(keep_set, surviving);
+  }
+
+ private:
+  /// Edges whose endpoints both appear in `verts` (two joins).
+  dataflow::Dataset<Edge> AggregateEdgesWithBothAttrs(
+      const Vertices& verts) const {
+    auto by_src = edges_.Map([](const Edge& e) {
+      return std::pair<VertexId, Edge>(e.src, e);
+    });
+    auto with_src = by_src.template Join<VD>(verts);
+    auto by_dst = with_src.Map(
+        [](std::pair<VertexId, std::pair<Edge, VD>>& kv) {
+          return std::pair<VertexId, Edge>(kv.second.first.dst,
+                                           kv.second.first);
+        });
+    auto with_both = by_dst.template Join<VD>(verts);
+    return with_both.Map(
+        [](std::pair<VertexId, std::pair<Edge, VD>>& kv) {
+          return kv.second.first;
+        });
+  }
+
+  Vertices vertices_;
+  Edges edges_;
+};
+
+}  // namespace psgraph::graphx
+
+#endif  // PSGRAPH_GRAPHX_GRAPH_H_

@@ -1,0 +1,166 @@
+// Coreness decomposition (K-core) on the GraphX baseline.
+//
+// Uses the h-operator iteration (Lü et al.): every vertex repeatedly
+// replaces its estimate (initialized to its degree) with the H-index of
+// its neighbors' estimates; the fixpoint is exactly the core number. In
+// join form each round ships every neighbor estimate as a raw message and
+// groups them per vertex (groupByKey — no combiner is possible for an
+// H-index), which is why this baseline is far more memory-hungry than
+// PageRank's combinable messages.
+
+#include <algorithm>
+
+#include "graph/algo_math.h"
+#include "graphx/algorithms.h"
+#include "graphx/graph.h"
+
+namespace psgraph::graphx {
+
+Result<KCoreResult> KCore(const dataflow::Dataset<Edge>& edges,
+                          const KCoreOptions& opts) {
+  auto cached_edges = edges.Cache();
+  PSG_RETURN_NOT_OK(cached_edges.Evaluate());
+
+  // Initial estimate: undirected degree.
+  auto degrees =
+      cached_edges
+          .FlatMap([](const Edge& e) {
+            return std::vector<std::pair<VertexId, uint32_t>>{{e.src, 1},
+                                                              {e.dst, 1}};
+          })
+          .ReduceByKey(
+              [](const uint32_t& a, const uint32_t& b) { return a + b; });
+  auto verts = degrees.Cache();
+  PSG_RETURN_NOT_OK(verts.Evaluate());
+
+  KCoreResult result;
+  uint64_t prev_sum = UINT64_MAX;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // Ship src estimate to edges, then dst estimate; emit both-direction
+    // messages carrying the *other* endpoint's current estimate.
+    auto by_src = cached_edges.Map([](const Edge& e) {
+      return std::pair<VertexId, VertexId>(e.src, e.dst);
+    });
+    auto with_src = by_src.Join<uint32_t>(verts);
+    auto by_dst = with_src.Map(
+        [](std::pair<VertexId, std::pair<VertexId, uint32_t>>& kv) {
+          // (src, (dst, est_src)) -> (dst, (src, est_src))
+          return std::pair<VertexId, std::pair<VertexId, uint32_t>>(
+              kv.second.first, {kv.first, kv.second.second});
+        });
+    auto with_both = by_dst.Join<uint32_t>(verts);
+    auto msgs =
+        with_both
+            .FlatMap([](std::pair<VertexId,
+                                  std::pair<std::pair<VertexId, uint32_t>,
+                                            uint32_t>>& kv) {
+              // (dst, ((src, est_src), est_dst))
+              VertexId dst = kv.first;
+              VertexId src = kv.second.first.first;
+              uint32_t est_src = kv.second.first.second;
+              uint32_t est_dst = kv.second.second;
+              return std::vector<std::pair<VertexId, uint32_t>>{
+                  {dst, est_src}, {src, est_dst}};
+            })
+            .GroupByKey();
+    auto next = LeftJoinWith(
+                    verts, msgs,
+                    [](const VertexId&, uint32_t& est,
+                       const std::vector<std::vector<uint32_t>>& groups) {
+                      if (groups.empty()) return est;
+                      std::vector<uint32_t> vals = groups[0];
+                      return graph::HIndexCapped(vals, est);
+                    })
+                    .Cache();
+    PSG_RETURN_NOT_OK(next.Evaluate());
+    verts.Unpersist();
+    verts = next;
+    result.iterations = iter + 1;
+
+    // Fixpoint detection: estimates are non-increasing integers, so an
+    // unchanged sum means convergence.
+    PSG_ASSIGN_OR_RETURN(auto rows, verts.Collect());
+    uint64_t sum = 0;
+    for (auto& [v, est] : rows) sum += est;
+    if (sum == prev_sum) break;
+    prev_sum = sum;
+  }
+
+  PSG_ASSIGN_OR_RETURN(result.coreness, verts.Collect());
+  for (auto& [v, c] : result.coreness) {
+    result.max_coreness = std::max(result.max_coreness, c);
+  }
+  verts.Unpersist();
+  cached_edges.Unpersist();
+  return result;
+}
+
+
+Result<KCoreSubgraphResult> KCoreSubgraph(
+    const dataflow::Dataset<Edge>& input_edges, uint32_t k,
+    int max_rounds) {
+  // Undirected view, cached (generation 0).
+  auto edges = input_edges
+                   .FlatMap([](const Edge& e) {
+                     return std::vector<Edge>{e, {e.dst, e.src, 1.0f}};
+                   })
+                   .Cache();
+  PSG_RETURN_NOT_OK(edges.Evaluate());
+
+  KCoreSubgraphResult result;
+  PSG_ASSIGN_OR_RETURN(uint64_t prev_count, edges.Count());
+  for (int round = 0; round < max_rounds; ++round) {
+    // Degrees of the current generation (one reduce shuffle).
+    auto degs = edges.Map([](const Edge& e) {
+                      return std::pair<VertexId, uint32_t>(e.src, 1);
+                    })
+                    .ReduceByKey([](const uint32_t& a, const uint32_t& b) {
+                      return a + b;
+                    });
+    auto keep = degs.Filter(
+        [k](const std::pair<VertexId, uint32_t>& kv) {
+          return kv.second >= k;
+        });
+    // Restrict edges to surviving endpoints (two joins) and cache the
+    // new generation. NOTE: earlier generations are deliberately NOT
+    // unpersisted — each generation's lineage roots in the previous one,
+    // and unpersisting would trigger cascading recomputation (the
+    // standard iterative-subgraph trap that exhausts executor memory).
+    auto by_src = edges.Map([](const Edge& e) {
+      return std::pair<VertexId, Edge>(e.src, e);
+    });
+    auto with_src = by_src.Join<uint32_t>(keep);
+    auto by_dst = with_src.Map(
+        [](std::pair<VertexId, std::pair<Edge, uint32_t>>& kv) {
+          return std::pair<VertexId, Edge>(kv.second.first.dst,
+                                           kv.second.first);
+        });
+    auto with_both = by_dst.Join<uint32_t>(keep);
+    auto next = with_both
+                    .Map([](std::pair<VertexId,
+                                      std::pair<Edge, uint32_t>>& kv) {
+                      return kv.second.first;
+                    })
+                    .Cache();
+    PSG_RETURN_NOT_OK(next.Evaluate());
+    PSG_ASSIGN_OR_RETURN(uint64_t count, next.Count());
+    edges = next;
+    result.rounds = round + 1;
+    if (count == prev_count) break;
+    prev_count = count;
+  }
+
+  result.core_edges = prev_count / 2;
+  PSG_ASSIGN_OR_RETURN(
+      auto verts,
+      edges
+          .Map([](const Edge& e) {
+            return std::pair<VertexId, uint8_t>(e.src, 1);
+          })
+          .ReduceByKey([](const uint8_t& a, const uint8_t&) { return a; })
+          .Count());
+  result.core_vertices = verts;
+  return result;
+}
+
+}  // namespace psgraph::graphx

@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <cstdint>
+
+#include "graphx/algorithms.h"
+#include "graphx/graph.h"
+
+namespace psgraph::graphx {
+
+namespace {
+// Vertex attribute: (rank, out-degree).
+using RankDeg = std::pair<double, uint64_t>;
+}  // namespace
+
+Result<std::vector<std::pair<VertexId, double>>> PageRank(
+    const dataflow::Dataset<Edge>& edges, const PageRankOptions& opts) {
+  auto cached_edges = edges.Cache();
+  PSG_RETURN_NOT_OK(cached_edges.Evaluate());
+
+  // Vertex table: rank 1.0 and out-degree (one reduce shuffle + join).
+  auto degrees =
+      cached_edges
+          .Map([](const Edge& e) {
+            return std::pair<VertexId, uint64_t>(e.src, 1);
+          })
+          .ReduceByKey(
+              [](const uint64_t& a, const uint64_t& b) { return a + b; });
+  auto base = Graph<uint8_t>::FromEdges(cached_edges, 0);
+  auto verts0 = LeftJoinWith(
+      base.vertices(), degrees,
+      [](const VertexId&, uint8_t&, const std::vector<uint64_t>& degs) {
+        return RankDeg(1.0, degs.empty() ? 0 : degs[0]);
+      });
+
+  auto verts = verts0.Cache();
+  PSG_RETURN_NOT_OK(verts.Evaluate());
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    Graph<RankDeg> g(verts, cached_edges);
+    auto contribs = g.AggregateMessages<double>(
+        [](const EdgeTriplet<RankDeg>& t,
+           std::vector<std::pair<VertexId, double>>* out) {
+          if (t.src_attr.second > 0) {
+            out->push_back(
+                {t.dst,
+                 t.src_attr.first /
+                     static_cast<double>(t.src_attr.second)});
+          }
+        },
+        [](const double& a, const double& b) { return a + b; });
+    auto next = LeftJoinWith(
+                    verts, contribs,
+                    [opts](const VertexId&, RankDeg& rd,
+                           const std::vector<double>& msgs) {
+                      double sum = msgs.empty() ? 0.0 : msgs[0];
+                      return RankDeg(
+                          opts.reset_prob + (1.0 - opts.reset_prob) * sum,
+                          rd.second);
+                    })
+                    .Cache();
+    PSG_RETURN_NOT_OK(next.Evaluate());
+    verts.Unpersist();  // GraphX unpersists the previous generation
+    verts = next;
+  }
+
+  PSG_ASSIGN_OR_RETURN(auto rows, verts.Collect());
+  std::vector<std::pair<VertexId, double>> ranks;
+  ranks.reserve(rows.size());
+  for (auto& [v, rd] : rows) ranks.push_back({v, rd.first});
+  verts.Unpersist();
+  cached_edges.Unpersist();
+  return ranks;
+}
+
+Result<uint64_t> ConnectedComponents(const dataflow::Dataset<Edge>& edges,
+                                     int max_iterations) {
+  auto cached_edges = edges.Cache();
+  PSG_RETURN_NOT_OK(cached_edges.Evaluate());
+  auto g0 = Graph<VertexId>::FromEdges(cached_edges, 0);
+  // Initialize every vertex's label to its own id.
+  auto verts = g0.vertices()
+                   .Map([](std::pair<VertexId, VertexId>& kv) {
+                     return std::pair<VertexId, VertexId>(kv.first,
+                                                          kv.first);
+                   })
+                   .Cache();
+  PSG_RETURN_NOT_OK(verts.Evaluate());
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    Graph<VertexId> g(verts, cached_edges);
+    auto msgs = g.AggregateMessages<VertexId>(
+        [](const EdgeTriplet<VertexId>& t,
+           std::vector<std::pair<VertexId, VertexId>>* out) {
+          if (t.src_attr < t.dst_attr) out->push_back({t.dst, t.src_attr});
+          if (t.dst_attr < t.src_attr) out->push_back({t.src, t.dst_attr});
+        },
+        [](const VertexId& a, const VertexId& b) {
+          return a < b ? a : b;
+        });
+    PSG_ASSIGN_OR_RETURN(uint64_t changed, msgs.Count());
+    if (changed == 0) break;
+    auto next = LeftJoinWith(
+                    verts, msgs,
+                    [](const VertexId&, VertexId& label,
+                       const std::vector<VertexId>& ms) {
+                      VertexId best = label;
+                      for (VertexId m : ms) best = m < best ? m : best;
+                      return best;
+                    })
+                    .Cache();
+    PSG_RETURN_NOT_OK(next.Evaluate());
+    verts.Unpersist();
+    verts = next;
+  }
+
+  PSG_ASSIGN_OR_RETURN(auto labels, verts.Collect());
+  verts.Unpersist();
+  cached_edges.Unpersist();
+  std::vector<VertexId> roots;
+  roots.reserve(labels.size());
+  for (auto& [v, label] : labels) roots.push_back(label);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return static_cast<uint64_t>(roots.size());
+}
+
+}  // namespace psgraph::graphx

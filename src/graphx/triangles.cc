@@ -1,0 +1,164 @@
+// Triangle counting and common-neighbor scoring on the GraphX baseline.
+//
+// Both algorithms ship entire neighbor sets through the join pipeline:
+// each edge receives a copy of both endpoints' adjacency vectors. For a
+// power-law graph the replicated hub adjacency dominates — this is the
+// memory explosion that makes the baseline OOM on these workloads in the
+// paper (Fig. 6: triangle count and K-core fail on DS1, everything fails
+// on DS2).
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "graphx/algorithms.h"
+#include "graphx/graph.h"
+
+namespace psgraph::graphx {
+
+namespace {
+
+/// Sorted-vector intersection size.
+uint64_t IntersectionSize(const std::vector<VertexId>& a,
+                          const std::vector<VertexId>& b) {
+  uint64_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// Deterministic pair-sampling predicate shared with the PSGraph
+/// implementation so both engines score identical candidate sets.
+bool PairSelected(VertexId src, VertexId dst, double fraction) {
+  if (fraction >= 1.0) return true;
+  return (HashCombine(Hash64(src), dst) % 10000) <
+         static_cast<uint64_t>(fraction * 10000);
+}
+
+/// Per-pair common-neighbor counts: joins each candidate (src, dst) pair
+/// with both endpoints' sorted adjacency and intersects. Shared by
+/// TriangleCount (undirected_sets = true: full adjacency over all edges)
+/// and CommonNeighbor (out-neighbor sets over sampled pairs).
+Result<std::vector<uint64_t>> PerEdgeCommonCounts(
+    const dataflow::Dataset<Edge>& edges, bool undirected_sets,
+    double pair_fraction = 1.0) {
+  // Neighbor sets per vertex, sorted and deduplicated. One groupBy
+  // shuffle; cached like GraphX would.
+  auto nbrs =
+      edges
+          .FlatMap([undirected_sets](const Edge& e) {
+            std::vector<std::pair<VertexId, VertexId>> out{
+                {e.src, e.dst}};
+            if (undirected_sets) out.push_back({e.dst, e.src});
+            return out;
+          })
+          .GroupByKey()
+          .Map([](std::pair<VertexId, std::vector<VertexId>>& kv) {
+            std::sort(kv.second.begin(), kv.second.end());
+            kv.second.erase(
+                std::unique(kv.second.begin(), kv.second.end()),
+                kv.second.end());
+            return kv;
+          })
+          .Cache();
+  PSG_RETURN_NOT_OK(nbrs.Evaluate());
+
+  // Ship N(src) to each candidate pair, re-key by dst, ship N(dst),
+  // intersect. Left joins: a vertex without out-neighbors contributes an
+  // empty set, not a dropped pair.
+  auto pairs = edges
+                   .Filter([pair_fraction](const Edge& e) {
+                     return PairSelected(e.src, e.dst, pair_fraction);
+                   })
+                   .Map([](const Edge& e) {
+                     return std::pair<VertexId, VertexId>(e.src, e.dst);
+                   });
+  auto with_src = LeftJoinWith(
+      pairs, nbrs,
+      [](const VertexId&, VertexId& dst,
+         const std::vector<std::vector<VertexId>>& ns) {
+        return std::pair<VertexId, std::vector<VertexId>>(
+            dst, ns.empty() ? std::vector<VertexId>() : ns[0]);
+      });
+  auto by_dst =
+      with_src.Map([](std::pair<VertexId,
+                                std::pair<VertexId,
+                                          std::vector<VertexId>>>& kv) {
+        // (src, (dst, N(src))) -> (dst, N(src))
+        return std::pair<VertexId, std::vector<VertexId>>(
+            kv.second.first, std::move(kv.second.second));
+      });
+  auto counts = LeftJoinWith(
+                    by_dst, nbrs,
+                    [](const VertexId&, std::vector<VertexId>& n_src,
+                       const std::vector<std::vector<VertexId>>& ns) {
+                      return ns.empty()
+                                 ? uint64_t{0}
+                                 : IntersectionSize(n_src, ns[0]);
+                    })
+                    .Map([](std::pair<VertexId, uint64_t>& kv) {
+                      return kv.second;
+                    });
+  auto result = counts.Collect();
+  nbrs.Unpersist();
+  return result;
+}
+
+}  // namespace
+
+Result<uint64_t> TriangleCount(const dataflow::Dataset<Edge>& edges) {
+  // Canonicalize: undirected simple graph, one record per edge u < v.
+  auto canon = edges
+                   .Filter([](const Edge& e) { return e.src != e.dst; })
+                   .Map([](const Edge& e) {
+                     Edge c = e;
+                     if (c.src > c.dst) std::swap(c.src, c.dst);
+                     return c;
+                   })
+                   .Map([](const Edge& e) {
+                     return std::pair<std::pair<VertexId, VertexId>,
+                                      uint8_t>({e.src, e.dst}, 1);
+                   })
+                   .ReduceByKey([](const uint8_t& a, const uint8_t&) {
+                     return a;
+                   })
+                   .Map([](std::pair<std::pair<VertexId, VertexId>,
+                                     uint8_t>& kv) {
+                     return Edge{kv.first.first, kv.first.second, 1.0f};
+                   });
+  PSG_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> counts,
+      PerEdgeCommonCounts(canon, /*undirected_sets=*/true));
+  uint64_t sum = 0;
+  for (uint64_t c : counts) sum += c;
+  // Each triangle contributes one common neighbor at each of its three
+  // edges.
+  return sum / 3;
+}
+
+Result<CommonNeighborStats> CommonNeighbor(
+    const dataflow::Dataset<Edge>& edges,
+    const CommonNeighborOptions& opts) {
+  PSG_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> counts,
+      PerEdgeCommonCounts(edges, /*undirected_sets=*/false,
+                          opts.pair_fraction));
+  CommonNeighborStats stats;
+  stats.pairs = counts.size();
+  for (uint64_t c : counts) {
+    stats.total_common += c;
+    stats.max_common = std::max(stats.max_common, c);
+  }
+  return stats;
+}
+
+}  // namespace psgraph::graphx

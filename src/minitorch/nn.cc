@@ -1,0 +1,28 @@
+#include "minitorch/nn.h"
+
+#include <cmath>
+
+namespace psgraph::minitorch {
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (p.grad().empty()) continue;
+    auto& data = p.mutable_data();
+    const auto& grad = p.grad();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (size_t i = 0; i < data.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
+      double mhat = m[i] / bc1;
+      double vhat = v[i] / bc2;
+      data[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace psgraph::minitorch

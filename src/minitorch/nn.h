@@ -1,0 +1,103 @@
+// Minimal neural-net layers and optimizers over minitorch tensors.
+
+#ifndef PSGRAPH_MINITORCH_NN_H_
+#define PSGRAPH_MINITORCH_NN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "minitorch/ops.h"
+#include "minitorch/tensor.h"
+
+namespace psgraph::minitorch {
+
+/// Fully connected layer y = x W + b.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int64_t in, int64_t out, Rng& rng, bool bias = true)
+      : weight_(Tensor::Randn(in, out, rng, /*requires_grad=*/true)),
+        has_bias_(bias) {
+    if (bias) bias_ = Tensor::Zeros(1, out, /*requires_grad=*/true);
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    Tensor y = Matmul(x, weight_);
+    return has_bias_ ? AddBias(y, bias_) : y;
+  }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+  bool has_bias() const { return has_bias_; }
+
+  std::vector<Tensor> Parameters() {
+    std::vector<Tensor> ps{weight_};
+    if (has_bias_) ps.push_back(bias_);
+    return ps;
+  }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  bool has_bias_ = false;
+};
+
+/// Plain SGD over a parameter list.
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+
+  void Step() {
+    for (Tensor& p : params_) {
+      if (p.grad().empty()) continue;
+      auto& data = p.mutable_data();
+      const auto& grad = p.grad();
+      for (size_t i = 0; i < data.size(); ++i) data[i] -= lr_ * grad[i];
+    }
+  }
+
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+  }
+
+ private:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+/// Adam (Kingma & Ba). Used by the Euler baseline; the PSGraph path runs
+/// the same update server-side via the "adam.apply" psFunc.
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f)
+      : params_(std::move(params)),
+        lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {
+    for (const Tensor& p : params_) {
+      m_.emplace_back(p.size(), 0.0f);
+      v_.emplace_back(p.size(), 0.0f);
+    }
+  }
+
+  void Step();
+
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+  }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  int32_t t_ = 0;
+};
+
+}  // namespace psgraph::minitorch
+
+#endif  // PSGRAPH_MINITORCH_NN_H_

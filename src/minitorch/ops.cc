@@ -1,0 +1,442 @@
+#include "minitorch/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace psgraph::minitorch {
+
+namespace {
+
+using detail::OpNode;
+using detail::TensorImpl;
+
+/// Creates the output tensor and wires the tape node if any input needs
+/// gradients.
+template <typename NodeT, typename... Extra>
+Tensor MakeOutput(int64_t rows, int64_t cols,
+                  std::vector<Tensor> inputs, const char* name,
+                  Extra&&... extra) {
+  Tensor out = Tensor::Zeros(rows, cols);
+  bool needs = false;
+  for (const Tensor& t : inputs) needs |= t.requires_grad();
+  if (needs) {
+    auto node = std::make_shared<NodeT>(std::forward<Extra>(extra)...);
+    node->inputs = std::move(inputs);
+    node->name = name;
+    out.impl()->grad_fn = node;
+    out.impl()->requires_grad = true;
+  }
+  return out;
+}
+
+void AccumulateGrad(const Tensor& t, const std::vector<float>& delta) {
+  if (!t.requires_grad() && !t.impl()->grad_fn) return;
+  TensorImpl* impl = t.impl();
+  impl->EnsureGrad();
+  for (size_t i = 0; i < delta.size(); ++i) impl->grad[i] += delta[i];
+}
+
+struct MatmulNode : OpNode {
+  void Backward(const TensorImpl& out) override {
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+    // dA = dC * B^T
+    std::vector<float> da(n * k, 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        float g = out.grad[i * m + j];
+        if (g == 0.0f) continue;
+        const float* brow = b.data().data() + j;  // column j of B
+        for (int64_t x = 0; x < k; ++x) {
+          da[i * k + x] += g * b.data()[x * m + j];
+        }
+        (void)brow;
+      }
+    }
+    AccumulateGrad(a, da);
+    // dB = A^T * dC
+    std::vector<float> db(k * m, 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t x = 0; x < k; ++x) {
+        float av = a.data()[i * k + x];
+        if (av == 0.0f) continue;
+        for (int64_t j = 0; j < m; ++j) {
+          db[x * m + j] += av * out.grad[i * m + j];
+        }
+      }
+    }
+    AccumulateGrad(b, db);
+  }
+};
+
+struct AddNode : OpNode {
+  void Backward(const TensorImpl& out) override {
+    AccumulateGrad(inputs[0], out.grad);
+    AccumulateGrad(inputs[1], out.grad);
+  }
+};
+
+struct AddBiasNode : OpNode {
+  void Backward(const TensorImpl& out) override {
+    AccumulateGrad(inputs[0], out.grad);
+    const int64_t m = inputs[1].cols();
+    std::vector<float> db(m, 0.0f);
+    for (int64_t i = 0; i < out.rows; ++i) {
+      for (int64_t j = 0; j < m; ++j) db[j] += out.grad[i * m + j];
+    }
+    AccumulateGrad(inputs[1], db);
+  }
+};
+
+struct ReluNode : OpNode {
+  void Backward(const TensorImpl& out) override {
+    std::vector<float> da(out.data.size());
+    for (size_t i = 0; i < da.size(); ++i) {
+      da[i] = out.data[i] > 0.0f ? out.grad[i] : 0.0f;
+    }
+    AccumulateGrad(inputs[0], da);
+  }
+};
+
+struct SigmoidNode : OpNode {
+  void Backward(const TensorImpl& out) override {
+    std::vector<float> da(out.data.size());
+    for (size_t i = 0; i < da.size(); ++i) {
+      da[i] = out.grad[i] * out.data[i] * (1.0f - out.data[i]);
+    }
+    AccumulateGrad(inputs[0], da);
+  }
+};
+
+struct ConcatColsNode : OpNode {
+  void Backward(const TensorImpl& out) override {
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const int64_t ca = a.cols(), cb = b.cols(), c = ca + cb;
+    std::vector<float> da(a.size()), db(b.size());
+    for (int64_t i = 0; i < out.rows; ++i) {
+      for (int64_t j = 0; j < ca; ++j) da[i * ca + j] = out.grad[i * c + j];
+      for (int64_t j = 0; j < cb; ++j) {
+        db[i * cb + j] = out.grad[i * c + ca + j];
+      }
+    }
+    AccumulateGrad(a, da);
+    AccumulateGrad(b, db);
+  }
+};
+
+struct GatherRowsNode : OpNode {
+  std::vector<int64_t> indices;
+  explicit GatherRowsNode(std::vector<int64_t> idx)
+      : indices(std::move(idx)) {}
+  void Backward(const TensorImpl& out) override {
+    const Tensor& a = inputs[0];
+    const int64_t m = a.cols();
+    std::vector<float> da(a.size(), 0.0f);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        da[indices[i] * m + j] += out.grad[i * m + j];
+      }
+    }
+    AccumulateGrad(a, da);
+  }
+};
+
+struct SegmentMeanNode : OpNode {
+  std::vector<std::vector<int64_t>> segments;
+  explicit SegmentMeanNode(std::vector<std::vector<int64_t>> segs)
+      : segments(std::move(segs)) {}
+  void Backward(const TensorImpl& out) override {
+    const Tensor& a = inputs[0];
+    const int64_t m = a.cols();
+    std::vector<float> da(a.size(), 0.0f);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      if (segments[i].empty()) continue;
+      float inv = 1.0f / static_cast<float>(segments[i].size());
+      for (int64_t j : segments[i]) {
+        for (int64_t c = 0; c < m; ++c) {
+          da[j * m + c] += out.grad[i * m + c] * inv;
+        }
+      }
+    }
+    AccumulateGrad(a, da);
+  }
+};
+
+struct SegmentMaxNode : OpNode {
+  std::vector<int64_t> argmax;  ///< per (segment, col): winning input row
+  int64_t cols = 0;
+  SegmentMaxNode(std::vector<int64_t> am, int64_t c)
+      : argmax(std::move(am)), cols(c) {}
+  void Backward(const TensorImpl& out) override {
+    const Tensor& a = inputs[0];
+    std::vector<float> da(a.size(), 0.0f);
+    for (int64_t i = 0; i < out.rows; ++i) {
+      for (int64_t c = 0; c < cols; ++c) {
+        int64_t j = argmax[i * cols + c];
+        if (j >= 0) da[j * cols + c] += out.grad[i * cols + c];
+      }
+    }
+    AccumulateGrad(a, da);
+  }
+};
+
+struct RowL2NormalizeNode : OpNode {
+  std::vector<float> norms;  ///< forward-pass row norms
+  explicit RowL2NormalizeNode(std::vector<float> n)
+      : norms(std::move(n)) {}
+  void Backward(const TensorImpl& out) override {
+    const Tensor& a = inputs[0];
+    const int64_t m = a.cols();
+    std::vector<float> da(a.size(), 0.0f);
+    for (int64_t i = 0; i < out.rows; ++i) {
+      float n = norms[i];
+      if (n == 0.0f) {
+        for (int64_t j = 0; j < m; ++j) da[i * m + j] = out.grad[i * m + j];
+        continue;
+      }
+      // d(x/||x||)/dx = (I - y y^T) / ||x||, with y = x/||x||.
+      float dot = 0.0f;
+      for (int64_t j = 0; j < m; ++j) {
+        dot += out.grad[i * m + j] * out.data[i * m + j];
+      }
+      for (int64_t j = 0; j < m; ++j) {
+        da[i * m + j] =
+            (out.grad[i * m + j] - dot * out.data[i * m + j]) / n;
+      }
+    }
+    AccumulateGrad(a, da);
+  }
+};
+
+struct SoftmaxCrossEntropyNode : OpNode {
+  std::vector<float> probs;  ///< forward softmax, n x classes
+  std::vector<int32_t> labels;
+  int64_t classes = 0;
+  SoftmaxCrossEntropyNode(std::vector<float> p, std::vector<int32_t> l,
+                          int64_t c)
+      : probs(std::move(p)), labels(std::move(l)), classes(c) {}
+  void Backward(const TensorImpl& out) override {
+    const float g = out.grad[0] / static_cast<float>(labels.size());
+    std::vector<float> da(probs.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      for (int64_t j = 0; j < classes; ++j) {
+        float p = probs[i * classes + j];
+        da[i * classes + j] =
+            g * (p - (j == labels[i] ? 1.0f : 0.0f));
+      }
+    }
+    AccumulateGrad(inputs[0], da);
+  }
+};
+
+}  // namespace
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  Tensor out = MakeOutput<MatmulNode>(n, m, {a, b}, "matmul");
+  float* c = out.mutable_data().data();
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t x = 0; x < k; ++x) {
+      float av = ad[i * k + x];
+      if (av == 0.0f) continue;
+      const float* brow = bd + x * m;
+      float* crow = c + i * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor out = MakeOutput<AddNode>(a.rows(), a.cols(), {a, b}, "add");
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out.mutable_data()[i] = a.data()[i] + b.data()[i];
+  }
+  return out;
+}
+
+Tensor AddBias(const Tensor& a, const Tensor& bias) {
+  assert(bias.rows() == 1 && bias.cols() == a.cols());
+  Tensor out =
+      MakeOutput<AddBiasNode>(a.rows(), a.cols(), {a, bias}, "add_bias");
+  const int64_t m = a.cols();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      out.mutable_data()[i * m + j] = a.data()[i * m + j] + bias.data()[j];
+    }
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor out = MakeOutput<ReluNode>(a.rows(), a.cols(), {a}, "relu");
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out.mutable_data()[i] = std::max(0.0f, a.data()[i]);
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out = MakeOutput<SigmoidNode>(a.rows(), a.cols(), {a}, "sigmoid");
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out.mutable_data()[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+  }
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  const int64_t ca = a.cols(), cb = b.cols(), c = ca + cb;
+  Tensor out =
+      MakeOutput<ConcatColsNode>(a.rows(), c, {a, b}, "concat_cols");
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < ca; ++j) {
+      out.mutable_data()[i * c + j] = a.data()[i * ca + j];
+    }
+    for (int64_t j = 0; j < cb; ++j) {
+      out.mutable_data()[i * c + ca + j] = b.data()[i * cb + j];
+    }
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  const int64_t m = a.cols();
+  Tensor out = MakeOutput<GatherRowsNode>(
+      static_cast<int64_t>(indices.size()), m, {a}, "gather_rows",
+      indices);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] >= 0 && indices[i] < a.rows());
+    std::copy(a.data().begin() + indices[i] * m,
+              a.data().begin() + (indices[i] + 1) * m,
+              out.mutable_data().begin() + i * m);
+  }
+  return out;
+}
+
+Tensor SegmentMean(const Tensor& a,
+                   const std::vector<std::vector<int64_t>>& segments) {
+  const int64_t m = a.cols();
+  Tensor out = MakeOutput<SegmentMeanNode>(
+      static_cast<int64_t>(segments.size()), m, {a}, "segment_mean",
+      segments);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].empty()) continue;
+    float inv = 1.0f / static_cast<float>(segments[i].size());
+    for (int64_t j : segments[i]) {
+      assert(j >= 0 && j < a.rows());
+      for (int64_t c = 0; c < m; ++c) {
+        out.mutable_data()[i * m + c] += a.data()[j * m + c] * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SegmentMax(const Tensor& a,
+                  const std::vector<std::vector<int64_t>>& segments) {
+  const int64_t m = a.cols();
+  std::vector<int64_t> argmax(segments.size() * m, -1);
+  Tensor out = MakeOutput<SegmentMaxNode>(
+      static_cast<int64_t>(segments.size()), m, {a}, "segment_max",
+      argmax, m);
+  auto* node = dynamic_cast<SegmentMaxNode*>(out.impl()->grad_fn.get());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    bool first = true;
+    for (int64_t j : segments[i]) {
+      assert(j >= 0 && j < a.rows());
+      for (int64_t c = 0; c < m; ++c) {
+        float v = a.data()[j * m + c];
+        float& cur = out.mutable_data()[i * m + c];
+        if (first || v > cur) {
+          cur = v;
+          if (node != nullptr) node->argmax[i * m + c] = j;
+        }
+      }
+      first = false;
+    }
+  }
+  return out;
+}
+
+Tensor RowL2Normalize(const Tensor& a) {
+  const int64_t m = a.cols();
+  std::vector<float> norms(a.rows(), 0.0f);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < m; ++j) {
+      s += a.data()[i * m + j] * a.data()[i * m + j];
+    }
+    norms[i] = std::sqrt(s);
+  }
+  Tensor out = MakeOutput<RowL2NormalizeNode>(a.rows(), m, {a},
+                                              "row_l2_normalize", norms);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float inv = norms[i] == 0.0f ? 1.0f : 1.0f / norms[i];
+    for (int64_t j = 0; j < m; ++j) {
+      out.mutable_data()[i * m + j] = a.data()[i * m + j] * inv;
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int32_t>& labels) {
+  assert(static_cast<int64_t>(labels.size()) == logits.rows());
+  const int64_t n = logits.rows(), c = logits.cols();
+  std::vector<float> probs(n * c);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    float maxv = logits.data()[i * c];
+    for (int64_t j = 1; j < c; ++j) {
+      maxv = std::max(maxv, logits.data()[i * c + j]);
+    }
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      probs[i * c + j] = std::exp(logits.data()[i * c + j] - maxv);
+      z += probs[i * c + j];
+    }
+    for (int64_t j = 0; j < c; ++j) {
+      probs[i * c + j] = static_cast<float>(probs[i * c + j] / z);
+    }
+    loss -= std::log(std::max(1e-12f, probs[i * c + labels[i]]));
+  }
+  Tensor out = MakeOutput<SoftmaxCrossEntropyNode>(
+      1, 1, {logits}, "softmax_ce", probs, labels, c);
+  out.mutable_data()[0] = static_cast<float>(loss / n);
+  return out;
+}
+
+std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
+  std::vector<int32_t> preds(logits.rows());
+  const int64_t c = logits.cols();
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    int32_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (logits.data()[i * c + j] > logits.data()[i * c + best]) {
+        best = static_cast<int32_t>(j);
+      }
+    }
+    preds[i] = best;
+  }
+  return preds;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int32_t>& labels) {
+  auto preds = ArgmaxRows(logits);
+  size_t hits = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(hits) / labels.size();
+}
+
+}  // namespace psgraph::minitorch

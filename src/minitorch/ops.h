@@ -1,0 +1,64 @@
+// Differentiable operations. Each builds the output tensor eagerly and
+// records an OpNode so Tensor::Backward() can run the tape in reverse.
+
+#ifndef PSGRAPH_MINITORCH_OPS_H_
+#define PSGRAPH_MINITORCH_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minitorch/tensor.h"
+
+namespace psgraph::minitorch {
+
+/// C = A (n x k) * B (k x m).
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+/// Elementwise sum; shapes must match.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Adds a 1 x m bias row to every row of a (n x m).
+Tensor AddBias(const Tensor& a, const Tensor& bias);
+
+/// Elementwise max(0, x).
+Tensor Relu(const Tensor& a);
+
+/// Elementwise logistic sigmoid.
+Tensor Sigmoid(const Tensor& a);
+
+/// Column-wise concatenation: [A | B].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Picks rows: out.row(i) = a.row(indices[i]).
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+/// Neighbor aggregation: out.row(i) = mean over a.row(j), j in
+/// segments[i]; zero row for an empty segment. This is GraphSage's mean
+/// aggregator.
+Tensor SegmentMean(const Tensor& a,
+                   const std::vector<std::vector<int64_t>>& segments);
+
+/// Element-wise max over each segment's rows (GraphSage's pooling
+/// aggregator); zero row for an empty segment. Gradients flow to the
+/// argmax element of each (segment, column).
+Tensor SegmentMax(const Tensor& a,
+                  const std::vector<std::vector<int64_t>>& segments);
+
+/// L2-normalizes every row (GraphSage's embedding normalization). Rows
+/// with zero norm pass through.
+Tensor RowL2Normalize(const Tensor& a);
+
+/// Mean softmax cross-entropy over rows of `logits` (n x classes) against
+/// integer `labels` (size n). Returns a 1x1 loss tensor.
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int32_t>& labels);
+
+/// Row-wise argmax (predictions). Not differentiable.
+std::vector<int32_t> ArgmaxRows(const Tensor& logits);
+
+/// Fraction of rows where argmax == label.
+double Accuracy(const Tensor& logits, const std::vector<int32_t>& labels);
+
+}  // namespace psgraph::minitorch
+
+#endif  // PSGRAPH_MINITORCH_OPS_H_

@@ -1,0 +1,87 @@
+// In-process RPC fabric between simulated nodes.
+//
+// The paper's PS agents talk to parameter servers via RPC; here a call is
+// a synchronous function dispatch that (1) serializes request/response
+// through ByteBuffers, (2) charges both transfers to the simulated clocks
+// of caller and callee, and (3) fails with Unavailable when the target
+// node has been killed — which is what drives the failure-recovery path.
+
+#ifndef PSGRAPH_NET_RPC_H_
+#define PSGRAPH_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/cluster.h"
+
+namespace psgraph::net {
+
+/// A service bound to one node. Handlers receive the raw request payload
+/// and return a response payload. Handler execution is serialized per
+/// endpoint (one shard = one single-threaded event loop, like Angel).
+class RpcEndpoint {
+ public:
+  using Handler =
+      std::function<Result<ByteBuffer>(const std::vector<uint8_t>&)>;
+
+  /// Registers a handler; overwrites any existing one for `method`.
+  void Register(const std::string& method, Handler handler);
+
+  /// Dispatches a request. NotFound if the method is unknown.
+  Result<ByteBuffer> Dispatch(const std::string& method,
+                              const std::vector<uint8_t>& request);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, Handler> handlers_;
+};
+
+/// The cluster-wide message fabric. Thread-safe.
+class RpcFabric {
+ public:
+  /// `cluster` may be null in unit tests (no liveness/time accounting).
+  explicit RpcFabric(sim::SimCluster* cluster = nullptr)
+      : cluster_(cluster) {}
+
+  void Bind(sim::NodeId node, std::shared_ptr<RpcEndpoint> endpoint);
+  void Unbind(sim::NodeId node);
+
+  /// Synchronous call from `from` to `to`. Charges request and response
+  /// transfer times; returns Unavailable when `to` is dead or unbound.
+  /// The callee is only charged for the time it is actually busy
+  /// (handler compute + serialization of bytes onto the wire); network
+  /// latency delays the caller, not the server.
+  Result<std::vector<uint8_t>> Call(sim::NodeId from, sim::NodeId to,
+                                    const std::string& method,
+                                    const ByteBuffer& request);
+
+  struct ParallelCall {
+    sim::NodeId to;
+    std::string method;
+    ByteBuffer request;
+  };
+
+  /// Fan-out: issues all calls concurrently (a PS agent's per-server
+  /// requests overlap on the wire). The caller's clock advances to the
+  /// completion of the *slowest* call instead of the sum; each callee is
+  /// charged its own busy time. Fails fast on the first error.
+  Result<std::vector<std::vector<uint8_t>>> CallParallel(
+      sim::NodeId from, std::vector<ParallelCall> calls);
+
+ private:
+  sim::SimCluster* cluster_;
+  std::mutex mu_;
+  std::map<sim::NodeId, std::shared_ptr<RpcEndpoint>> endpoints_;
+};
+
+}  // namespace psgraph::net
+
+#endif  // PSGRAPH_NET_RPC_H_

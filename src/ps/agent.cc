@@ -1,0 +1,317 @@
+#include "ps/agent.h"
+
+namespace psgraph::ps {
+
+namespace {
+using ParallelCall = net::RpcFabric::ParallelCall;
+}
+
+Result<std::vector<uint8_t>> PsAgent::Call(int32_t server,
+                                           const std::string& method,
+                                           const ByteBuffer& req) {
+  return ctx_->fabric()->Call(node_, ctx_->ServerNode(server), method, req);
+}
+
+std::vector<std::vector<uint32_t>> PsAgent::GroupKeysByServer(
+    const MatrixMeta& meta, const std::vector<uint64_t>& keys) const {
+  std::vector<std::vector<uint32_t>> by_server(ctx_->num_servers());
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    by_server[ctx_->ServerOfKey(meta, keys[i])].push_back(i);
+  }
+  return by_server;
+}
+
+Result<std::vector<float>> PsAgent::PullRows(
+    const MatrixMeta& meta, const std::vector<uint64_t>& keys) {
+  if (meta.layout == Layout::kColumnPartitioned) {
+    return PullRowsColumnPartitioned(meta, keys);
+  }
+  const uint32_t cols = meta.num_cols;
+  std::vector<float> out(keys.size() * cols, 0.0f);
+  auto by_server = GroupKeysByServer(meta, keys);
+
+  std::vector<ParallelCall> calls;
+  std::vector<int32_t> call_server;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    if (by_server[s].empty()) continue;
+    std::vector<uint64_t> server_keys;
+    server_keys.reserve(by_server[s].size());
+    for (uint32_t idx : by_server[s]) server_keys.push_back(keys[idx]);
+    ByteBuffer req;
+    req.Write<MatrixId>(meta.id);
+    req.WriteVector(server_keys);
+    calls.push_back({ctx_->ServerNode(s), "ps.pull", std::move(req)});
+    call_server.push_back(s);
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  for (size_t c = 0; c < responses.size(); ++c) {
+    int32_t s = call_server[c];
+    ByteReader reader(responses[c]);
+    std::vector<float> values;
+    PSG_RETURN_NOT_OK(reader.ReadVector(&values));
+    if (values.size() != by_server[s].size() * cols) {
+      return Status::Internal("pull: short response from server " +
+                              std::to_string(s));
+    }
+    for (size_t j = 0; j < by_server[s].size(); ++j) {
+      std::copy(values.begin() + j * cols, values.begin() + (j + 1) * cols,
+                out.begin() + uint64_t{by_server[s][j]} * cols);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<float>> PsAgent::PullRowsColumnPartitioned(
+    const MatrixMeta& meta, const std::vector<uint64_t>& keys) {
+  const uint32_t cols = meta.num_cols;
+  std::vector<float> out(keys.size() * cols, 0.0f);
+  ByteBuffer req;
+  req.Write<MatrixId>(meta.id);
+  req.WriteVector(keys);
+
+  std::vector<ParallelCall> calls;
+  std::vector<int32_t> call_server;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    auto [begin, end] = ColumnSliceOf(cols, s, ctx_->num_servers());
+    if (begin == end) continue;
+    calls.push_back({ctx_->ServerNode(s), "ps.pull", req});
+    call_server.push_back(s);
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  for (size_t c = 0; c < responses.size(); ++c) {
+    int32_t s = call_server[c];
+    auto [begin, end] = ColumnSliceOf(cols, s, ctx_->num_servers());
+    ByteReader reader(responses[c]);
+    std::vector<float> values;
+    PSG_RETURN_NOT_OK(reader.ReadVector(&values));
+    const uint32_t width = end - begin;
+    if (values.size() != keys.size() * width) {
+      return Status::Internal("column pull: short response");
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::copy(values.begin() + i * width,
+                values.begin() + (i + 1) * width,
+                out.begin() + i * cols + begin);
+    }
+  }
+  return out;
+}
+
+Status PsAgent::Push(const MatrixMeta& meta,
+                     const std::vector<uint64_t>& keys,
+                     const std::vector<float>& values, bool add) {
+  const uint32_t cols = meta.num_cols;
+  if (values.size() != keys.size() * cols) {
+    return Status::InvalidArgument("push: values size mismatch");
+  }
+  const char* method = add ? "ps.push_add" : "ps.push_assign";
+  std::vector<ParallelCall> calls;
+  if (meta.layout == Layout::kColumnPartitioned) {
+    if (!add) {
+      return Status::NotImplemented(
+          "push_assign on column-partitioned matrices");
+    }
+    for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+      auto [begin, end] = ColumnSliceOf(cols, s, ctx_->num_servers());
+      if (begin == end) continue;
+      const uint32_t width = end - begin;
+      std::vector<float> slice(keys.size() * width);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        std::copy(values.begin() + i * cols + begin,
+                  values.begin() + i * cols + end,
+                  slice.begin() + i * width);
+      }
+      ByteBuffer req;
+      req.Write<MatrixId>(meta.id);
+      req.WriteVector(keys);
+      req.WriteVector(slice);
+      calls.push_back({ctx_->ServerNode(s), method, std::move(req)});
+    }
+  } else {
+    auto by_server = GroupKeysByServer(meta, keys);
+    for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+      if (by_server[s].empty()) continue;
+      std::vector<uint64_t> server_keys;
+      std::vector<float> server_values;
+      server_keys.reserve(by_server[s].size());
+      server_values.reserve(by_server[s].size() * cols);
+      for (uint32_t idx : by_server[s]) {
+        server_keys.push_back(keys[idx]);
+        server_values.insert(server_values.end(),
+                             values.begin() + uint64_t{idx} * cols,
+                             values.begin() + uint64_t{idx + 1} * cols);
+      }
+      ByteBuffer req;
+      req.Write<MatrixId>(meta.id);
+      req.WriteVector(server_keys);
+      req.WriteVector(server_values);
+      calls.push_back({ctx_->ServerNode(s), method, std::move(req)});
+    }
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  (void)responses;
+  return Status::OK();
+}
+
+Status PsAgent::PushAdd(const MatrixMeta& meta,
+                        const std::vector<uint64_t>& keys,
+                        const std::vector<float>& values) {
+  return Push(meta, keys, values, /*add=*/true);
+}
+
+Status PsAgent::PushAssign(const MatrixMeta& meta,
+                           const std::vector<uint64_t>& keys,
+                           const std::vector<float>& values) {
+  return Push(meta, keys, values, /*add=*/false);
+}
+
+Status PsAgent::PushNeighbors(
+    const MatrixMeta& meta,
+    const std::vector<graph::NeighborList>& tables) {
+  std::vector<std::vector<uint32_t>> by_server(ctx_->num_servers());
+  for (uint32_t i = 0; i < tables.size(); ++i) {
+    by_server[ctx_->ServerOfKey(meta, tables[i].vertex)].push_back(i);
+  }
+  std::vector<ParallelCall> calls;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    if (by_server[s].empty()) continue;
+    std::vector<uint64_t> keys;
+    keys.reserve(by_server[s].size());
+    for (uint32_t idx : by_server[s]) keys.push_back(tables[idx].vertex);
+    ByteBuffer req;
+    req.Write<MatrixId>(meta.id);
+    req.WriteVector(keys);
+    for (uint32_t idx : by_server[s]) {
+      req.WriteVector(tables[idx].neighbors);
+      req.WriteVector(tables[idx].weights);
+    }
+    calls.push_back({ctx_->ServerNode(s), "ps.push_nbrs", std::move(req)});
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  (void)responses;
+  return Status::OK();
+}
+
+Status PsAgent::FreezeNeighbors(const MatrixMeta& meta) {
+  std::vector<ParallelCall> calls;
+  calls.reserve(ctx_->num_servers());
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    ByteBuffer req;
+    req.Write<MatrixId>(meta.id);
+    calls.push_back({ctx_->ServerNode(s), "ps.freeze_nbrs",
+                     std::move(req)});
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  (void)responses;
+  return Status::OK();
+}
+
+Result<std::vector<NeighborEntry>> PsAgent::PullNeighbors(
+    const MatrixMeta& meta, const std::vector<uint64_t>& keys) {
+  std::vector<NeighborEntry> out(keys.size());
+  auto by_server = GroupKeysByServer(meta, keys);
+  std::vector<ParallelCall> calls;
+  std::vector<int32_t> call_server;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    if (by_server[s].empty()) continue;
+    std::vector<uint64_t> server_keys;
+    server_keys.reserve(by_server[s].size());
+    for (uint32_t idx : by_server[s]) server_keys.push_back(keys[idx]);
+    ByteBuffer req;
+    req.Write<MatrixId>(meta.id);
+    req.WriteVector(server_keys);
+    calls.push_back({ctx_->ServerNode(s), "ps.pull_nbrs", std::move(req)});
+    call_server.push_back(s);
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  for (size_t c = 0; c < responses.size(); ++c) {
+    int32_t s = call_server[c];
+    ByteReader reader(responses[c]);
+    for (uint32_t idx : by_server[s]) {
+      PSG_RETURN_NOT_OK(reader.ReadVector(&out[idx].neighbors));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&out[idx].weights));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> PsAgent::CallFunc(int32_t server,
+                                               const std::string& name,
+                                               const ByteBuffer& args) {
+  ByteBuffer req;
+  req.WriteString(name);
+  req.WriteRaw(args.data().data(), args.size());
+  return Call(server, "ps.func", req);
+}
+
+Result<std::vector<std::vector<uint8_t>>> PsAgent::CallFuncAll(
+    const std::string& name, const ByteBuffer& args) {
+  ByteBuffer req;
+  req.WriteString(name);
+  req.WriteRaw(args.data().data(), args.size());
+  std::vector<ParallelCall> calls;
+  calls.reserve(ctx_->num_servers());
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    calls.push_back({ctx_->ServerNode(s), "ps.func", req});
+  }
+  return ctx_->fabric()->CallParallel(node_, std::move(calls));
+}
+
+Result<double> PsAgent::CallFuncSum(const std::string& name,
+                                    const ByteBuffer& args) {
+  PSG_ASSIGN_OR_RETURN(auto responses, CallFuncAll(name, args));
+  double sum = 0.0;
+  for (const auto& resp : responses) {
+    ByteReader reader(resp.data(), resp.size());
+    double v = 0.0;
+    PSG_RETURN_NOT_OK(reader.Read(&v));
+    sum += v;
+  }
+  return sum;
+}
+
+Result<std::vector<double>> PsAgent::DotProducts(
+    const MatrixMeta& a, const MatrixMeta& b,
+    const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
+  std::vector<uint64_t> flat;
+  flat.reserve(pairs.size() * 2);
+  for (const auto& [i, j] : pairs) {
+    flat.push_back(i);
+    flat.push_back(j);
+  }
+  ByteBuffer args;
+  args.Write<MatrixId>(a.id);
+  args.Write<MatrixId>(b.id);
+  args.WriteVector(flat);
+  ByteBuffer req;
+  req.WriteString("dot.partial");
+  req.WriteRaw(args.data().data(), args.size());
+
+  std::vector<ParallelCall> calls;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    auto [begin, end] = ColumnSliceOf(a.num_cols, s, ctx_->num_servers());
+    if (begin == end) continue;
+    calls.push_back({ctx_->ServerNode(s), "ps.func", req});
+  }
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  std::vector<double> dots(pairs.size(), 0.0);
+  for (const auto& resp : responses) {
+    ByteReader reader(resp.data(), resp.size());
+    std::vector<double> partial;
+    PSG_RETURN_NOT_OK(reader.ReadVector(&partial));
+    if (partial.size() != dots.size()) {
+      return Status::Internal("dot.partial: size mismatch");
+    }
+    for (size_t p = 0; p < dots.size(); ++p) dots[p] += partial[p];
+  }
+  return dots;
+}
+
+}  // namespace psgraph::ps

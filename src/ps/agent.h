@@ -1,0 +1,95 @@
+// PsAgent: the per-executor client of the parameter server (paper §III-C
+// "PS agent"). Resolves which server owns each key via the PSContext
+// partition layout, batches requests per server, issues RPCs, and
+// reassembles responses in input order.
+
+#ifndef PSGRAPH_PS_AGENT_H_
+#define PSGRAPH_PS_AGENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/types.h"
+#include "ps/context.h"
+
+namespace psgraph::ps {
+
+class PsAgent {
+ public:
+  /// `executor_node` is the sim node the agent runs on (RPC cost is
+  /// charged between it and the servers).
+  PsAgent(PsContext* context, sim::NodeId executor_node)
+      : ctx_(context), node_(executor_node) {}
+
+  sim::NodeId node() const { return node_; }
+
+  /// Pulls rows of a row-partitioned matrix; the result holds
+  /// keys.size() * num_cols floats in key order (init values for rows
+  /// never pushed).
+  Result<std::vector<float>> PullRows(const MatrixMeta& meta,
+                                      const std::vector<uint64_t>& keys);
+
+  /// values must hold keys.size() * num_cols floats (full rows).
+  Status PushAdd(const MatrixMeta& meta, const std::vector<uint64_t>& keys,
+                 const std::vector<float>& values);
+  Status PushAssign(const MatrixMeta& meta,
+                    const std::vector<uint64_t>& keys,
+                    const std::vector<float>& values);
+
+  /// Pushes neighbor tables (bulk load after the groupBy step).
+  Status PushNeighbors(const MatrixMeta& meta,
+                       const std::vector<graph::NeighborList>& tables);
+  /// Pulls adjacency for `keys`, in key order (empty for unknown).
+  Result<std::vector<NeighborEntry>> PullNeighbors(
+      const MatrixMeta& meta, const std::vector<uint64_t>& keys);
+
+  /// Freezes the neighbor shards of `meta` into compact CSR images on
+  /// every server (read-only afterwards).
+  Status FreezeNeighbors(const MatrixMeta& meta);
+
+  /// Calls a psFunc on one server.
+  Result<std::vector<uint8_t>> CallFunc(int32_t server,
+                                        const std::string& name,
+                                        const ByteBuffer& args);
+  /// Calls a psFunc on every server; responses in server order.
+  Result<std::vector<std::vector<uint8_t>>> CallFuncAll(
+      const std::string& name, const ByteBuffer& args);
+
+  /// Sums the "[double]" responses of a psFunc across servers (e.g.
+  /// l1_norm, pagerank.advance).
+  Result<double> CallFuncSum(const std::string& name,
+                             const ByteBuffer& args);
+
+  /// Full dot products a.row(i) . b.row(j) for column-partitioned
+  /// matrices: every server computes its partial over its column slice
+  /// and the agent merges (paper §IV-D).
+  Result<std::vector<double>> DotProducts(
+      const MatrixMeta& a, const MatrixMeta& b,
+      const std::vector<std::pair<uint64_t, uint64_t>>& pairs);
+
+  /// Column-partitioned pull: fetches each server's slice and
+  /// concatenates them into full rows in key order.
+  Result<std::vector<float>> PullRowsColumnPartitioned(
+      const MatrixMeta& meta, const std::vector<uint64_t>& keys);
+
+ private:
+  Result<std::vector<uint8_t>> Call(int32_t server,
+                                    const std::string& method,
+                                    const ByteBuffer& req);
+  Status Push(const MatrixMeta& meta, const std::vector<uint64_t>& keys,
+              const std::vector<float>& values, bool add);
+  /// Groups keys by owning server: returns per-server (key index, key)
+  /// lists so responses can be scattered back.
+  std::vector<std::vector<uint32_t>> GroupKeysByServer(
+      const MatrixMeta& meta, const std::vector<uint64_t>& keys) const;
+
+  PsContext* ctx_;
+  sim::NodeId node_;
+};
+
+}  // namespace psgraph::ps
+
+#endif  // PSGRAPH_PS_AGENT_H_

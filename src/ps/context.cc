@@ -1,0 +1,91 @@
+#include "ps/context.h"
+
+namespace psgraph::ps {
+
+PsContext::PsContext(sim::SimCluster* cluster, net::RpcFabric* fabric,
+                     storage::Hdfs* hdfs)
+    : cluster_(cluster),
+      fabric_(fabric),
+      hdfs_(hdfs),
+      num_servers_(cluster->config().num_servers) {}
+
+Status PsContext::Start() {
+  RegisterBuiltinPsFuncs();
+  servers_.clear();
+  for (int32_t s = 0; s < num_servers_; ++s) {
+    auto server = std::make_unique<PsServer>(s, num_servers_, cluster_,
+                                             hdfs_);
+    auto endpoint = std::make_shared<net::RpcEndpoint>();
+    server->RegisterHandlers(endpoint.get());
+    fabric_->Bind(cluster_->config().server(s), endpoint);
+    servers_.push_back(std::move(server));
+  }
+  return Status::OK();
+}
+
+PsServer* PsContext::ReplaceServer(int32_t s) {
+  auto server =
+      std::make_unique<PsServer>(s, num_servers_, cluster_, hdfs_);
+  auto endpoint = std::make_shared<net::RpcEndpoint>();
+  server->RegisterHandlers(endpoint.get());
+  fabric_->Bind(cluster_->config().server(s), endpoint);
+  // Re-create all known matrices (empty shards; state comes from the
+  // checkpoint restore the master performs next).
+  for (const auto& [_, meta] : matrices_) {
+    Status st = server->InitMatrix(meta);
+    (void)st;  // AlreadyExists cannot happen on a fresh server
+  }
+  servers_[s] = std::move(server);
+  return servers_[s].get();
+}
+
+Result<MatrixMeta> PsContext::CreateMatrix(const std::string& name,
+                                           uint64_t num_rows,
+                                           uint32_t num_cols,
+                                           StorageKind kind, Layout layout,
+                                           PartitionScheme scheme,
+                                           float init_value) {
+  if (matrices_.count(name) > 0) {
+    return Status::AlreadyExists("matrix '" + name + "' exists");
+  }
+  if (servers_.empty()) {
+    return Status::FailedPrecondition("PsContext::Start() not called");
+  }
+  MatrixMeta meta;
+  meta.id = next_id_++;
+  meta.name = name;
+  meta.num_rows = num_rows;
+  meta.num_cols = num_cols;
+  meta.kind = kind;
+  meta.layout = layout;
+  meta.scheme = scheme;
+  meta.init_value = init_value;
+  for (auto& server : servers_) {
+    PSG_RETURN_NOT_OK(server->InitMatrix(meta));
+  }
+  matrices_[name] = meta;
+  return meta;
+}
+
+Result<MatrixMeta> PsContext::GetMatrix(const std::string& name) const {
+  auto it = matrices_.find(name);
+  if (it == matrices_.end()) {
+    return Status::NotFound("matrix '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+Status PsContext::DropMatrix(const std::string& name) {
+  auto it = matrices_.find(name);
+  if (it == matrices_.end()) {
+    return Status::NotFound("matrix '" + name + "' does not exist");
+  }
+  for (auto& server : servers_) {
+    Status st = server->DropMatrix(it->second.id);
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  matrices_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace psgraph::ps

@@ -1,0 +1,79 @@
+// PsContext: driver-side handle to the parameter-server deployment
+// (paper §III-C "Context"). Stores the PS configuration — where servers
+// live and how matrices are laid out — and creates/locates matrices.
+
+#ifndef PSGRAPH_PS_CONTEXT_H_
+#define PSGRAPH_PS_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/rpc.h"
+#include "ps/matrix_meta.h"
+#include "ps/partitioner.h"
+#include "ps/server.h"
+#include "sim/cluster.h"
+#include "storage/hdfs.h"
+
+namespace psgraph::ps {
+
+class PsContext {
+ public:
+  PsContext(sim::SimCluster* cluster, net::RpcFabric* fabric,
+            storage::Hdfs* hdfs);
+
+  /// Launches one PsServer per configured server node and binds its RPC
+  /// endpoint. Registers built-in psFuncs.
+  Status Start();
+
+  int32_t num_servers() const { return num_servers_; }
+  sim::SimCluster* cluster() { return cluster_; }
+  net::RpcFabric* fabric() { return fabric_; }
+  storage::Hdfs* hdfs() { return hdfs_; }
+
+  /// Creates a matrix on every server. Name must be unique.
+  Result<MatrixMeta> CreateMatrix(
+      const std::string& name, uint64_t num_rows, uint32_t num_cols,
+      StorageKind kind = StorageKind::kRows,
+      Layout layout = Layout::kRowPartitioned,
+      PartitionScheme scheme = PartitionScheme::kRange,
+      float init_value = 0.0f);
+
+  Result<MatrixMeta> GetMatrix(const std::string& name) const;
+  Status DropMatrix(const std::string& name);
+
+  /// The server index owning `key`'s row for a row-partitioned matrix.
+  int32_t ServerOfKey(const MatrixMeta& meta, uint64_t key) const {
+    Partitioner part(meta.scheme, meta.num_rows, num_servers_);
+    return part.PartitionOf(key);
+  }
+
+  /// Sim node of server `s`.
+  sim::NodeId ServerNode(int32_t s) const {
+    return cluster_->config().server(s);
+  }
+
+  /// Direct access for the master (restart/recovery) and tests.
+  PsServer* server(int32_t s) { return servers_[s].get(); }
+  /// Replaces server `s` with a fresh instance bound to a new endpoint
+  /// (container restart). Used by PsMaster.
+  PsServer* ReplaceServer(int32_t s);
+
+ private:
+  sim::SimCluster* cluster_;
+  net::RpcFabric* fabric_;
+  storage::Hdfs* hdfs_;
+  int32_t num_servers_;
+  std::vector<std::unique_ptr<PsServer>> servers_;
+  std::map<std::string, MatrixMeta> matrices_;
+  MatrixId next_id_ = 0;
+};
+
+}  // namespace psgraph::ps
+
+#endif  // PSGRAPH_PS_CONTEXT_H_

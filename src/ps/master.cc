@@ -1,0 +1,64 @@
+#include "ps/master.h"
+
+#include "common/logging.h"
+
+namespace psgraph::ps {
+
+Status PsMaster::CheckpointAll() {
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    if (!ctx_->cluster()->IsAlive(ctx_->ServerNode(s))) continue;
+    PSG_RETURN_NOT_OK(ctx_->server(s)->Checkpoint(checkpoint_prefix_));
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> PsMaster::FindDeadServers() const {
+  std::vector<int32_t> dead;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    if (!ctx_->cluster()->IsAlive(ctx_->ServerNode(s))) dead.push_back(s);
+  }
+  return dead;
+}
+
+bool PsMaster::HasCheckpoint(int32_t s) const {
+  return ctx_->hdfs() != nullptr &&
+         ctx_->hdfs()->Exists(checkpoint_prefix_ + "/server_" +
+                              std::to_string(s));
+}
+
+Status PsMaster::RestartAndRestore(int32_t s) {
+  ctx_->cluster()->ReviveNode(ctx_->ServerNode(s));
+  PsServer* server = ctx_->ReplaceServer(s);
+  if (HasCheckpoint(s)) {
+    PSG_RETURN_NOT_OK(server->Restore(checkpoint_prefix_));
+    PSG_LOG(Info) << "ps master: server " << s
+                  << " restarted and restored from checkpoint";
+  } else {
+    PSG_LOG(Warn) << "ps master: server " << s
+                  << " restarted with empty state (no checkpoint)";
+  }
+  return Status::OK();
+}
+
+Result<int32_t> PsMaster::CheckAndRecover(RecoveryMode mode) {
+  std::vector<int32_t> dead = FindDeadServers();
+  if (dead.empty()) return 0;
+  for (int32_t s : dead) {
+    PSG_RETURN_NOT_OK(RestartAndRestore(s));
+  }
+  if (mode == RecoveryMode::kConsistent) {
+    // Roll every healthy server back so all partitions reflect the same
+    // checkpointed model version.
+    for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+      if (!HasCheckpoint(s)) continue;
+      bool was_dead = false;
+      for (int32_t d : dead) was_dead |= (d == s);
+      if (was_dead) continue;  // already restored
+      PSG_RETURN_NOT_OK(ctx_->server(s)->Restore(checkpoint_prefix_));
+    }
+    PSG_LOG(Info) << "ps master: consistent rollback of all servers";
+  }
+  return static_cast<int32_t>(dead.size());
+}
+
+}  // namespace psgraph::ps

@@ -1,0 +1,61 @@
+// PsMaster (paper §III-B): monitors server health, restarts failed
+// servers through the resource manager, and restores their state from the
+// periodic HDFS checkpoints. Two recovery modes mirror the paper:
+//
+//  * kPartial — algorithms that tolerate inconsistency between model
+//    partitions (GE, GNN): only the failed server reloads its checkpoint
+//    and training continues.
+//  * kConsistent — algorithms that need a consistent model (PageRank):
+//    every server rolls back to the latest common checkpoint.
+
+#ifndef PSGRAPH_PS_MASTER_H_
+#define PSGRAPH_PS_MASTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ps/context.h"
+
+namespace psgraph::ps {
+
+enum class RecoveryMode {
+  kPartial,
+  kConsistent,
+};
+
+class PsMaster {
+ public:
+  explicit PsMaster(PsContext* ctx, std::string checkpoint_prefix)
+      : ctx_(ctx), checkpoint_prefix_(std::move(checkpoint_prefix)) {}
+
+  const std::string& checkpoint_prefix() const { return checkpoint_prefix_; }
+
+  /// Asks every server to checkpoint its partitions to HDFS. Called
+  /// periodically by the training loop (paper: "each parameter server
+  /// periodically stores the local data partition to HDFS").
+  Status CheckpointAll();
+
+  /// Health check: returns the indices of dead servers.
+  std::vector<int32_t> FindDeadServers() const;
+
+  /// Detects failures and repairs them: restarts dead server containers,
+  /// reloads their checkpoints, and — in kConsistent mode — rolls every
+  /// server back to the checkpoint. No-op when all servers are healthy.
+  /// Returns the number of servers restarted.
+  Result<int32_t> CheckAndRecover(RecoveryMode mode);
+
+  /// True if a checkpoint exists for server `s`.
+  bool HasCheckpoint(int32_t s) const;
+
+ private:
+  Status RestartAndRestore(int32_t s);
+
+  PsContext* ctx_;
+  std::string checkpoint_prefix_;
+};
+
+}  // namespace psgraph::ps
+
+#endif  // PSGRAPH_PS_MASTER_H_

@@ -1,0 +1,46 @@
+// Metadata describing a PS-resident model ("matrix" in Angel parlance;
+// vectors are matrices with one column, neighbor tables are a separate
+// storage kind keyed the same way).
+
+#ifndef PSGRAPH_PS_MATRIX_META_H_
+#define PSGRAPH_PS_MATRIX_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ps/partitioner.h"
+
+namespace psgraph::ps {
+
+using MatrixId = int32_t;
+
+enum class StorageKind : uint8_t {
+  kRows = 0,       ///< float rows (vectors, matrices, embeddings)
+  kNeighbors = 1,  ///< adjacency lists (paper's neighbor table)
+};
+
+/// How a matrix is spread over servers: by row key (default), or by
+/// column blocks (LINE stores embedding dimensions column-partitioned so
+/// partial dot products can run on each server, §IV-D).
+enum class Layout : uint8_t {
+  kRowPartitioned = 0,
+  kColumnPartitioned = 1,
+};
+
+struct MatrixMeta {
+  MatrixId id = -1;
+  std::string name;
+  uint64_t num_rows = 0;  ///< row key space (e.g. max vertex id + 1)
+  uint32_t num_cols = 1;  ///< row width in floats
+  StorageKind kind = StorageKind::kRows;
+  Layout layout = Layout::kRowPartitioned;
+  PartitionScheme scheme = PartitionScheme::kRange;
+  float init_value = 0.0f;  ///< value of never-pushed entries
+
+  /// Bytes of one full row (used for transfer/memory estimates).
+  uint64_t RowBytes() const { return uint64_t{num_cols} * sizeof(float); }
+};
+
+}  // namespace psgraph::ps
+
+#endif  // PSGRAPH_PS_MATRIX_META_H_

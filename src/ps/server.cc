@@ -1,0 +1,451 @@
+#include "ps/server.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/metrics.h"
+
+namespace psgraph::ps {
+
+namespace {
+constexpr uint64_t kHashEntryOverhead = 48;
+constexpr uint32_t kCheckpointMagic = 0x50534350;  // "PSCP"
+}  // namespace
+
+std::pair<uint32_t, uint32_t> ColumnSliceOf(uint32_t cols, int32_t s,
+                                            int32_t n) {
+  uint32_t width = (cols + n - 1) / n;
+  uint32_t begin = std::min<uint32_t>(cols, width * s);
+  uint32_t end = std::min<uint32_t>(cols, begin + width);
+  return {begin, end};
+}
+
+void SerializeMeta(ByteBuffer& buf, const MatrixMeta& meta) {
+  buf.Write<int32_t>(meta.id);
+  buf.WriteString(meta.name);
+  buf.Write<uint64_t>(meta.num_rows);
+  buf.Write<uint32_t>(meta.num_cols);
+  buf.Write<uint8_t>(static_cast<uint8_t>(meta.kind));
+  buf.Write<uint8_t>(static_cast<uint8_t>(meta.layout));
+  buf.Write<uint8_t>(static_cast<uint8_t>(meta.scheme));
+  buf.Write<float>(meta.init_value);
+}
+
+Status DeserializeMeta(ByteReader& reader, MatrixMeta* meta) {
+  PSG_RETURN_NOT_OK(reader.Read(&meta->id));
+  PSG_RETURN_NOT_OK(reader.ReadString(&meta->name));
+  PSG_RETURN_NOT_OK(reader.Read(&meta->num_rows));
+  PSG_RETURN_NOT_OK(reader.Read(&meta->num_cols));
+  uint8_t kind = 0, layout = 0, scheme = 0;
+  PSG_RETURN_NOT_OK(reader.Read(&kind));
+  PSG_RETURN_NOT_OK(reader.Read(&layout));
+  PSG_RETURN_NOT_OK(reader.Read(&scheme));
+  meta->kind = static_cast<StorageKind>(kind);
+  meta->layout = static_cast<Layout>(layout);
+  meta->scheme = static_cast<PartitionScheme>(scheme);
+  return reader.Read(&meta->init_value);
+}
+
+PsFuncRegistry& PsFuncRegistry::Global() {
+  static PsFuncRegistry instance;
+  return instance;
+}
+
+void PsFuncRegistry::Register(const std::string& name, PsFunc fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  funcs_[name] = std::move(fn);
+}
+
+Result<PsFunc> PsFuncRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = funcs_.find(name);
+  if (it == funcs_.end()) {
+    return Status::NotFound("psFunc '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+PsServer::PsServer(int32_t server_index, int32_t num_servers,
+                   sim::SimCluster* cluster, storage::Hdfs* hdfs)
+    : server_index_(server_index),
+      num_servers_(num_servers),
+      cluster_(cluster),
+      hdfs_(hdfs) {
+  if (cluster_ != nullptr) {
+    node_ = cluster_->config().server(server_index);
+  }
+}
+
+Status PsServer::ChargeMemory(uint64_t bytes, const char* what) {
+  if (cluster_ == nullptr) return Status::OK();
+  PSG_RETURN_NOT_OK(cluster_->memory().Allocate(node_, bytes, what));
+  total_charged_ += bytes;
+  return Status::OK();
+}
+
+void PsServer::ReleaseMemory(uint64_t bytes) {
+  if (cluster_ == nullptr) return;
+  cluster_->memory().Release(node_, bytes);
+  total_charged_ -= std::min(total_charged_, bytes);
+}
+
+void PsServer::ChargeCompute(uint64_t ops) {
+  if (cluster_ == nullptr) return;
+  cluster_->clock().Advance(node_, cluster_->cost().ComputeTime(ops));
+}
+
+uint64_t PsServer::EntryBytes(const NeighborEntry& e) {
+  return kHashEntryOverhead + e.neighbors.size() * sizeof(uint64_t) +
+         e.weights.size() * sizeof(float);
+}
+
+uint64_t PsServer::charged_bytes() const { return total_charged_; }
+
+Status PsServer::InitMatrix(const MatrixMeta& meta) {
+  if (shards_.count(meta.id) > 0) {
+    return Status::AlreadyExists("matrix " + std::to_string(meta.id) +
+                                 " already on server " +
+                                 std::to_string(server_index_));
+  }
+  MatrixShard shard;
+  shard.meta = meta;
+  if (meta.layout == Layout::kColumnPartitioned) {
+    auto [begin, end] =
+        ColumnSliceOf(meta.num_cols, server_index_, num_servers_);
+    shard.col_begin = begin;
+    shard.slice_cols = end - begin;
+  } else {
+    shard.col_begin = 0;
+    shard.slice_cols = meta.num_cols;
+  }
+  shards_.emplace(meta.id, std::move(shard));
+  return Status::OK();
+}
+
+Status PsServer::DropMatrix(MatrixId id) {
+  auto it = shards_.find(id);
+  if (it == shards_.end()) {
+    return Status::NotFound("matrix " + std::to_string(id));
+  }
+  ReleaseMemory(it->second.charged_bytes);
+  shards_.erase(it);
+  return Status::OK();
+}
+
+Result<MatrixShard*> PsServer::GetShard(MatrixId id) {
+  auto it = shards_.find(id);
+  if (it == shards_.end()) {
+    return Status::NotFound("matrix " + std::to_string(id) +
+                            " not on server " +
+                            std::to_string(server_index_));
+  }
+  return &it->second;
+}
+
+Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
+                          std::vector<float>* out) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  ChargeCompute(keys.size() * shard->slice_cols / 8 + keys.size());
+  out->reserve(out->size() + keys.size() * shard->slice_cols);
+  for (uint64_t key : keys) {
+    const std::vector<float>* row = shard->FindRow(key);
+    if (row != nullptr) {
+      out->insert(out->end(), row->begin(), row->end());
+    } else {
+      out->insert(out->end(), shard->slice_cols, shard->meta.init_value);
+    }
+  }
+  Metrics::Global().Add("ps.rows_pulled", keys.size());
+  return Status::OK();
+}
+
+Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
+                         const std::vector<float>& values) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  if (values.size() != keys.size() * shard->slice_cols) {
+    return Status::InvalidArgument(
+        "push_add: values size " + std::to_string(values.size()) +
+        " != keys*cols " + std::to_string(keys.size() * shard->slice_cols));
+  }
+  ChargeCompute(values.size() / 4 + keys.size());
+  const uint64_t row_bytes = kHashEntryOverhead +
+                             uint64_t{shard->slice_cols} * sizeof(float);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = shard->rows.find(keys[i]);
+    if (it == shard->rows.end()) {
+      PSG_RETURN_NOT_OK(ChargeMemory(row_bytes, "ps row"));
+      shard->charged_bytes += row_bytes;
+      it = shard->rows
+               .emplace(keys[i], std::vector<float>(
+                                     shard->slice_cols,
+                                     shard->meta.init_value))
+               .first;
+    }
+    const float* src = values.data() + i * shard->slice_cols;
+    float* dst = it->second.data();
+    for (uint32_t c = 0; c < shard->slice_cols; ++c) dst[c] += src[c];
+  }
+  Metrics::Global().Add("ps.rows_pushed", keys.size());
+  return Status::OK();
+}
+
+Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
+                            const std::vector<float>& values) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  if (values.size() != keys.size() * shard->slice_cols) {
+    return Status::InvalidArgument("push_assign: bad values size");
+  }
+  ChargeCompute(values.size() / 4 + keys.size());
+  const uint64_t row_bytes = kHashEntryOverhead +
+                             uint64_t{shard->slice_cols} * sizeof(float);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = shard->rows.find(keys[i]);
+    if (it == shard->rows.end()) {
+      PSG_RETURN_NOT_OK(ChargeMemory(row_bytes, "ps row"));
+      shard->charged_bytes += row_bytes;
+      it = shard->rows
+               .emplace(keys[i],
+                        std::vector<float>(shard->slice_cols, 0.0f))
+               .first;
+    }
+    std::copy(values.begin() + i * shard->slice_cols,
+              values.begin() + (i + 1) * shard->slice_cols,
+              it->second.begin());
+  }
+  Metrics::Global().Add("ps.rows_pushed", keys.size());
+  return Status::OK();
+}
+
+Status PsServer::PushNeighbors(MatrixId id,
+                               const std::vector<uint64_t>& keys,
+                               const std::vector<NeighborEntry>& entries) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  if (shard->csr.has_value()) {
+    return Status::FailedPrecondition(
+        "push_neighbors: shard is frozen to CSR");
+  }
+  if (keys.size() != entries.size()) {
+    return Status::InvalidArgument("push_neighbors: keys/entries mismatch");
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t bytes = EntryBytes(entries[i]);
+    auto it = shard->neighbors.find(keys[i]);
+    if (it != shard->neighbors.end()) {
+      // Merge (the same vertex can arrive from several executors when the
+      // input is edge-partitioned).
+      NeighborEntry& dst = it->second;
+      uint64_t extra =
+          entries[i].neighbors.size() * sizeof(uint64_t) +
+          entries[i].weights.size() * sizeof(float);
+      PSG_RETURN_NOT_OK(ChargeMemory(extra, "ps neighbor table"));
+      shard->charged_bytes += extra;
+      dst.neighbors.insert(dst.neighbors.end(),
+                           entries[i].neighbors.begin(),
+                           entries[i].neighbors.end());
+      dst.weights.insert(dst.weights.end(), entries[i].weights.begin(),
+                         entries[i].weights.end());
+    } else {
+      PSG_RETURN_NOT_OK(ChargeMemory(bytes, "ps neighbor table"));
+      shard->charged_bytes += bytes;
+      shard->neighbors.emplace(keys[i], entries[i]);
+    }
+  }
+  ChargeCompute(keys.size());
+  Metrics::Global().Add("ps.neighbor_entries_pushed", keys.size());
+  return Status::OK();
+}
+
+Status PsServer::PullNeighbors(MatrixId id,
+                               const std::vector<uint64_t>& keys,
+                               std::vector<NeighborEntry>* out) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  ChargeCompute(keys.size());
+  out->reserve(out->size() + keys.size());
+  if (shard->csr.has_value()) {
+    const CsrStore& csr = *shard->csr;
+    for (uint64_t key : keys) {
+      auto it =
+          std::lower_bound(csr.keys.begin(), csr.keys.end(), key);
+      if (it == csr.keys.end() || *it != key) {
+        out->push_back({});
+        continue;
+      }
+      size_t i = static_cast<size_t>(it - csr.keys.begin());
+      NeighborEntry entry;
+      entry.neighbors.assign(csr.neighbors.begin() + csr.offsets[i],
+                             csr.neighbors.begin() + csr.offsets[i + 1]);
+      if (!csr.weights.empty()) {
+        entry.weights.assign(csr.weights.begin() + csr.offsets[i],
+                             csr.weights.begin() + csr.offsets[i + 1]);
+      }
+      out->push_back(std::move(entry));
+    }
+  } else {
+    for (uint64_t key : keys) {
+      auto it = shard->neighbors.find(key);
+      if (it != shard->neighbors.end()) {
+        out->push_back(it->second);
+      } else {
+        out->push_back({});
+      }
+    }
+  }
+  Metrics::Global().Add("ps.neighbor_entries_pulled", keys.size());
+  return Status::OK();
+}
+
+Status PsServer::FreezeNeighbors(MatrixId id) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  if (shard->csr.has_value()) return Status::OK();  // idempotent
+
+  CsrStore csr;
+  csr.keys.reserve(shard->neighbors.size());
+  for (const auto& [key, entry] : shard->neighbors) {
+    csr.keys.push_back(key);
+  }
+  std::sort(csr.keys.begin(), csr.keys.end());
+  csr.offsets.reserve(csr.keys.size() + 1);
+  csr.offsets.push_back(0);
+  bool weighted = false;
+  for (const auto& [_, entry] : shard->neighbors) {
+    if (!entry.weights.empty()) weighted = true;
+  }
+  for (uint64_t key : csr.keys) {
+    const NeighborEntry& entry = shard->neighbors.at(key);
+    csr.neighbors.insert(csr.neighbors.end(), entry.neighbors.begin(),
+                         entry.neighbors.end());
+    if (weighted) {
+      csr.weights.insert(csr.weights.end(), entry.weights.begin(),
+                         entry.weights.end());
+      csr.weights.resize(csr.neighbors.size(), 1.0f);  // pad unweighted
+    }
+    csr.offsets.push_back(csr.neighbors.size());
+  }
+
+  // Swap the accounting: charge the CSR image, release the hash map.
+  uint64_t old_bytes = 0;
+  for (const auto& [_, entry] : shard->neighbors) {
+    old_bytes += EntryBytes(entry);
+  }
+  uint64_t new_bytes = csr.ByteSize();
+  PSG_RETURN_NOT_OK(ChargeMemory(new_bytes, "ps csr freeze"));
+  shard->charged_bytes += new_bytes;
+  ReleaseMemory(old_bytes);
+  shard->charged_bytes -= std::min(shard->charged_bytes, old_bytes);
+  shard->neighbors.clear();
+  shard->csr = std::move(csr);
+  ChargeCompute(shard->csr->neighbors.size() / 8 +
+                shard->csr->keys.size());
+  return Status::OK();
+}
+
+Result<ByteBuffer> PsServer::CallFunc(const std::string& name,
+                                      const std::vector<uint8_t>& args) {
+  PSG_ASSIGN_OR_RETURN(PsFunc fn, PsFuncRegistry::Global().Find(name));
+  ByteReader reader(args.data(), args.size());
+  return fn(*this, reader);
+}
+
+Status PsServer::Checkpoint(const std::string& prefix) {
+  if (hdfs_ == nullptr) {
+    return Status::FailedPrecondition("server has no HDFS attached");
+  }
+  ByteBuffer buf;
+  buf.Write<uint32_t>(kCheckpointMagic);
+  buf.Write<uint64_t>(shards_.size());
+  for (const auto& [id, shard] : shards_) {
+    SerializeMeta(buf, shard.meta);
+    buf.Write<uint64_t>(shard.rows.size());
+    for (const auto& [key, row] : shard.rows) {
+      buf.Write<uint64_t>(key);
+      buf.WriteVector(row);
+    }
+    buf.Write<uint64_t>(shard.neighbors.size());
+    for (const auto& [key, entry] : shard.neighbors) {
+      buf.Write<uint64_t>(key);
+      buf.WriteVector(entry.neighbors);
+      buf.WriteVector(entry.weights);
+    }
+    buf.Write<uint8_t>(shard.csr.has_value() ? 1 : 0);
+    if (shard.csr.has_value()) {
+      buf.WriteVector(shard.csr->keys);
+      buf.WriteVector(shard.csr->offsets);
+      buf.WriteVector(shard.csr->neighbors);
+      buf.WriteVector(shard.csr->weights);
+    }
+  }
+  Metrics::Global().Add("ps.checkpoint_bytes", buf.size());
+  return hdfs_->Write(prefix + "/server_" + std::to_string(server_index_),
+                      buf, node_);
+}
+
+Status PsServer::Restore(const std::string& prefix) {
+  if (hdfs_ == nullptr) {
+    return Status::FailedPrecondition("server has no HDFS attached");
+  }
+  PSG_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      hdfs_->Read(prefix + "/server_" + std::to_string(server_index_),
+                  node_));
+  // Drop current state first.
+  for (auto& [id, shard] : shards_) ReleaseMemory(shard.charged_bytes);
+  shards_.clear();
+
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  PSG_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::IoError("corrupt checkpoint for server " +
+                           std::to_string(server_index_));
+  }
+  uint64_t num_matrices = 0;
+  PSG_RETURN_NOT_OK(reader.Read(&num_matrices));
+  for (uint64_t m = 0; m < num_matrices; ++m) {
+    MatrixMeta meta;
+    PSG_RETURN_NOT_OK(DeserializeMeta(reader, &meta));
+    PSG_RETURN_NOT_OK(InitMatrix(meta));
+    MatrixShard& shard = shards_[meta.id];
+    uint64_t num_rows = 0;
+    PSG_RETURN_NOT_OK(reader.Read(&num_rows));
+    const uint64_t row_bytes =
+        kHashEntryOverhead + uint64_t{shard.slice_cols} * sizeof(float);
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      uint64_t key = 0;
+      std::vector<float> row;
+      PSG_RETURN_NOT_OK(reader.Read(&key));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&row));
+      PSG_RETURN_NOT_OK(ChargeMemory(row_bytes, "ps restore row"));
+      shard.charged_bytes += row_bytes;
+      shard.rows.emplace(key, std::move(row));
+    }
+    uint64_t num_entries = 0;
+    PSG_RETURN_NOT_OK(reader.Read(&num_entries));
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      uint64_t key = 0;
+      NeighborEntry entry;
+      PSG_RETURN_NOT_OK(reader.Read(&key));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&entry.neighbors));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&entry.weights));
+      uint64_t bytes_e = EntryBytes(entry);
+      PSG_RETURN_NOT_OK(ChargeMemory(bytes_e, "ps restore nbrs"));
+      shard.charged_bytes += bytes_e;
+      shard.neighbors.emplace(key, std::move(entry));
+    }
+    uint8_t has_csr = 0;
+    PSG_RETURN_NOT_OK(reader.Read(&has_csr));
+    if (has_csr != 0) {
+      CsrStore csr;
+      PSG_RETURN_NOT_OK(reader.ReadVector(&csr.keys));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&csr.offsets));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&csr.neighbors));
+      PSG_RETURN_NOT_OK(reader.ReadVector(&csr.weights));
+      uint64_t bytes_c = csr.ByteSize();
+      PSG_RETURN_NOT_OK(ChargeMemory(bytes_c, "ps restore csr"));
+      shard.charged_bytes += bytes_c;
+      shard.csr = std::move(csr);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace psgraph::ps

@@ -1,0 +1,181 @@
+// PsServer: one parameter-server shard (paper §III-A).
+//
+// Stores row partitions of matrices/vectors and neighbor-table partitions,
+// exposes pull/push/add operators plus user-defined server-side functions
+// (psFunc), periodically checkpoints its partitions to HDFS, and restores
+// them after a restart. One PsServer maps to one simulated cluster node;
+// its allocations are charged against that node's memory budget.
+
+#ifndef PSGRAPH_PS_SERVER_H_
+#define PSGRAPH_PS_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/rpc.h"
+#include "ps/matrix_meta.h"
+#include "sim/cluster.h"
+#include "storage/hdfs.h"
+
+namespace psgraph::ps {
+
+/// Adjacency entry of a neighbor-table matrix.
+struct NeighborEntry {
+  std::vector<uint64_t> neighbors;
+  std::vector<float> weights;  ///< empty when unweighted
+};
+
+/// Read-only CSR image of a neighbor shard (paper §III-A lists CSR among
+/// the PS data structures): after the load phase a shard can be frozen,
+/// dropping the per-entry hash-map overhead.
+struct CsrStore {
+  std::vector<uint64_t> keys;      ///< sorted vertex ids
+  std::vector<uint64_t> offsets;   ///< size keys.size() + 1
+  std::vector<uint64_t> neighbors;
+  std::vector<float> weights;      ///< empty when unweighted
+
+  uint64_t ByteSize() const {
+    return keys.size() * 8 + offsets.size() * 8 + neighbors.size() * 8 +
+           weights.size() * 4;
+  }
+};
+
+/// Server-local state of one matrix.
+struct MatrixShard {
+  MatrixMeta meta;
+  /// Width of rows actually stored here: full row for row-partitioned
+  /// matrices, the column slice for column-partitioned ones.
+  uint32_t slice_cols = 0;
+  uint32_t col_begin = 0;  ///< first column of the slice
+  std::unordered_map<uint64_t, std::vector<float>> rows;
+  std::unordered_map<uint64_t, NeighborEntry> neighbors;
+  /// Present after FreezeNeighbors(); served in preference to the map.
+  std::optional<CsrStore> csr;
+  uint64_t charged_bytes = 0;  ///< what this shard holds per the accountant
+
+  /// Returns the stored row, or nullptr if never pushed.
+  const std::vector<float>* FindRow(uint64_t key) const {
+    auto it = rows.find(key);
+    return it == rows.end() ? nullptr : &it->second;
+  }
+};
+
+class PsServer;
+
+/// A user-defined server-side function. Receives the server (so it can
+/// touch several matrices, e.g. "add deltas into ranks then reset") and
+/// the argument payload; returns a response payload that the agent merges
+/// across servers.
+using PsFunc =
+    std::function<Result<ByteBuffer>(PsServer&, ByteReader&)>;
+
+/// Process-wide psFunc registry. Register in static initializers or setup
+/// code; lookups are by name.
+class PsFuncRegistry {
+ public:
+  static PsFuncRegistry& Global();
+  void Register(const std::string& name, PsFunc fn);
+  Result<PsFunc> Find(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PsFunc> funcs_;
+};
+
+/// Registers the built-in psFuncs (pagerank advance, partial dot, Adam,
+/// AdaGrad, norms, reset). Idempotent; called by PsContext.
+void RegisterBuiltinPsFuncs();
+
+class PsServer {
+ public:
+  /// `cluster`/`hdfs` may be null in unit tests.
+  PsServer(int32_t server_index, int32_t num_servers,
+           sim::SimCluster* cluster, storage::Hdfs* hdfs);
+
+  int32_t server_index() const { return server_index_; }
+  int32_t num_servers() const { return num_servers_; }
+  sim::NodeId node() const { return node_; }
+
+  /// Binds all "ps.*" RPC handlers for this server on `endpoint`.
+  void RegisterHandlers(net::RpcEndpoint* endpoint);
+
+  // --- direct (in-process) API; the RPC handlers decode into these ---
+
+  Status InitMatrix(const MatrixMeta& meta);
+  Status DropMatrix(MatrixId id);
+  bool HasMatrix(MatrixId id) const { return shards_.count(id) > 0; }
+
+  /// Pulls `keys` rows; appends slice_cols floats per key to `out`
+  /// (init_value-filled for rows never pushed).
+  Status PullRows(MatrixId id, const std::vector<uint64_t>& keys,
+                  std::vector<float>* out);
+
+  /// values holds keys.size() * slice_cols floats.
+  Status PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
+                 const std::vector<float>& values);
+  Status PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
+                    const std::vector<float>& values);
+
+  Status PushNeighbors(MatrixId id, const std::vector<uint64_t>& keys,
+                       const std::vector<NeighborEntry>& entries);
+
+  /// Converts a neighbor shard's hash map into a compact read-only CSR
+  /// image and releases the map (further pushes are rejected). Reduces
+  /// resident memory by the per-entry overhead; pulls are unchanged.
+  Status FreezeNeighbors(MatrixId id);
+  /// Appends entries for `keys` to `out` (empty entry if unknown vertex).
+  Status PullNeighbors(MatrixId id, const std::vector<uint64_t>& keys,
+                       std::vector<NeighborEntry>* out);
+
+  Result<ByteBuffer> CallFunc(const std::string& name,
+                              const std::vector<uint8_t>& args);
+
+  /// Writes every shard to `<prefix>/server_<index>` on HDFS.
+  Status Checkpoint(const std::string& prefix);
+  /// Replaces all state from a checkpoint written by Checkpoint().
+  Status Restore(const std::string& prefix);
+
+  /// Accessor for psFuncs.
+  Result<MatrixShard*> GetShard(MatrixId id);
+
+  /// Total bytes this server accounts for (diagnostics).
+  uint64_t charged_bytes() const;
+
+ private:
+  Status ChargeMemory(uint64_t bytes, const char* what);
+  void ReleaseMemory(uint64_t bytes);
+  void ChargeCompute(uint64_t ops);
+  static uint64_t EntryBytes(const NeighborEntry& e);
+
+  int32_t server_index_;
+  int32_t num_servers_;
+  sim::SimCluster* cluster_;
+  sim::NodeId node_ = -1;
+  storage::Hdfs* hdfs_;
+  std::map<MatrixId, MatrixShard> shards_;
+  uint64_t total_charged_ = 0;
+};
+
+/// Computes the column slice [begin, end) server `s` of `n` owns for a
+/// column-partitioned matrix with `cols` columns (contiguous range split).
+std::pair<uint32_t, uint32_t> ColumnSliceOf(uint32_t cols, int32_t s,
+                                            int32_t n);
+
+/// Serialization of MatrixMeta (wire + checkpoint format).
+void SerializeMeta(ByteBuffer& buf, const MatrixMeta& meta);
+Status DeserializeMeta(ByteReader& reader, MatrixMeta* meta);
+
+}  // namespace psgraph::ps
+
+#endif  // PSGRAPH_PS_SERVER_H_

@@ -1,0 +1,147 @@
+// RPC handler glue: decodes "ps.*" wire messages into PsServer calls.
+
+#include "ps/server.h"
+
+namespace psgraph::ps {
+
+namespace {
+
+Result<ByteBuffer> Empty() { return ByteBuffer(); }
+
+}  // namespace
+
+void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
+  endpoint->Register(
+      "ps.init", [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixMeta meta;
+        PSG_RETURN_NOT_OK(DeserializeMeta(reader, &meta));
+        PSG_RETURN_NOT_OK(InitMatrix(meta));
+        return Empty();
+      });
+
+  endpoint->Register(
+      "ps.drop", [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        PSG_RETURN_NOT_OK(reader.Read(&id));
+        PSG_RETURN_NOT_OK(DropMatrix(id));
+        return Empty();
+      });
+
+  endpoint->Register(
+      "ps.pull", [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        std::vector<uint64_t> keys;
+        PSG_RETURN_NOT_OK(reader.Read(&id));
+        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+        std::vector<float> values;
+        PSG_RETURN_NOT_OK(PullRows(id, keys, &values));
+        ByteBuffer resp;
+        resp.WriteVector(values);
+        return resp;
+      });
+
+  auto push_handler = [this](const std::vector<uint8_t>& req,
+                             bool add) -> Result<ByteBuffer> {
+    ByteReader reader(req.data(), req.size());
+    MatrixId id = -1;
+    std::vector<uint64_t> keys;
+    std::vector<float> values;
+    PSG_RETURN_NOT_OK(reader.Read(&id));
+    PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+    PSG_RETURN_NOT_OK(reader.ReadVector(&values));
+    if (add) {
+      PSG_RETURN_NOT_OK(PushAdd(id, keys, values));
+    } else {
+      PSG_RETURN_NOT_OK(PushAssign(id, keys, values));
+    }
+    return Empty();
+  };
+  endpoint->Register("ps.push_add",
+                     [push_handler](const std::vector<uint8_t>& req) {
+                       return push_handler(req, true);
+                     });
+  endpoint->Register("ps.push_assign",
+                     [push_handler](const std::vector<uint8_t>& req) {
+                       return push_handler(req, false);
+                     });
+
+  endpoint->Register(
+      "ps.push_nbrs",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        std::vector<uint64_t> keys;
+        PSG_RETURN_NOT_OK(reader.Read(&id));
+        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+        std::vector<NeighborEntry> entries(keys.size());
+        for (auto& entry : entries) {
+          PSG_RETURN_NOT_OK(reader.ReadVector(&entry.neighbors));
+          PSG_RETURN_NOT_OK(reader.ReadVector(&entry.weights));
+        }
+        PSG_RETURN_NOT_OK(PushNeighbors(id, keys, entries));
+        return Empty();
+      });
+
+  endpoint->Register(
+      "ps.freeze_nbrs",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        PSG_RETURN_NOT_OK(reader.Read(&id));
+        PSG_RETURN_NOT_OK(FreezeNeighbors(id));
+        return Empty();
+      });
+
+  endpoint->Register(
+      "ps.pull_nbrs",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        std::vector<uint64_t> keys;
+        PSG_RETURN_NOT_OK(reader.Read(&id));
+        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+        std::vector<NeighborEntry> entries;
+        PSG_RETURN_NOT_OK(PullNeighbors(id, keys, &entries));
+        ByteBuffer resp;
+        for (const NeighborEntry& entry : entries) {
+          resp.WriteVector(entry.neighbors);
+          resp.WriteVector(entry.weights);
+        }
+        return resp;
+      });
+
+  endpoint->Register(
+      "ps.func", [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        std::string name;
+        PSG_RETURN_NOT_OK(reader.ReadString(&name));
+        std::vector<uint8_t> args(req.begin() + reader.position(),
+                                  req.end());
+        return CallFunc(name, args);
+      });
+
+  endpoint->Register(
+      "ps.checkpoint",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        std::string prefix;
+        PSG_RETURN_NOT_OK(reader.ReadString(&prefix));
+        PSG_RETURN_NOT_OK(Checkpoint(prefix));
+        return Empty();
+      });
+
+  endpoint->Register(
+      "ps.restore",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        std::string prefix;
+        PSG_RETURN_NOT_OK(reader.ReadString(&prefix));
+        PSG_RETURN_NOT_OK(Restore(prefix));
+        return Empty();
+      });
+}
+
+}  // namespace psgraph::ps

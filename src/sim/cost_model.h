@@ -1,0 +1,71 @@
+// Cost model translating observed work (bytes moved, records processed)
+// into simulated seconds. Defaults approximate the paper's testbed:
+// 10 GbE network, spinning-disk shuffle spill, commodity CPU cores.
+
+#ifndef PSGRAPH_SIM_COST_MODEL_H_
+#define PSGRAPH_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace psgraph::sim {
+
+struct CostModelConfig {
+  /// 10 GbE ~ 1.25 GB/s per NIC.
+  double network_bandwidth_bytes_per_sec = 1.25e9;
+  /// Per-message network latency (switch + kernel), seconds.
+  double network_latency_sec = 1e-4;
+  /// Sequential disk bandwidth for shuffle spill / HDFS, bytes per second.
+  double disk_read_bytes_per_sec = 4.0e8;
+  double disk_write_bytes_per_sec = 2.5e8;
+  /// Per-file/fetch overhead (buffered sequential IO on consolidated
+  /// shuffle files; not a cold HDD seek).
+  double disk_seek_sec = 1e-4;
+  /// Simple scalar CPU throughput: "record operations" per second per
+  /// core (hash probes, per-tuple work in dataflow operators).
+  double cpu_ops_per_sec = 5.0e7;
+  /// Dense numeric throughput (tensor math in the GNN runtime).
+  double cpu_flops_per_sec = 5.0e9;
+};
+
+/// Pure functions over CostModelConfig; stateless and thread-safe.
+class CostModel {
+ public:
+  explicit CostModel(CostModelConfig cfg = {}) : cfg_(cfg) {}
+
+  const CostModelConfig& config() const { return cfg_; }
+
+  /// Time for one message of `bytes` across the network.
+  double NetworkTime(uint64_t bytes) const {
+    return cfg_.network_latency_sec +
+           static_cast<double>(bytes) / cfg_.network_bandwidth_bytes_per_sec;
+  }
+
+  /// Time to write `bytes` to local disk as one file.
+  double DiskWriteTime(uint64_t bytes) const {
+    return cfg_.disk_seek_sec +
+           static_cast<double>(bytes) / cfg_.disk_write_bytes_per_sec;
+  }
+
+  /// Time to read `bytes` from local disk as one file.
+  double DiskReadTime(uint64_t bytes) const {
+    return cfg_.disk_seek_sec +
+           static_cast<double>(bytes) / cfg_.disk_read_bytes_per_sec;
+  }
+
+  /// Time to perform `ops` record-operations on one core.
+  double ComputeTime(uint64_t ops) const {
+    return static_cast<double>(ops) / cfg_.cpu_ops_per_sec;
+  }
+
+  /// Time to perform `flops` dense floating-point operations.
+  double FlopsTime(uint64_t flops) const {
+    return static_cast<double>(flops) / cfg_.cpu_flops_per_sec;
+  }
+
+ private:
+  CostModelConfig cfg_;
+};
+
+}  // namespace psgraph::sim
+
+#endif  // PSGRAPH_SIM_COST_MODEL_H_

@@ -1,0 +1,64 @@
+// Deterministic failure injection for the Table II experiment: kill one
+// executor or one parameter server at a chosen iteration and let the
+// recovery machinery (Spark lineage reload / PS checkpoint restore) bring
+// the job back.
+
+#ifndef PSGRAPH_SIM_FAILURE_INJECTOR_H_
+#define PSGRAPH_SIM_FAILURE_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace psgraph::sim {
+
+/// A single scheduled failure: node `node` dies when the workload reaches
+/// iteration `iteration` (0-based, checked at iteration start).
+struct ScheduledFailure {
+  NodeId node = -1;
+  int64_t iteration = -1;
+  bool fired = false;
+};
+
+class FailureInjector {
+ public:
+  /// Schedules `node` to die at the start of `iteration`.
+  void ScheduleKill(NodeId node, int64_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    failures_.push_back({node, iteration, false});
+  }
+
+  /// Called by the orchestration loop at the start of each iteration;
+  /// fires any due failures against `cluster`. Returns the nodes killed
+  /// this call.
+  std::vector<NodeId> Tick(SimCluster& cluster, int64_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<NodeId> killed;
+    for (auto& f : failures_) {
+      if (!f.fired && f.iteration == iteration) {
+        f.fired = true;
+        cluster.KillNode(f.node);
+        killed.push_back(f.node);
+      }
+    }
+    return killed;
+  }
+
+  bool AnyPending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& f : failures_) {
+      if (!f.fired) return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ScheduledFailure> failures_;
+};
+
+}  // namespace psgraph::sim
+
+#endif  // PSGRAPH_SIM_FAILURE_INJECTOR_H_

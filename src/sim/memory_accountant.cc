@@ -1,0 +1,53 @@
+#include "sim/memory_accountant.h"
+
+#include <algorithm>
+
+namespace psgraph::sim {
+
+Status MemoryAccountant::Allocate(int32_t node, uint64_t bytes,
+                                  const char* what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (usage_[node] + bytes > budgets_[node]) {
+    return Status::MemoryLimitExceeded(
+        "node " + std::to_string(node) + ": " + what + " needs " +
+        std::to_string(bytes) + " B, used " + std::to_string(usage_[node]) +
+        " of " + std::to_string(budgets_[node]) + " B");
+  }
+  usage_[node] += bytes;
+  peak_[node] = std::max(peak_[node], usage_[node]);
+  return Status::OK();
+}
+
+void MemoryAccountant::Release(int32_t node, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usage_[node] -= std::min(usage_[node], bytes);
+}
+
+void MemoryAccountant::ReleaseAll(int32_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usage_[node] = 0;
+}
+
+uint64_t MemoryAccountant::Usage(int32_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return usage_[node];
+}
+
+uint64_t MemoryAccountant::Peak(int32_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_[node];
+}
+
+uint64_t MemoryAccountant::Budget(int32_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budgets_[node];
+}
+
+uint64_t MemoryAccountant::MaxPeak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t m = 0;
+  for (uint64_t p : peak_) m = std::max(m, p);
+  return m;
+}
+
+}  // namespace psgraph::sim

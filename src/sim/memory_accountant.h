@@ -1,0 +1,58 @@
+// Per-node memory budgets.
+//
+// Every sizeable allocation a logical node makes (RDD partitions, join hash
+// tables, PS partitions, shuffle buffers) is charged here. Exceeding the
+// node's budget yields Status::MemoryLimitExceeded — the simulated
+// equivalent of the executor OOM the paper reports for GraphX on DS2,
+// K-core and triangle count (Fig. 6).
+
+#ifndef PSGRAPH_SIM_MEMORY_ACCOUNTANT_H_
+#define PSGRAPH_SIM_MEMORY_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace psgraph::sim {
+
+class MemoryAccountant {
+ public:
+  /// One budget per node, in bytes.
+  explicit MemoryAccountant(std::vector<uint64_t> budgets)
+      : budgets_(std::move(budgets)),
+        usage_(budgets_.size(), 0),
+        peak_(budgets_.size(), 0) {}
+
+  int32_t num_nodes() const { return static_cast<int32_t>(budgets_.size()); }
+
+  /// Charges `bytes` to `node`. Fails with MemoryLimitExceeded (and leaves
+  /// usage unchanged) if the budget would be exceeded.
+  Status Allocate(int32_t node, uint64_t bytes, const char* what = "alloc");
+
+  /// Releases `bytes` previously charged to `node`. Over-release clamps to
+  /// zero (callers may free conservatively on error paths).
+  void Release(int32_t node, uint64_t bytes);
+
+  /// Drops everything the node holds (container death).
+  void ReleaseAll(int32_t node);
+
+  uint64_t Usage(int32_t node) const;
+  uint64_t Peak(int32_t node) const;
+  uint64_t Budget(int32_t node) const;
+
+  /// Max over nodes of peak usage (bench reporting).
+  uint64_t MaxPeak() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> budgets_;
+  std::vector<uint64_t> usage_;
+  std::vector<uint64_t> peak_;
+};
+
+}  // namespace psgraph::sim
+
+#endif  // PSGRAPH_SIM_MEMORY_ACCOUNTANT_H_

@@ -1,0 +1,63 @@
+#include "sim/report.h"
+
+#include <algorithm>
+
+namespace psgraph::sim {
+
+namespace {
+
+RoleStats CollectRole(const SimCluster& cluster, NodeId begin,
+                      NodeId end) {
+  RoleStats stats;
+  if (begin >= end) return stats;
+  stats.min_time = 1e300;
+  // Clock/memory accessors are const-safe; the cluster reference is
+  // conceptually read-only here.
+  auto& mutable_cluster = const_cast<SimCluster&>(cluster);
+  double total = 0.0;
+  for (NodeId n = begin; n < end; ++n) {
+    double t = mutable_cluster.clock().Now(n);
+    stats.min_time = std::min(stats.min_time, t);
+    stats.max_time = std::max(stats.max_time, t);
+    total += t;
+    stats.max_peak_mem =
+        std::max(stats.max_peak_mem, mutable_cluster.memory().Peak(n));
+    stats.budget = mutable_cluster.memory().Budget(n);
+  }
+  stats.avg_time = total / static_cast<double>(end - begin);
+  return stats;
+}
+
+}  // namespace
+
+ClusterReport CollectReport(const SimCluster& cluster) {
+  ClusterReport report;
+  const ClusterConfig& cfg = cluster.config();
+  report.executors = CollectRole(cluster, 0, cfg.num_executors);
+  report.servers =
+      CollectRole(cluster, cfg.num_executors,
+                  cfg.num_executors + cfg.num_servers);
+  report.makespan = const_cast<SimCluster&>(cluster).clock().Makespan();
+  return report;
+}
+
+std::string FormatReport(const ClusterReport& report) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cluster report: makespan %.3fs\n"
+      "  executors: busy avg %.3fs max %.3fs | peak mem %.1f%% of budget\n"
+      "  servers:   busy avg %.3fs max %.3fs | peak mem %.1f%% of budget",
+      report.makespan, report.executors.avg_time,
+      report.executors.max_time,
+      report.executors.budget
+          ? 100.0 * report.executors.max_peak_mem / report.executors.budget
+          : 0.0,
+      report.servers.avg_time, report.servers.max_time,
+      report.servers.budget
+          ? 100.0 * report.servers.max_peak_mem / report.servers.budget
+          : 0.0);
+  return buf;
+}
+
+}  // namespace psgraph::sim

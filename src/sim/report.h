@@ -1,0 +1,37 @@
+// Cluster utilization report: per-role simulated busy time and memory
+// peaks. Benches print it to show where a workload's time and memory
+// went (executor compute vs server busy vs memory headroom).
+
+#ifndef PSGRAPH_SIM_REPORT_H_
+#define PSGRAPH_SIM_REPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace psgraph::sim {
+
+struct RoleStats {
+  double min_time = 0.0;
+  double max_time = 0.0;
+  double avg_time = 0.0;
+  uint64_t max_peak_mem = 0;
+  uint64_t budget = 0;
+};
+
+struct ClusterReport {
+  RoleStats executors;
+  RoleStats servers;
+  double makespan = 0.0;
+};
+
+/// Collects the current clocks and memory peaks of `cluster`.
+ClusterReport CollectReport(const SimCluster& cluster);
+
+/// Renders the report as a short human-readable block.
+std::string FormatReport(const ClusterReport& report);
+
+}  // namespace psgraph::sim
+
+#endif  // PSGRAPH_SIM_REPORT_H_

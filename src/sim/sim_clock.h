@@ -1,0 +1,83 @@
+// Per-node simulated clocks.
+//
+// Each logical node accumulates the simulated seconds it has spent
+// computing, reading disk and talking to the network. A synchronization
+// barrier advances every participant to the slowest one — exactly how BSP
+// supersteps compose. The makespan over all nodes is the number a bench
+// reports as "cluster time".
+
+#ifndef PSGRAPH_SIM_SIM_CLOCK_H_
+#define PSGRAPH_SIM_SIM_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace psgraph::sim {
+
+class SimClock {
+ public:
+  explicit SimClock(int32_t num_nodes) : times_(num_nodes, 0.0) {}
+
+  int32_t num_nodes() const { return static_cast<int32_t>(times_.size()); }
+
+  /// Adds `seconds` of simulated work to `node`'s clock.
+  void Advance(int32_t node, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    times_[node] += seconds;
+  }
+
+  /// Ensures `node`'s clock is at least `t` (e.g. a message cannot be
+  /// received before it was sent).
+  void AdvanceTo(int32_t node, double t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    times_[node] = std::max(times_[node], t);
+  }
+
+  double Now(int32_t node) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_[node];
+  }
+
+  /// BSP barrier: every node in `nodes` advances to the max among them.
+  /// Returns the barrier time.
+  double Barrier(std::span<const int32_t> nodes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    double t = 0.0;
+    for (int32_t n : nodes) t = std::max(t, times_[n]);
+    for (int32_t n : nodes) times_[n] = t;
+    return t;
+  }
+
+  /// Barrier over every node.
+  double BarrierAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    double t = 0.0;
+    for (double v : times_) t = std::max(t, v);
+    for (double& v : times_) v = t;
+    return t;
+  }
+
+  /// Max simulated time over all nodes.
+  double Makespan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double t = 0.0;
+    for (double v : times_) t = std::max(t, v);
+    return t;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fill(times_.begin(), times_.end(), 0.0);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> times_;
+};
+
+}  // namespace psgraph::sim
+
+#endif  // PSGRAPH_SIM_SIM_CLOCK_H_

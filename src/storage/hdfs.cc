@@ -1,0 +1,97 @@
+#include "storage/hdfs.h"
+
+#include "common/metrics.h"
+
+namespace psgraph::storage {
+
+Status Hdfs::Write(const std::string& path, std::vector<uint8_t> bytes,
+                   sim::NodeId node) {
+  ChargeIo(node, bytes.size(), /*write=*/true);
+  Metrics::Global().Add("hdfs.bytes_written", bytes.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::move(bytes);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Hdfs::Read(const std::string& path,
+                                        sim::NodeId node) {
+  std::vector<uint8_t> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Status::NotFound("hdfs: no such file: " + path);
+    }
+    out = it->second;
+  }
+  ChargeIo(node, out.size(), /*write=*/false);
+  Metrics::Global().Add("hdfs.bytes_read", out.size());
+  return out;
+}
+
+Result<std::string> Hdfs::ReadString(const std::string& path,
+                                     sim::NodeId node) {
+  PSG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, Read(path, node));
+  return std::string(bytes.begin(), bytes.end());
+}
+
+bool Hdfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Result<uint64_t> Hdfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("hdfs: no such file: " + path);
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status Hdfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("hdfs: no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status Hdfs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("hdfs: no such file: " + from);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Hdfs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+uint64_t Hdfs::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, bytes] : files_) total += bytes.size();
+  return total;
+}
+
+void Hdfs::ChargeIo(sim::NodeId node, uint64_t bytes, bool write) {
+  if (cluster_ == nullptr || node < 0) return;
+  const auto& cost = cluster_->cost();
+  double t = write ? cost.DiskWriteTime(bytes) : cost.DiskReadTime(bytes);
+  // HDFS is remote storage: the transfer also crosses the network.
+  t += cost.NetworkTime(bytes);
+  cluster_->clock().Advance(node, t);
+}
+
+}  // namespace psgraph::storage

@@ -1,0 +1,236 @@
+// Tests for the common layer: Status/Result, ByteBuffer, Rng, hashing,
+// alias sampling, metrics, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/byte_buffer.h"
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace psgraph {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::MemoryLimitExceeded("executor 3 over budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsMemoryLimitExceeded());
+  EXPECT_EQ(s.code(), StatusCode::kMemoryLimitExceeded);
+  EXPECT_EQ(s.ToString(),
+            "MemoryLimitExceeded: executor 3 over budget");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    PSG_RETURN_NOT_OK(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IoError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("value");
+    return Status::NotFound("nope");
+  };
+  auto consume = [&](bool ok) -> Result<size_t> {
+    PSG_ASSIGN_OR_RETURN(std::string s, produce(ok));
+    return s.size();
+  };
+  ASSERT_TRUE(consume(true).ok());
+  EXPECT_EQ(*consume(true), 5u);
+  EXPECT_TRUE(consume(false).status().IsNotFound());
+}
+
+TEST(ByteBufferTest, PrimitiveRoundTrip) {
+  ByteBuffer buf;
+  buf.Write<uint64_t>(123456789ULL);
+  buf.Write<float>(3.25f);
+  buf.Write<int32_t>(-7);
+  ByteReader reader(buf);
+  uint64_t a = 0;
+  float b = 0;
+  int32_t c = 0;
+  ASSERT_TRUE(reader.Read(&a).ok());
+  ASSERT_TRUE(reader.Read(&b).ok());
+  ASSERT_TRUE(reader.Read(&c).ok());
+  EXPECT_EQ(a, 123456789ULL);
+  EXPECT_EQ(b, 3.25f);
+  EXPECT_EQ(c, -7);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, StringAndVectorRoundTrip) {
+  ByteBuffer buf;
+  buf.WriteString("hello psgraph");
+  buf.WriteVector(std::vector<uint64_t>{1, 2, 3});
+  buf.WriteVector(std::vector<float>{});
+  ByteReader reader(buf);
+  std::string s;
+  std::vector<uint64_t> v;
+  std::vector<float> f;
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadVector(&v).ok());
+  ASSERT_TRUE(reader.ReadVector(&f).ok());
+  EXPECT_EQ(s, "hello psgraph");
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(ByteBufferTest, TruncatedReadsFailCleanly) {
+  ByteBuffer buf;
+  buf.Write<uint32_t>(5);
+  ByteReader reader(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.Read(&v).ok());
+
+  // A huge claimed vector length must not crash.
+  ByteBuffer evil;
+  evil.Write<uint64_t>(UINT64_MAX / 2);
+  ByteReader r2(evil);
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(r2.ReadVector(&out).ok());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+  }
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0, sumsq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng base(9);
+  Rng f0 = base.Fork(0);
+  Rng f1 = base.Fork(1);
+  EXPECT_NE(f0.NextU64(), f1.NextU64());
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Hash64(12345), Hash64(12345));
+  EXPECT_NE(Hash64(12345), Hash64(12346));
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+}
+
+TEST(AliasTableTest, MatchesDistribution) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(rng)]++;
+  for (int i = 0; i < 4; ++i) {
+    double expect = weights[i] / 10.0;
+    EXPECT_NEAR(counts[i] / (double)n, expect, 0.01) << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 1.0});
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, EmptyAndDegenerate) {
+  AliasTable empty;
+  EXPECT_TRUE(empty.empty());
+  Rng rng(1);
+  EXPECT_EQ(empty.Sample(rng), 0u);
+  AliasTable zeros(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(zeros.empty());
+}
+
+TEST(MetricsTest, AddAndSnapshot) {
+  Metrics m;
+  m.Add("a", 5);
+  m.Add("a", 7);
+  m.Add("b", 1);
+  EXPECT_EQ(m.Get("a"), 12u);
+  EXPECT_EQ(m.Get("missing"), 0u);
+  auto snap = m.Snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  m.Reset();
+  EXPECT_EQ(m.Get("a"), 0u);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] {});
+  fut.get();  // must not hang
+}
+
+}  // namespace
+}  // namespace psgraph

@@ -1,0 +1,272 @@
+// Tests for the mini-Spark dataflow engine: transforms, shuffles, memory
+// accounting (OOM), caching and lineage recomputation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "sim/cluster.h"
+
+namespace psgraph::dataflow {
+namespace {
+
+using IntPair = std::pair<uint64_t, uint64_t>;
+
+sim::ClusterConfig SmallCluster() {
+  sim::ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.num_servers = 1;
+  cfg.executor_mem_bytes = 64ull << 20;
+  cfg.server_mem_bytes = 64ull << 20;
+  return cfg;
+}
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  DataflowTest() : cluster_(SmallCluster()), ctx_(&cluster_) {}
+  sim::SimCluster cluster_;
+  DataflowContext ctx_;
+};
+
+TEST_F(DataflowTest, FromVectorRoundTrip) {
+  std::vector<uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = Dataset<uint64_t>::FromVector(&ctx_, data, 4);
+  EXPECT_EQ(ds.num_partitions(), 4);
+  auto out = ds.Collect();
+  ASSERT_TRUE(out.ok());
+  std::sort(out->begin(), out->end());
+  EXPECT_EQ(*out, data);
+}
+
+TEST_F(DataflowTest, MapFilterFlatMap) {
+  std::vector<uint64_t> data{1, 2, 3, 4, 5, 6};
+  auto ds = Dataset<uint64_t>::FromVector(&ctx_, data, 3);
+  auto result = ds.Map([](uint64_t& v) { return v * 10; })
+                    .Filter([](const uint64_t& v) { return v > 20; })
+                    .FlatMap([](uint64_t& v) {
+                      return std::vector<uint64_t>{v, v + 1};
+                    })
+                    .Collect();
+  ASSERT_TRUE(result.ok());
+  std::sort(result->begin(), result->end());
+  std::vector<uint64_t> expect{30, 31, 40, 41, 50, 51, 60, 61};
+  EXPECT_EQ(*result, expect);
+}
+
+TEST_F(DataflowTest, CountEmpty) {
+  auto ds = Dataset<uint64_t>::FromVector(&ctx_, {}, 2);
+  auto n = ds.Count();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(DataflowTest, GroupByKeyGroupsAllValues) {
+  std::vector<IntPair> data;
+  for (uint64_t i = 0; i < 60; ++i) data.push_back({i % 5, i});
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, data, 4);
+  auto grouped = ds.GroupByKey().Collect();
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->size(), 5u);
+  size_t total = 0;
+  for (auto& [k, vs] : *grouped) {
+    EXPECT_EQ(vs.size(), 12u) << "key " << k;
+    for (uint64_t v : vs) EXPECT_EQ(v % 5, k);
+    total += vs.size();
+  }
+  EXPECT_EQ(total, 60u);
+}
+
+TEST_F(DataflowTest, ReduceByKeySums) {
+  std::vector<IntPair> data;
+  for (uint64_t i = 0; i < 100; ++i) data.push_back({i % 10, 1});
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, data, 4);
+  auto reduced =
+      ds.ReduceByKey([](const uint64_t& a, const uint64_t& b) {
+          return a + b;
+        }).Collect();
+  ASSERT_TRUE(reduced.ok());
+  ASSERT_EQ(reduced->size(), 10u);
+  for (auto& [k, v] : *reduced) EXPECT_EQ(v, 10u);
+}
+
+TEST_F(DataflowTest, JoinMatchesKeys) {
+  std::vector<IntPair> left{{1, 10}, {2, 20}, {3, 30}};
+  std::vector<std::pair<uint64_t, std::string>> right{
+      {2, "two"}, {3, "three"}, {4, "four"}};
+  auto l = Dataset<IntPair>::FromVector(&ctx_, left, 2);
+  auto r = Dataset<std::pair<uint64_t, std::string>>::FromVector(&ctx_,
+                                                                 right, 2);
+  auto joined = l.Join<std::string>(r).Collect();
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 2u);
+  std::sort(joined->begin(), joined->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ((*joined)[0].first, 2u);
+  EXPECT_EQ((*joined)[0].second.first, 20u);
+  EXPECT_EQ((*joined)[0].second.second, "two");
+  EXPECT_EQ((*joined)[1].first, 3u);
+  EXPECT_EQ((*joined)[1].second.second, "three");
+}
+
+TEST_F(DataflowTest, JoinProducesCrossProductPerKey) {
+  std::vector<IntPair> left{{1, 10}, {1, 11}};
+  std::vector<IntPair> right{{1, 100}, {1, 101}, {1, 102}};
+  auto l = Dataset<IntPair>::FromVector(&ctx_, left, 2);
+  auto r = Dataset<IntPair>::FromVector(&ctx_, right, 2);
+  auto joined = l.Join<uint64_t>(r).Collect();
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 6u);
+}
+
+TEST_F(DataflowTest, CoGroupKeepsUnmatched) {
+  std::vector<IntPair> left{{1, 10}};
+  std::vector<IntPair> right{{2, 20}};
+  auto l = Dataset<IntPair>::FromVector(&ctx_, left, 1);
+  auto r = Dataset<IntPair>::FromVector(&ctx_, right, 1);
+  auto grouped = l.CoGroup<uint64_t>(r).Collect();
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->size(), 2u);
+  for (auto& [k, vw] : *grouped) {
+    if (k == 1) {
+      EXPECT_EQ(vw.first.size(), 1u);
+      EXPECT_TRUE(vw.second.empty());
+    } else {
+      EXPECT_TRUE(vw.first.empty());
+      EXPECT_EQ(vw.second.size(), 1u);
+    }
+  }
+}
+
+TEST_F(DataflowTest, UnionConcatenates) {
+  auto a = Dataset<uint64_t>::FromVector(&ctx_, {1, 2}, 1);
+  auto b = Dataset<uint64_t>::FromVector(&ctx_, {3, 4}, 1);
+  auto u = a.Union(b).Collect();
+  ASSERT_TRUE(u.ok());
+  std::sort(u->begin(), u->end());
+  EXPECT_EQ(*u, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST_F(DataflowTest, DistinctKeys) {
+  std::vector<IntPair> data{{1, 0}, {1, 1}, {2, 0}, {3, 0}, {3, 9}};
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, data, 2);
+  auto keys = ds.DistinctKeys().Collect();
+  ASSERT_TRUE(keys.ok());
+  std::sort(keys->begin(), keys->end());
+  EXPECT_EQ(*keys, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST_F(DataflowTest, MapPartitionsWithIndexSeesAllPartitions) {
+  std::vector<uint64_t> data(40, 1);
+  auto ds = Dataset<uint64_t>::FromVector(&ctx_, data, 4);
+  auto tagged = ds.MapPartitionsWithIndex(
+      [](int32_t p, std::vector<uint64_t>&& in)
+          -> Result<std::vector<IntPair>> {
+        std::vector<IntPair> out;
+        for (uint64_t v : in) out.push_back({(uint64_t)p, v});
+        return out;
+      });
+  auto rows = tagged.Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 40u);
+  std::vector<int> seen(4, 0);
+  for (auto& [p, v] : *rows) seen[p]++;
+  for (int c : seen) EXPECT_EQ(c, 10);
+}
+
+TEST_F(DataflowTest, CacheAvoidsRecompute) {
+  int computes = 0;
+  auto ds = Dataset<uint64_t>::FromVector(&ctx_, {1, 2, 3, 4}, 2)
+                .Map([&computes](uint64_t& v) {
+                  ++computes;
+                  return v;
+                })
+                .Cache();
+  ASSERT_TRUE(ds.Evaluate().ok());
+  EXPECT_EQ(computes, 4);
+  ASSERT_TRUE(ds.Collect().ok());
+  EXPECT_EQ(computes, 4) << "cached partitions must not recompute";
+  ds.Unpersist();
+  ASSERT_TRUE(ds.Collect().ok());
+  EXPECT_EQ(computes, 8) << "unpersisted partitions recompute";
+}
+
+TEST_F(DataflowTest, CacheChargesAndReleasesMemory) {
+  auto usage_before = cluster_.memory().Usage(0);
+  auto ds =
+      Dataset<uint64_t>::FromVector(&ctx_, std::vector<uint64_t>(1000, 7),
+                                    4)
+          .Cache();
+  ASSERT_TRUE(ds.Evaluate().ok());
+  EXPECT_GT(cluster_.memory().Usage(0), usage_before);
+  ds.Unpersist();
+  EXPECT_EQ(cluster_.memory().Usage(0), usage_before);
+}
+
+TEST_F(DataflowTest, ExecutorFailureInvalidatesCacheViaLineage) {
+  int computes = 0;
+  auto ds = Dataset<uint64_t>::FromVector(&ctx_, {1, 2, 3, 4, 5, 6, 7, 8},
+                                          4)
+                .Map([&computes](uint64_t& v) {
+                  ++computes;
+                  return v * 2;
+                })
+                .Cache();
+  ASSERT_TRUE(ds.Evaluate().ok());
+  int after_first = computes;
+
+  // Executor 1 dies: its ledger is wiped and its cached partitions are
+  // stale; lineage recomputes only those.
+  cluster_.KillNode(1);
+  cluster_.ReviveNode(1);
+  ctx_.BumpExecutorEpoch(1);
+
+  auto out = ds.Collect();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 8u);
+  EXPECT_GT(computes, after_first);
+  EXPECT_LT(computes, 2 * after_first)
+      << "only the dead executor's partitions should recompute";
+}
+
+TEST_F(DataflowTest, GroupByKeyOomWhenBudgetTiny) {
+  sim::ClusterConfig cfg = SmallCluster();
+  cfg.executor_mem_bytes = 16 << 10;  // 16 KB per executor
+  sim::SimCluster tiny(cfg);
+  DataflowContext tctx(&tiny);
+  std::vector<IntPair> data;
+  for (uint64_t i = 0; i < 5000; ++i) data.push_back({i % 7, i});
+  auto ds = Dataset<IntPair>::FromVector(&tctx, data, 4);
+  auto out = ds.GroupByKey().Collect();
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsMemoryLimitExceeded())
+      << out.status().ToString();
+}
+
+TEST_F(DataflowTest, ShuffleChargesSimulatedTime) {
+  std::vector<IntPair> data;
+  for (uint64_t i = 0; i < 1000; ++i) data.push_back({i % 100, i});
+  auto ds = Dataset<IntPair>::FromVector(&ctx_, data, 4);
+  double before = cluster_.clock().Makespan();
+  ASSERT_TRUE(
+      ds.ReduceByKey([](const uint64_t& a, const uint64_t& b) {
+          return a + b;
+        }).Evaluate().ok());
+  EXPECT_GT(cluster_.clock().Makespan(), before);
+}
+
+TEST_F(DataflowTest, StageBarrierAlignsExecutors) {
+  cluster_.clock().Advance(0, 5.0);
+  cluster_.clock().Advance(2, 1.0);
+  ctx_.StageBarrier();
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_DOUBLE_EQ(cluster_.clock().Now(e), 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace psgraph::dataflow

@@ -1,0 +1,175 @@
+// Robustness: degenerate and adversarial inputs through every core
+// algorithm — empty graphs, self loops, parallel edges, single vertices,
+// disconnected pieces — must produce clean statuses or correct results,
+// never crashes.
+
+#include <gtest/gtest.h>
+
+#include "core/deepwalk.h"
+#include "core/fast_unfolding.h"
+#include "core/graph_loader.h"
+#include "core/kcore.h"
+#include "core/label_propagation.h"
+#include "core/line.h"
+#include "core/neighbor_algos.h"
+#include "core/pagerank.h"
+#include "core/psgraph_context.h"
+#include "core/sgc.h"
+#include "graph/generators.h"
+
+namespace psgraph::core {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+std::unique_ptr<PsGraphContext> MakeCtx() {
+  PsGraphContext::Options opts;
+  opts.cluster.num_executors = 3;
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 256ull << 20;
+  opts.cluster.server_mem_bytes = 256ull << 20;
+  auto ctx = PsGraphContext::Create(opts);
+  PSG_CHECK_OK(ctx.status());
+  return std::move(*ctx);
+}
+
+dataflow::Dataset<Edge> Load(PsGraphContext& ctx, const EdgeList& edges,
+                             const std::string& name) {
+  auto ds = StageAndLoadEdges(ctx, edges, "edge_cases/" + name);
+  PSG_CHECK_OK(ds.status());
+  return *ds;
+}
+
+TEST(EdgeCasesTest, EmptyGraphRejectedOrEmptyResults) {
+  auto ctx = MakeCtx();
+  auto ds = Load(*ctx, {}, "empty.bin");
+  EXPECT_FALSE(PageRank(*ctx, ds, 0).ok());
+  EXPECT_FALSE(Line(*ctx, ds, 0, {}).ok());
+  // Aggregate algorithms degrade to empty results.
+  auto cn = CommonNeighbor(*ctx, ds);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_EQ(cn->pairs, 0u);
+  auto tc = TriangleCount(*ctx, ds);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*tc, 0u);
+}
+
+TEST(EdgeCasesTest, SelfLoopOnlyGraph) {
+  auto ctx = MakeCtx();
+  EdgeList loops{{3, 3}, {7, 7}};
+  auto ds = Load(*ctx, loops, "loops.bin");
+  PageRankOptions po;
+  po.max_iterations = 5;
+  auto pr = PageRank(*ctx, ds, 0, po);
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  // A pure self-loop vertex keeps all its own rank: 0.15/(1-0.85) = 1.
+  EXPECT_NEAR(pr->ranks[3], pr->ranks[7], 1e-6);
+  auto tc = TriangleCount(*ctx, ds);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*tc, 0u);
+}
+
+TEST(EdgeCasesTest, ParallelEdgesAreCountedConsistently) {
+  auto ctx = MakeCtx();
+  // Triangle where one edge is tripled.
+  EdgeList edges{{0, 1}, {0, 1}, {0, 1}, {1, 2}, {2, 0}};
+  auto ds = Load(*ctx, edges, "multi.bin");
+  auto tc = TriangleCount(*ctx, ds);  // canonicalizes internally
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*tc, 1u);
+  auto kc = KCoreSubgraph(*ctx, ds, 0, /*k=*/2);
+  ASSERT_TRUE(kc.ok());
+  // Parallel edges inflate degree: all three vertices stay in the 2-core.
+  EXPECT_EQ(kc->core_vertices, 3u);
+}
+
+TEST(EdgeCasesTest, SingleEdgeGraphThroughEverything) {
+  auto ctx = MakeCtx();
+  EdgeList one{{0, 1}};
+  auto ds = Load(*ctx, one, "one.bin");
+  PageRankOptions po;
+  po.max_iterations = 10;
+  ASSERT_TRUE(PageRank(*ctx, ds, 0, po).ok());
+  ASSERT_TRUE(CommonNeighbor(*ctx, ds).ok());
+  ASSERT_TRUE(KCore(*ctx, ds, 0).ok());
+  ASSERT_TRUE(LabelPropagation(*ctx, ds, 0).ok());
+  auto cc = ConnectedComponents(*ctx, ds, 0);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(cc->num_components, 1u);
+  LineOptions lo;
+  lo.embedding_dim = 4;
+  lo.epochs = 1;
+  ASSERT_TRUE(Line(*ctx, ds, 0, lo).ok());
+  DeepWalkOptions dw;
+  dw.embedding_dim = 4;
+  dw.walk_length = 4;
+  ASSERT_TRUE(DeepWalk(*ctx, ds, 0, dw).ok());
+}
+
+TEST(EdgeCasesTest, DisconnectedStarsFastUnfolding) {
+  auto ctx = MakeCtx();
+  EdgeList edges;
+  // Three disjoint stars.
+  for (VertexId c : {0ull, 100ull, 200ull}) {
+    for (VertexId leaf = 1; leaf <= 6; ++leaf) {
+      edges.push_back({c, c + leaf});
+      edges.push_back({c + leaf, c});
+    }
+  }
+  auto ds = Load(*ctx, edges, "stars.bin");
+  auto fu = FastUnfolding(*ctx, ds);
+  ASSERT_TRUE(fu.ok()) << fu.status().ToString();
+  EXPECT_EQ(fu->num_communities, 3u);
+  EXPECT_GT(fu->modularity, 0.5);
+}
+
+TEST(EdgeCasesTest, SgcLearnsOnSbm) {
+  auto ctx = MakeCtx();
+  graph::SbmParams params;
+  params.num_vertices = 600;
+  params.num_edges = 6000;
+  params.num_communities = 4;
+  params.feature_dim = 16;
+  params.seed = 21;
+  graph::LabeledGraph g = graph::GenerateSbm(params);
+  SgcOptions opts;
+  opts.epochs = 5;
+  auto result = Sgc(*ctx, g, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->test_accuracy, 0.75)
+      << "accuracy " << result->test_accuracy;
+  EXPECT_GT(result->propagation_sim_seconds, 0.0);
+}
+
+TEST(EdgeCasesTest, SgcPropagationHelpsOverRawFeatures) {
+  // With very noisy features, neighborhood smoothing (K=2) should beat
+  // no propagation (K=0) on a community-labeled graph.
+  graph::SbmParams params;
+  params.num_vertices = 800;
+  params.num_edges = 12000;
+  params.num_communities = 4;
+  params.feature_dim = 16;
+  params.feature_noise = 4.0;
+  params.centroid_scale = 1.0;
+  params.seed = 33;
+  graph::LabeledGraph g = graph::GenerateSbm(params);
+
+  auto run = [&](int k) {
+    auto ctx = MakeCtx();
+    SgcOptions opts;
+    opts.propagation_steps = k;
+    opts.epochs = 6;
+    auto result = Sgc(*ctx, g, opts);
+    PSG_CHECK_OK(result.status());
+    return result->test_accuracy;
+  };
+  double raw = run(0);
+  double smoothed = run(2);
+  EXPECT_GT(smoothed, raw + 0.05)
+      << "raw=" << raw << " smoothed=" << smoothed;
+}
+
+}  // namespace
+}  // namespace psgraph::core

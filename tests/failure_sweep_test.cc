@@ -1,0 +1,151 @@
+// Parameterized failure sweeps: kill every executor index and every
+// server index in turn and require identical algorithm output — the
+// recovery machinery must not depend on *which* container dies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/graph_loader.h"
+#include "core/line.h"
+#include "core/neighbor_algos.h"
+#include "core/pagerank.h"
+#include "core/psgraph_context.h"
+#include "graph/generators.h"
+
+namespace psgraph::core {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+constexpr int kExecutors = 3;
+constexpr int kServers = 2;
+
+PsGraphContext::Options Opts() {
+  PsGraphContext::Options opts;
+  opts.cluster.num_executors = kExecutors;
+  opts.cluster.num_servers = kServers;
+  opts.cluster.executor_mem_bytes = 256ull << 20;
+  opts.cluster.server_mem_bytes = 256ull << 20;
+  opts.checkpoint_interval = 2;
+  return opts;
+}
+
+EdgeList SweepGraph() {
+  EdgeList edges =
+      graph::Simplify(graph::GenerateErdosRenyi(150, 1500, 51));
+  for (VertexId v = 0; v < 150; ++v) edges.push_back({v, (v + 1) % 150});
+  return edges;
+}
+
+class KillNodeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KillNodeSweep, CommonNeighborUnaffected) {
+  EdgeList edges = SweepGraph();
+  auto run = [&](sim::NodeId kill) -> CommonNeighborStats {
+    auto ctx = PsGraphContext::Create(Opts());
+    PSG_CHECK_OK(ctx.status());
+    auto ds = StageAndLoadEdges(**ctx, edges, "sweep/cn.bin");
+    PSG_CHECK_OK(ds.status());
+    if (kill >= 0) (*ctx)->failures().ScheduleKill(kill, 1);
+    CommonNeighborOptions co;
+    co.batch_size = 256;
+    auto stats = CommonNeighbor(**ctx, *ds, co);
+    PSG_CHECK_OK(stats.status());
+    return *stats;
+  };
+  CommonNeighborStats clean = run(-1);
+  CommonNeighborStats failed = run(GetParam());
+  EXPECT_EQ(failed.pairs, clean.pairs);
+  EXPECT_EQ(failed.total_common, clean.total_common);
+  EXPECT_EQ(failed.max_common, clean.max_common);
+}
+
+TEST_P(KillNodeSweep, PageRankUnaffected) {
+  EdgeList edges = SweepGraph();
+  auto run = [&](sim::NodeId kill) -> std::vector<double> {
+    auto ctx = PsGraphContext::Create(Opts());
+    PSG_CHECK_OK(ctx.status());
+    auto ds = StageAndLoadEdges(**ctx, edges, "sweep/pr.bin");
+    PSG_CHECK_OK(ds.status());
+    if (kill >= 0) (*ctx)->failures().ScheduleKill(kill, 3);
+    PageRankOptions po;
+    po.max_iterations = 6;
+    auto result = PageRank(**ctx, *ds, 0, po);
+    PSG_CHECK_OK(result.status());
+    return result->ranks;
+  };
+  std::vector<double> clean = run(-1);
+  std::vector<double> failed = run(GetParam());
+  ASSERT_EQ(clean.size(), failed.size());
+  for (size_t v = 0; v < clean.size(); ++v) {
+    EXPECT_NEAR(failed[v], clean[v], 1e-6) << "vertex " << v;
+  }
+}
+
+// Node ids: executors 0..2, servers 3..4.
+INSTANTIATE_TEST_SUITE_P(AllNodes, KillNodeSweep,
+                         ::testing::Range(0, kExecutors + kServers),
+                         [](const auto& info) {
+                           int n = info.param;
+                           return n < kExecutors
+                                      ? "executor" + std::to_string(n)
+                                      : "server" +
+                                            std::to_string(n - kExecutors);
+                         });
+
+TEST(FailureSweepTest, BackToBackFailuresRecover) {
+  EdgeList edges = SweepGraph();
+  auto ctx = PsGraphContext::Create(Opts());
+  PSG_CHECK_OK(ctx.status());
+  auto ds = StageAndLoadEdges(**ctx, edges, "sweep/multi.bin");
+  PSG_CHECK_OK(ds.status());
+  // An executor dies at iteration 2, a server at iteration 4.
+  (*ctx)->failures().ScheduleKill(1, 2);
+  (*ctx)->failures().ScheduleKill(kExecutors, 4);
+  PageRankOptions po;
+  po.max_iterations = 8;
+  auto failed = PageRank(**ctx, *ds, 0, po);
+  ASSERT_TRUE(failed.ok()) << failed.status().ToString();
+
+  auto ctx2 = PsGraphContext::Create(Opts());
+  PSG_CHECK_OK(ctx2.status());
+  auto ds2 = StageAndLoadEdges(**ctx2, edges, "sweep/multi.bin");
+  PSG_CHECK_OK(ds2.status());
+  auto clean = PageRank(**ctx2, *ds2, 0, po);
+  ASSERT_TRUE(clean.ok());
+  for (size_t v = 0; v < clean->ranks.size(); ++v) {
+    EXPECT_NEAR(failed->ranks[v], clean->ranks[v], 1e-6);
+  }
+}
+
+TEST(FailureSweepTest, LineSurvivesServerFailure) {
+  // GE tolerates partition-level inconsistency (paper §III-B): a server
+  // failure mid-training restores that shard from its checkpoint and
+  // training continues; the result still has finite loss and usable
+  // embeddings.
+  EdgeList edges;
+  for (VertexId u = 0; u < 12; ++u) {
+    for (VertexId v = u + 1; v < 12; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  auto ctx = PsGraphContext::Create(Opts());
+  PSG_CHECK_OK(ctx.status());
+  auto ds = StageAndLoadEdges(**ctx, edges, "sweep/line.bin");
+  PSG_CHECK_OK(ds.status());
+  (*ctx)->failures().ScheduleKill(kExecutors + 1, 3);
+  LineOptions lo;
+  lo.embedding_dim = 8;
+  lo.epochs = 6;
+  auto result = Line(**ctx, *ds, 12, lo);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(std::isfinite(result->final_avg_loss));
+  EXPECT_EQ(result->embeddings.size(), 12u * 8);
+}
+
+}  // namespace
+}  // namespace psgraph::core

@@ -1,0 +1,126 @@
+// Failure-recovery tests (paper §III-B/§V-B4, Table II): kill an executor
+// or a parameter server mid-run and verify (a) the algorithm output is
+// unchanged and (b) recovery costs extra simulated time.
+
+#include <gtest/gtest.h>
+
+#include "core/graph_loader.h"
+#include "core/neighbor_algos.h"
+#include "core/pagerank.h"
+#include "core/psgraph_context.h"
+#include "graph/generators.h"
+
+namespace psgraph::core {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+PsGraphContext::Options SmallOptions() {
+  PsGraphContext::Options opts;
+  opts.cluster.num_executors = 3;
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 256ull << 20;
+  opts.cluster.server_mem_bytes = 256ull << 20;
+  opts.checkpoint_interval = 3;
+  return opts;
+}
+
+EdgeList TestGraph() {
+  EdgeList edges = graph::Simplify(graph::GenerateErdosRenyi(200, 2000, 33));
+  for (VertexId v = 0; v < 200; ++v) edges.push_back({v, (v + 1) % 200});
+  return edges;
+}
+
+struct CnRun {
+  CommonNeighborStats stats;
+  double sim_seconds;
+};
+
+CnRun RunCommonNeighbor(sim::NodeId kill_node, int64_t kill_round) {
+  auto ctx_or = PsGraphContext::Create(SmallOptions());
+  PSG_CHECK_OK(ctx_or.status());
+  auto& ctx = **ctx_or;
+  auto ds = StageAndLoadEdges(ctx, TestGraph(), "in/cn.bin");
+  PSG_CHECK_OK(ds.status());
+  if (kill_node >= 0) ctx.failures().ScheduleKill(kill_node, kill_round);
+  CommonNeighborOptions opts;
+  opts.batch_size = 256;  // several rounds, so mid-run failure is real
+  auto stats = CommonNeighbor(ctx, *ds, opts);
+  PSG_CHECK_OK(stats.status());
+  return {*stats, ctx.cluster().clock().Makespan()};
+}
+
+TEST(FailureTest, CommonNeighborSurvivesExecutorFailure) {
+  CnRun clean = RunCommonNeighbor(-1, -1);
+  ASSERT_GT(clean.stats.rounds, 2) << "need a multi-round run";
+  // Kill executor 1 at round 2.
+  CnRun failed = RunCommonNeighbor(/*node=*/1, /*round=*/2);
+  EXPECT_EQ(failed.stats.pairs, clean.stats.pairs);
+  EXPECT_EQ(failed.stats.total_common, clean.stats.total_common);
+  EXPECT_EQ(failed.stats.max_common, clean.stats.max_common);
+  EXPECT_GT(failed.sim_seconds, clean.sim_seconds)
+      << "recovery must cost simulated time";
+}
+
+TEST(FailureTest, CommonNeighborSurvivesServerFailure) {
+  CnRun clean = RunCommonNeighbor(-1, -1);
+  // Server 0 is node num_executors + 0 = 3.
+  CnRun failed = RunCommonNeighbor(/*node=*/3, /*round=*/2);
+  EXPECT_EQ(failed.stats.pairs, clean.stats.pairs);
+  EXPECT_EQ(failed.stats.total_common, clean.stats.total_common);
+  EXPECT_GT(failed.sim_seconds, clean.sim_seconds);
+}
+
+TEST(FailureTest, PageRankConsistentRecoveryPreservesResult) {
+  auto run = [&](bool inject) -> std::pair<std::vector<double>, double> {
+    auto ctx_or = PsGraphContext::Create(SmallOptions());
+    PSG_CHECK_OK(ctx_or.status());
+    auto& ctx = **ctx_or;
+    auto ds = StageAndLoadEdges(ctx, TestGraph(), "in/pr.bin");
+    PSG_CHECK_OK(ds.status());
+    if (inject) {
+      // Kill server 1 (node 4) at iteration 5; last checkpoint is at 3.
+      ctx.failures().ScheduleKill(4, 5);
+    }
+    PageRankOptions opts;
+    opts.max_iterations = 10;
+    auto result = PageRank(ctx, *ds, 0, opts);
+    PSG_CHECK_OK(result.status());
+    return {result->ranks, ctx.cluster().clock().Makespan()};
+  };
+  auto [clean_ranks, clean_time] = run(false);
+  auto [failed_ranks, failed_time] = run(true);
+  ASSERT_EQ(clean_ranks.size(), failed_ranks.size());
+  for (size_t v = 0; v < clean_ranks.size(); ++v) {
+    EXPECT_NEAR(failed_ranks[v], clean_ranks[v], 1e-6) << "vertex " << v;
+  }
+  EXPECT_GT(failed_time, clean_time);
+}
+
+TEST(FailureTest, ExecutorFailureReloadsViaLineage) {
+  auto ctx_or = PsGraphContext::Create(SmallOptions());
+  PSG_CHECK_OK(ctx_or.status());
+  auto& ctx = **ctx_or;
+  auto ds = StageAndLoadEdges(ctx, TestGraph(), "in/pr2.bin");
+  PSG_CHECK_OK(ds.status());
+  ctx.failures().ScheduleKill(/*executor 0*/ 0, 4);
+  PageRankOptions opts;
+  opts.max_iterations = 8;
+  auto with_failure = PageRank(ctx, *ds, 0, opts);
+  ASSERT_TRUE(with_failure.ok()) << with_failure.status().ToString();
+
+  auto ctx2_or = PsGraphContext::Create(SmallOptions());
+  PSG_CHECK_OK(ctx2_or.status());
+  auto ds2 = StageAndLoadEdges(**ctx2_or, TestGraph(), "in/pr2.bin");
+  PSG_CHECK_OK(ds2.status());
+  auto clean = PageRank(**ctx2_or, *ds2, 0, opts);
+  ASSERT_TRUE(clean.ok());
+  for (size_t v = 0; v < clean->ranks.size(); ++v) {
+    EXPECT_NEAR(with_failure->ranks[v], clean->ranks[v], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace psgraph::core

@@ -1,0 +1,251 @@
+// Tests for the minitorch tensor/autograd engine: forward correctness and
+// numerical gradient checks for every op, plus optimizer behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "minitorch/nn.h"
+#include "minitorch/ops.h"
+#include "minitorch/tensor.h"
+
+namespace psgraph::minitorch {
+namespace {
+
+/// Central-difference gradient check: perturbs each element of `param`
+/// and compares the numerical gradient of `loss_fn` with autograd's.
+void CheckGradient(Tensor& param,
+                   const std::function<Tensor()>& loss_fn,
+                   double tol = 2e-2) {
+  param.mutable_grad();  // allocate
+  param.ZeroGrad();      // drop residue from earlier checks
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<float> analytic = param.grad();
+  ASSERT_EQ(analytic.size(), static_cast<size_t>(param.size()));
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < param.size(); ++i) {
+    float saved = param.mutable_data()[i];
+    param.mutable_data()[i] = saved + eps;
+    double up = loss_fn().data()[0];
+    param.mutable_data()[i] = saved - eps;
+    double down = loss_fn().data()[0];
+    param.mutable_data()[i] = saved;
+    double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << "param element " << i;
+  }
+}
+
+TEST(TensorTest, Factories) {
+  Tensor z = Tensor::Zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  Tensor f = Tensor::Full(2, 2, 1.5f);
+  EXPECT_EQ(f.At(1, 1), 1.5f);
+  Tensor d = Tensor::FromData(1, 2, {3.0f, 4.0f});
+  EXPECT_EQ(d.At(0, 1), 4.0f);
+  Rng rng(1);
+  Tensor r = Tensor::Randn(10, 10, rng);
+  double sum = 0;
+  for (float v : r.data()) sum += v;
+  EXPECT_LT(std::fabs(sum / 100.0), 0.2);
+}
+
+TEST(OpsTest, MatmulForward) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = Matmul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(OpsTest, ReluSigmoidForward) {
+  Tensor a = Tensor::FromData(1, 4, {-1, 0, 2, -3});
+  Tensor r = Relu(a);
+  EXPECT_FLOAT_EQ(r.At(0, 0), 0);
+  EXPECT_FLOAT_EQ(r.At(0, 2), 2);
+  Tensor s = Sigmoid(Tensor::FromData(1, 1, {0.0f}));
+  EXPECT_FLOAT_EQ(s.At(0, 0), 0.5f);
+}
+
+TEST(OpsTest, ConcatGatherSegmentMeanForward) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(2, 1, {9, 8});
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.At(1, 2), 8);
+
+  Tensor g = GatherRows(a, {1, 0, 1});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_FLOAT_EQ(g.At(0, 0), 3);
+  EXPECT_FLOAT_EQ(g.At(1, 0), 1);
+
+  Tensor m = SegmentMean(a, {{0, 1}, {}, {1}});
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 0.0f);  // empty segment -> zeros
+  EXPECT_FLOAT_EQ(m.At(2, 1), 4.0f);
+}
+
+TEST(OpsTest, RowL2NormalizeForward) {
+  Tensor a = Tensor::FromData(2, 2, {3, 4, 0, 0});
+  Tensor n = RowL2Normalize(a);
+  EXPECT_FLOAT_EQ(n.At(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(n.At(0, 1), 0.8f);
+  EXPECT_FLOAT_EQ(n.At(1, 0), 0.0f);
+}
+
+TEST(OpsTest, SoftmaxCrossEntropyForward) {
+  // Uniform logits over 4 classes -> loss = log(4).
+  Tensor logits = Tensor::Zeros(2, 4);
+  Tensor loss = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(loss.data()[0], std::log(4.0), 1e-6);
+}
+
+TEST(OpsTest, ArgmaxAndAccuracy) {
+  Tensor logits = Tensor::FromData(2, 3, {0, 5, 1, 9, 0, 0});
+  auto preds = ArgmaxRows(logits);
+  EXPECT_EQ(preds, (std::vector<int32_t>{1, 0}));
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {1, 2}), 0.5);
+}
+
+TEST(GradTest, MatmulGradient) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn(3, 4, rng, true);
+  Tensor b = Tensor::Randn(4, 2, rng, true);
+  auto loss_fn = [&] {
+    return SoftmaxCrossEntropy(Matmul(a, b), {0, 1, 0});
+  };
+  CheckGradient(a, loss_fn);
+  a.ZeroGrad();
+  CheckGradient(b, loss_fn);
+}
+
+TEST(GradTest, ReluGradient) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn(2, 5, rng, true);
+  Tensor w = Tensor::Randn(5, 3, rng, false);
+  auto loss_fn = [&] {
+    return SoftmaxCrossEntropy(Matmul(Relu(a), w), {0, 2});
+  };
+  CheckGradient(a, loss_fn);
+}
+
+TEST(GradTest, SigmoidGradient) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(2, 4, rng, true);
+  Tensor w = Tensor::Randn(4, 2, rng, false);
+  auto loss_fn = [&] {
+    return SoftmaxCrossEntropy(Matmul(Sigmoid(a), w), {1, 0});
+  };
+  CheckGradient(a, loss_fn);
+}
+
+TEST(GradTest, ConcatGradientFlowsToBothSides) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn(2, 3, rng, true);
+  Tensor b = Tensor::Randn(2, 2, rng, true);
+  Tensor w = Tensor::Randn(5, 2, rng, false);
+  auto loss_fn = [&] {
+    return SoftmaxCrossEntropy(Matmul(ConcatCols(a, b), w), {0, 1});
+  };
+  CheckGradient(a, loss_fn);
+  a.ZeroGrad();
+  CheckGradient(b, loss_fn);
+}
+
+TEST(GradTest, GatherAndSegmentMeanGradient) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn(4, 3, rng, true);
+  Tensor w = Tensor::Randn(6, 2, rng, false);
+  auto loss_fn = [&] {
+    Tensor self = GatherRows(x, {0, 2});
+    Tensor agg = SegmentMean(x, {{1, 3}, {0}});
+    return SoftmaxCrossEntropy(Matmul(ConcatCols(self, agg), w), {1, 0});
+  };
+  CheckGradient(x, loss_fn);
+}
+
+TEST(GradTest, AddBiasGradient) {
+  Rng rng(8);
+  Tensor x = Tensor::Randn(3, 4, rng, false);
+  Tensor b = Tensor::Randn(1, 4, rng, true);
+  Tensor w = Tensor::Randn(4, 2, rng, false);
+  auto loss_fn = [&] {
+    return SoftmaxCrossEntropy(Matmul(AddBias(x, b), w), {0, 1, 1});
+  };
+  CheckGradient(b, loss_fn);
+}
+
+TEST(GradTest, RowL2NormalizeGradient) {
+  Rng rng(9);
+  Tensor x = Tensor::Randn(2, 4, rng, true);
+  Tensor w = Tensor::Randn(4, 2, rng, false);
+  auto loss_fn = [&] {
+    return SoftmaxCrossEntropy(Matmul(RowL2Normalize(x), w), {1, 0});
+  };
+  CheckGradient(x, loss_fn, /*tol=*/5e-2);
+}
+
+TEST(GradTest, ReusedTensorAccumulatesGradients) {
+  Rng rng(10);
+  Tensor x = Tensor::Randn(2, 3, rng, true);
+  Tensor w = Tensor::Randn(6, 2, rng, false);
+  auto loss_fn = [&] {
+    // x used twice: gradient must be the sum of both paths.
+    return SoftmaxCrossEntropy(Matmul(ConcatCols(x, x), w), {0, 1});
+  };
+  CheckGradient(x, loss_fn);
+}
+
+TEST(NnTest, LinearLearnsXor) {
+  // Tiny 2-layer MLP fits XOR — exercises the whole training loop.
+  Rng rng(11);
+  Linear l1(2, 8, rng), l2(8, 2, rng);
+  std::vector<Tensor> params;
+  for (Tensor& p : l1.Parameters()) params.push_back(p);
+  for (Tensor& p : l2.Parameters()) params.push_back(p);
+  Adam opt(params, 0.05f);
+
+  Tensor x = Tensor::FromData(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<int32_t> y{0, 1, 1, 0};
+  double last_loss = 1e9;
+  for (int step = 0; step < 300; ++step) {
+    Tensor logits = l2.Forward(Relu(l1.Forward(x)));
+    Tensor loss = SoftmaxCrossEntropy(logits, y);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+    last_loss = loss.data()[0];
+  }
+  EXPECT_LT(last_loss, 0.1);
+  Tensor logits = l2.Forward(Relu(l1.Forward(x)));
+  EXPECT_DOUBLE_EQ(Accuracy(logits, y), 1.0);
+}
+
+TEST(NnTest, SgdDecreasesLoss) {
+  Rng rng(12);
+  Tensor w = Tensor::Randn(3, 2, rng, true);
+  Tensor x = Tensor::Randn(8, 3, rng, false);
+  std::vector<int32_t> y{0, 1, 0, 1, 0, 1, 0, 1};
+  Sgd opt({w}, 0.5f);
+  double first = -1, last = -1;
+  for (int step = 0; step < 50; ++step) {
+    Tensor loss = SoftmaxCrossEntropy(Matmul(x, w), y);
+    if (step == 0) first = loss.data()[0];
+    last = loss.data()[0];
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace psgraph::minitorch

@@ -1,0 +1,454 @@
+// Tests for the parameter server: partitioners, pull/push operators,
+// neighbor tables, psFuncs, column partitioning, checkpoint/restore and
+// master-driven failure recovery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "minitorch/nn.h"
+#include "net/rpc.h"
+#include "ps/agent.h"
+#include "ps/context.h"
+#include "ps/master.h"
+#include "ps/partitioner.h"
+#include "ps/server.h"
+#include "ps/sync.h"
+#include "sim/cluster.h"
+#include "storage/hdfs.h"
+
+namespace psgraph::ps {
+namespace {
+
+class PsTest : public ::testing::Test {
+ protected:
+  PsTest() {
+    sim::ClusterConfig cfg;
+    cfg.num_executors = 2;
+    cfg.num_servers = 3;
+    cfg.executor_mem_bytes = 64ull << 20;
+    cfg.server_mem_bytes = 64ull << 20;
+    cluster_ = std::make_unique<sim::SimCluster>(cfg);
+    hdfs_ = std::make_unique<storage::Hdfs>(cluster_.get());
+    fabric_ = std::make_unique<net::RpcFabric>(cluster_.get());
+    ctx_ = std::make_unique<PsContext>(cluster_.get(), fabric_.get(),
+                                       hdfs_.get());
+    PSG_CHECK_OK(ctx_->Start());
+    agent_ = std::make_unique<PsAgent>(ctx_.get(),
+                                       cluster_->config().executor(0));
+  }
+
+  std::unique_ptr<sim::SimCluster> cluster_;
+  std::unique_ptr<storage::Hdfs> hdfs_;
+  std::unique_ptr<net::RpcFabric> fabric_;
+  std::unique_ptr<PsContext> ctx_;
+  std::unique_ptr<PsAgent> agent_;
+};
+
+TEST(PartitionerTest, SchemesCoverAllPartitions) {
+  for (PartitionScheme scheme :
+       {PartitionScheme::kHash, PartitionScheme::kRange,
+        PartitionScheme::kHashRange}) {
+    // Chunk small enough that hash-range has more chunks than
+    // partitions.
+    Partitioner part(scheme, /*key_space=*/10000, /*num_partitions=*/7,
+                     /*range_chunk=*/64);
+    std::set<int32_t> seen;
+    for (uint64_t k = 0; k < 10000; ++k) {
+      int32_t p = part.PartitionOf(k);
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, 7);
+      seen.insert(p);
+    }
+    EXPECT_EQ(seen.size(), 7u) << "scheme " << (int)scheme;
+  }
+}
+
+TEST(PartitionerTest, RangeIsContiguous) {
+  Partitioner part(PartitionScheme::kRange, 100, 4);
+  EXPECT_EQ(part.PartitionOf(0), 0);
+  EXPECT_EQ(part.PartitionOf(24), 0);
+  EXPECT_EQ(part.PartitionOf(25), 1);
+  EXPECT_EQ(part.PartitionOf(99), 3);
+}
+
+TEST(PartitionerTest, HashRangeKeepsChunksTogether) {
+  Partitioner part(PartitionScheme::kHashRange, 1 << 20, 5,
+                   /*range_chunk=*/256);
+  for (uint64_t base = 0; base < (1 << 20); base += 4096) {
+    int32_t p = part.PartitionOf(base);
+    EXPECT_EQ(part.PartitionOf(base + 255), p);
+  }
+}
+
+TEST(ColumnSliceTest, CoversAllColumnsDisjointly) {
+  uint32_t covered = 0;
+  uint32_t prev_end = 0;
+  for (int s = 0; s < 3; ++s) {
+    auto [b, e] = ColumnSliceOf(10, s, 3);
+    EXPECT_EQ(b, prev_end);
+    covered += e - b;
+    prev_end = e;
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST_F(PsTest, PullOfUnpushedRowsReturnsInitValue) {
+  auto meta = ctx_->CreateMatrix("m", 100, 2, StorageKind::kRows,
+                                 Layout::kRowPartitioned,
+                                 PartitionScheme::kRange, 0.5f);
+  ASSERT_TRUE(meta.ok());
+  auto rows = agent_->PullRows(*meta, {3, 50, 99});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 6u);
+  for (float v : *rows) EXPECT_FLOAT_EQ(v, 0.5f);
+}
+
+TEST_F(PsTest, PushAddAccumulatesAcrossServers) {
+  auto meta = ctx_->CreateMatrix("m", 1000, 1);
+  ASSERT_TRUE(meta.ok());
+  std::vector<uint64_t> keys;
+  std::vector<float> vals;
+  for (uint64_t k = 0; k < 1000; k += 10) {
+    keys.push_back(k);
+    vals.push_back(static_cast<float>(k));
+  }
+  ASSERT_TRUE(agent_->PushAdd(*meta, keys, vals).ok());
+  ASSERT_TRUE(agent_->PushAdd(*meta, keys, vals).ok());
+  auto rows = agent_->PullRows(*meta, keys);
+  ASSERT_TRUE(rows.ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_FLOAT_EQ((*rows)[i], 2.0f * keys[i]);
+  }
+}
+
+TEST_F(PsTest, PushAssignOverwrites) {
+  auto meta = ctx_->CreateMatrix("m", 10, 1);
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(agent_->PushAdd(*meta, {5}, {3.0f}).ok());
+  ASSERT_TRUE(agent_->PushAssign(*meta, {5}, {7.0f}).ok());
+  auto rows = agent_->PullRows(*meta, {5});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FLOAT_EQ((*rows)[0], 7.0f);
+}
+
+TEST_F(PsTest, NeighborTableRoundTrip) {
+  auto meta = ctx_->CreateMatrix("nbrs", 0, 0, StorageKind::kNeighbors,
+                                 Layout::kRowPartitioned,
+                                 PartitionScheme::kHash);
+  ASSERT_TRUE(meta.ok());
+  std::vector<graph::NeighborList> tables(3);
+  tables[0] = {1, {2, 3, 4}, {}};
+  tables[1] = {2, {1}, {}};
+  tables[2] = {77, {1, 2}, {0.5f, 0.25f}};
+  ASSERT_TRUE(agent_->PushNeighbors(*meta, tables).ok());
+  auto entries = agent_->PullNeighbors(*meta, {77, 1, 999});
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ((*entries)[0].neighbors, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ((*entries)[0].weights.size(), 2u);
+  EXPECT_EQ((*entries)[1].neighbors, (std::vector<uint64_t>{2, 3, 4}));
+  EXPECT_TRUE((*entries)[2].neighbors.empty());
+}
+
+TEST_F(PsTest, ColumnPartitionedPullReassemblesFullRows) {
+  auto meta = ctx_->CreateMatrix("emb", 50, 8, StorageKind::kRows,
+                                 Layout::kColumnPartitioned,
+                                 PartitionScheme::kRange);
+  ASSERT_TRUE(meta.ok());
+  std::vector<float> row(8);
+  for (int c = 0; c < 8; ++c) row[c] = static_cast<float>(c + 1);
+  ASSERT_TRUE(agent_->PushAdd(*meta, {7}, row).ok());
+  auto rows = agent_->PullRows(*meta, {7});
+  ASSERT_TRUE(rows.ok());
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_FLOAT_EQ((*rows)[c], static_cast<float>(c + 1));
+  }
+}
+
+TEST_F(PsTest, DotPartialMatchesLocalDot) {
+  auto emb = ctx_->CreateMatrix("emb", 20, 6, StorageKind::kRows,
+                                Layout::kColumnPartitioned,
+                                PartitionScheme::kRange);
+  auto ctxm = ctx_->CreateMatrix("ctx", 20, 6, StorageKind::kRows,
+                                 Layout::kColumnPartitioned,
+                                 PartitionScheme::kRange);
+  ASSERT_TRUE(emb.ok());
+  ASSERT_TRUE(ctxm.ok());
+  std::vector<float> u{1, 2, 3, 4, 5, 6};
+  std::vector<float> c{0.5f, -1, 2, 0, 1, -2};
+  ASSERT_TRUE(agent_->PushAdd(*emb, {3}, u).ok());
+  ASSERT_TRUE(agent_->PushAdd(*ctxm, {9}, c).ok());
+  auto dots = agent_->DotProducts(*emb, *ctxm, {{3, 9}, {3, 3}});
+  ASSERT_TRUE(dots.ok());
+  double expect = 0;
+  for (int i = 0; i < 6; ++i) expect += u[i] * c[i];
+  EXPECT_NEAR((*dots)[0], expect, 1e-6);
+  EXPECT_NEAR((*dots)[1], 0.0, 1e-9) << "unpushed ctx row dots to zero";
+}
+
+TEST_F(PsTest, PageRankAdvancePsFunc) {
+  auto ranks = ctx_->CreateMatrix("r", 100, 1);
+  auto deltas = ctx_->CreateMatrix("d", 100, 1);
+  ASSERT_TRUE(ranks.ok());
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_TRUE(agent_->PushAdd(*deltas, {1, 2, 3}, {0.5f, -0.25f, 1.0f})
+                  .ok());
+  ByteBuffer args;
+  args.Write<MatrixId>(deltas->id);
+  args.Write<MatrixId>(ranks->id);
+  auto l1 = agent_->CallFuncSum("pagerank.advance", args);
+  ASSERT_TRUE(l1.ok());
+  EXPECT_NEAR(*l1, 1.75, 1e-6);
+  auto r = agent_->PullRows(*ranks, {1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ((*r)[0], 0.5f);
+  EXPECT_FLOAT_EQ((*r)[1], -0.25f);
+  auto d = agent_->PullRows(*deltas, {1, 2, 3});
+  ASSERT_TRUE(d.ok());
+  for (float v : *d) EXPECT_FLOAT_EQ(v, 0.0f);
+  // Second advance: nothing left.
+  auto l1b = agent_->CallFuncSum("pagerank.advance", args);
+  ASSERT_TRUE(l1b.ok());
+  EXPECT_DOUBLE_EQ(*l1b, 0.0);
+}
+
+TEST_F(PsTest, InitFillMaterializesWholeIdSpace) {
+  auto meta = ctx_->CreateMatrix("f", 64, 1);
+  ASSERT_TRUE(meta.ok());
+  ByteBuffer args;
+  args.Write<MatrixId>(meta->id);
+  args.Write<float>(0.15f);
+  ASSERT_TRUE(agent_->CallFuncAll("init.fill", args).ok());
+  ByteBuffer count_args;
+  count_args.Write<MatrixId>(meta->id);
+  auto counts = agent_->CallFuncAll("rows.count", count_args);
+  ASSERT_TRUE(counts.ok());
+  uint64_t total = 0;
+  for (const auto& resp : *counts) {
+    ByteReader reader(resp.data(), resp.size());
+    uint64_t c = 0;
+    ASSERT_TRUE(reader.Read(&c).ok());
+    total += c;
+  }
+  EXPECT_EQ(total, 64u);
+}
+
+TEST_F(PsTest, InitRandnIsLayoutIndependentDeterministic) {
+  auto meta = ctx_->CreateMatrix("g", 32, 4, StorageKind::kRows,
+                                 Layout::kColumnPartitioned,
+                                 PartitionScheme::kRange);
+  ASSERT_TRUE(meta.ok());
+  ByteBuffer args;
+  args.Write<MatrixId>(meta->id);
+  args.Write<float>(1.0f);
+  args.Write<uint64_t>(99);
+  ASSERT_TRUE(agent_->CallFuncAll("init.randn", args).ok());
+  auto row = agent_->PullRows(*meta, {5});
+  ASSERT_TRUE(row.ok());
+  // Reference: the same deterministic stream.
+  Rng rng(99 ^ Hash64(5));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ((*row)[c], (float)rng.NextGaussian());
+  }
+}
+
+TEST_F(PsTest, AdamOnPsMatchesLocalAdam) {
+  auto w = ctx_->CreateMatrix("w", 4, 3);
+  auto m = ctx_->CreateMatrix("w.m", 4, 3);
+  auto v = ctx_->CreateMatrix("w.v", 4, 3);
+  ASSERT_TRUE(w.ok() && m.ok() && v.ok());
+  // Local reference.
+  Rng rng(1);
+  minitorch::Tensor ref =
+      minitorch::Tensor::Randn(4, 3, rng, /*requires_grad=*/true);
+  std::vector<uint64_t> keys{0, 1, 2, 3};
+  ASSERT_TRUE(agent_->PushAssign(*w, keys, ref.data()).ok());
+  minitorch::Adam adam({ref}, 0.05f);
+
+  Rng grad_rng(2);
+  for (int step = 1; step <= 5; ++step) {
+    std::vector<float> grads(12);
+    for (auto& g : grads) g = (float)grad_rng.NextGaussian();
+    // Local step.
+    auto& gr = ref.mutable_grad();
+    std::copy(grads.begin(), grads.end(), gr.begin());
+    adam.Step();
+    adam.ZeroGrad();
+    // PS step, per owning server.
+    for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+      std::vector<uint64_t> skeys;
+      std::vector<float> sgrads;
+      for (uint64_t r : keys) {
+        if (ctx_->ServerOfKey(*w, r) != s) continue;
+        skeys.push_back(r);
+        sgrads.insert(sgrads.end(), grads.begin() + r * 3,
+                      grads.begin() + (r + 1) * 3);
+      }
+      if (skeys.empty()) continue;
+      ByteBuffer args;
+      args.Write<MatrixId>(w->id);
+      args.Write<MatrixId>(m->id);
+      args.Write<MatrixId>(v->id);
+      args.Write<float>(0.05f);
+      args.Write<float>(0.9f);
+      args.Write<float>(0.999f);
+      args.Write<float>(1e-8f);
+      args.Write<int32_t>(step);
+      args.WriteVector(skeys);
+      args.WriteVector(sgrads);
+      ASSERT_TRUE(agent_->CallFunc(s, "adam.apply", args).ok());
+    }
+  }
+  auto rows = agent_->PullRows(*w, keys);
+  ASSERT_TRUE(rows.ok());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_NEAR((*rows)[i], ref.data()[i], 1e-4) << "element " << i;
+  }
+}
+
+TEST_F(PsTest, CheckpointRestoreRoundTrip) {
+  auto meta = ctx_->CreateMatrix("ck", 100, 2);
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(
+      agent_->PushAdd(*meta, {1, 50, 99}, {1, 2, 3, 4, 5, 6}).ok());
+  PsMaster master(ctx_.get(), "ckpt/test");
+  ASSERT_TRUE(master.CheckpointAll().ok());
+  // Clobber and restore.
+  ASSERT_TRUE(agent_->PushAdd(*meta, {1}, {100.0f, 100.0f}).ok());
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    ASSERT_TRUE(ctx_->server(s)->Restore("ckpt/test").ok());
+  }
+  auto rows = agent_->PullRows(*meta, {1, 50, 99});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FLOAT_EQ((*rows)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*rows)[5], 6.0f);
+}
+
+TEST_F(PsTest, MasterRecoversDeadServerFromCheckpoint) {
+  auto meta = ctx_->CreateMatrix("rec", 100, 1);
+  ASSERT_TRUE(meta.ok());
+  std::vector<uint64_t> keys;
+  std::vector<float> vals;
+  for (uint64_t k = 0; k < 100; ++k) {
+    keys.push_back(k);
+    vals.push_back(static_cast<float>(k) * 2);
+  }
+  ASSERT_TRUE(agent_->PushAssign(*meta, keys, vals).ok());
+  PsMaster master(ctx_.get(), "ckpt/rec");
+  ASSERT_TRUE(master.CheckpointAll().ok());
+
+  sim::NodeId victim = ctx_->ServerNode(1);
+  cluster_->KillNode(victim);
+  EXPECT_FALSE(agent_->PullRows(*meta, keys).ok())
+      << "pull must fail while a server is down";
+  EXPECT_EQ(master.FindDeadServers(), std::vector<int32_t>{1});
+
+  auto recovered = master.CheckAndRecover(RecoveryMode::kPartial);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 1);
+  auto rows = agent_->PullRows(*meta, keys);
+  ASSERT_TRUE(rows.ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_FLOAT_EQ((*rows)[k], static_cast<float>(k) * 2);
+  }
+}
+
+TEST_F(PsTest, ConsistentRecoveryRollsBackAllServers) {
+  auto meta = ctx_->CreateMatrix("cons", 30, 1);
+  ASSERT_TRUE(meta.ok());
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 30; ++k) keys.push_back(k);
+  std::vector<float> ones(30, 1.0f);
+  ASSERT_TRUE(agent_->PushAssign(*meta, keys, ones).ok());
+  PsMaster master(ctx_.get(), "ckpt/cons");
+  ASSERT_TRUE(master.CheckpointAll().ok());
+
+  // Post-checkpoint updates that must be rolled back everywhere.
+  std::vector<float> twos(30, 2.0f);
+  ASSERT_TRUE(agent_->PushAssign(*meta, keys, twos).ok());
+  cluster_->KillNode(ctx_->ServerNode(0));
+  auto recovered = master.CheckAndRecover(RecoveryMode::kConsistent);
+  ASSERT_TRUE(recovered.ok());
+  auto rows = agent_->PullRows(*meta, keys);
+  ASSERT_TRUE(rows.ok());
+  for (float v : *rows) {
+    EXPECT_FLOAT_EQ(v, 1.0f) << "all servers must roll back";
+  }
+}
+
+TEST_F(PsTest, DropMatrixReleasesMemory) {
+  auto meta = ctx_->CreateMatrix("tmp", 1000, 4);
+  ASSERT_TRUE(meta.ok());
+  std::vector<uint64_t> keys;
+  std::vector<float> vals;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    keys.push_back(k);
+    for (int c = 0; c < 4; ++c) vals.push_back(1.0f);
+  }
+  ASSERT_TRUE(agent_->PushAdd(*meta, keys, vals).ok());
+  uint64_t used = 0;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    used += cluster_->memory().Usage(ctx_->ServerNode(s));
+  }
+  EXPECT_GT(used, 0u);
+  ASSERT_TRUE(ctx_->DropMatrix("tmp").ok());
+  uint64_t after = 0;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    after += cluster_->memory().Usage(ctx_->ServerNode(s));
+  }
+  EXPECT_EQ(after, 0u);
+}
+
+TEST_F(PsTest, ServerMemoryBudgetEnforced) {
+  sim::ClusterConfig cfg;
+  cfg.num_executors = 1;
+  cfg.num_servers = 1;
+  cfg.server_mem_bytes = 32 << 10;
+  sim::SimCluster tiny(cfg);
+  net::RpcFabric fabric(&tiny);
+  PsContext psctx(&tiny, &fabric, nullptr);
+  ASSERT_TRUE(psctx.Start().ok());
+  auto meta = psctx.CreateMatrix("big", 1 << 20, 16);
+  ASSERT_TRUE(meta.ok());
+  PsAgent agent(&psctx, tiny.config().executor(0));
+  std::vector<uint64_t> keys;
+  std::vector<float> vals;
+  for (uint64_t k = 0; k < 4096; ++k) {
+    keys.push_back(k);
+    for (int c = 0; c < 16; ++c) vals.push_back(1.0f);
+  }
+  Status st = agent.PushAdd(*meta, keys, vals);
+  EXPECT_TRUE(st.IsMemoryLimitExceeded()) << st.ToString();
+}
+
+TEST_F(PsTest, SyncControllerSspBarriersEveryNthCall) {
+  SyncController ssp(cluster_.get(), SyncProtocol::kSsp, /*staleness=*/3);
+  cluster_->clock().Advance(cluster_->config().executor(0), 9.0);
+  ssp.IterationBarrier();  // call 1: within bound, no barrier
+  EXPECT_DOUBLE_EQ(cluster_->clock().Now(cluster_->config().executor(1)),
+                   0.0);
+  ssp.IterationBarrier();  // call 2: still within bound
+  EXPECT_DOUBLE_EQ(cluster_->clock().Now(cluster_->config().executor(1)),
+                   0.0);
+  ssp.IterationBarrier();  // call 3: barrier fires
+  EXPECT_DOUBLE_EQ(cluster_->clock().Now(cluster_->config().executor(1)),
+                   9.0);
+  EXPECT_GT(ssp.total_wait(), 0.0);
+}
+
+TEST_F(PsTest, SyncControllerBspVsAsp) {
+  cluster_->clock().Advance(cluster_->config().executor(0), 10.0);
+  SyncController asp(cluster_.get(), SyncProtocol::kAsp);
+  asp.IterationBarrier();
+  EXPECT_DOUBLE_EQ(cluster_->clock().Now(cluster_->config().executor(1)),
+                   0.0);
+  SyncController bsp(cluster_.get(), SyncProtocol::kBsp);
+  bsp.IterationBarrier();
+  EXPECT_DOUBLE_EQ(cluster_->clock().Now(cluster_->config().executor(1)),
+                   10.0);
+}
+
+}  // namespace
+}  // namespace psgraph::ps
