@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_delta_pagerank"
+  "../bench/bench_ablation_delta_pagerank.pdb"
+  "CMakeFiles/bench_ablation_delta_pagerank.dir/bench_ablation_delta_pagerank.cc.o"
+  "CMakeFiles/bench_ablation_delta_pagerank.dir/bench_ablation_delta_pagerank.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delta_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

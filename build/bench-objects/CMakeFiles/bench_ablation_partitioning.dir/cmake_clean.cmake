@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_partitioning"
+  "../bench/bench_ablation_partitioning.pdb"
+  "CMakeFiles/bench_ablation_partitioning.dir/bench_ablation_partitioning.cc.o"
+  "CMakeFiles/bench_ablation_partitioning.dir/bench_ablation_partitioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_psfunc.cc" "bench-objects/CMakeFiles/bench_ablation_psfunc.dir/bench_ablation_psfunc.cc.o" "gcc" "bench-objects/CMakeFiles/bench_ablation_psfunc.dir/bench_ablation_psfunc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/euler/CMakeFiles/psg_euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphx/CMakeFiles/psg_graphx.dir/DependInfo.cmake"
+  "/root/repo/build/src/minitorch/CMakeFiles/psg_minitorch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/psg_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/psg_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/psg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/psg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

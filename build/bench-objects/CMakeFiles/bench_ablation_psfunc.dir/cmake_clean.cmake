@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_psfunc"
+  "../bench/bench_ablation_psfunc.pdb"
+  "CMakeFiles/bench_ablation_psfunc.dir/bench_ablation_psfunc.cc.o"
+  "CMakeFiles/bench_ablation_psfunc.dir/bench_ablation_psfunc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_psfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

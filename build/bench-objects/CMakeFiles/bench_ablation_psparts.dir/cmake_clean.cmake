@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_psparts"
+  "../bench/bench_ablation_psparts.pdb"
+  "CMakeFiles/bench_ablation_psparts.dir/bench_ablation_psparts.cc.o"
+  "CMakeFiles/bench_ablation_psparts.dir/bench_ablation_psparts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_psparts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

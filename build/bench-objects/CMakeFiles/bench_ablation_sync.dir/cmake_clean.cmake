@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sync"
+  "../bench/bench_ablation_sync.pdb"
+  "CMakeFiles/bench_ablation_sync.dir/bench_ablation_sync.cc.o"
+  "CMakeFiles/bench_ablation_sync.dir/bench_ablation_sync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_traditional"
+  "../bench/bench_fig6_traditional.pdb"
+  "CMakeFiles/bench_fig6_traditional.dir/bench_fig6_traditional.cc.o"
+  "CMakeFiles/bench_fig6_traditional.dir/bench_fig6_traditional.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

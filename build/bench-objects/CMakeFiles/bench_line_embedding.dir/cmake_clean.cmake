@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_line_embedding"
+  "../bench/bench_line_embedding.pdb"
+  "CMakeFiles/bench_line_embedding.dir/bench_line_embedding.cc.o"
+  "CMakeFiles/bench_line_embedding.dir/bench_line_embedding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_line_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

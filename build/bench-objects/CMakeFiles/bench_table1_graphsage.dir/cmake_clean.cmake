@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_graphsage"
+  "../bench/bench_table1_graphsage.pdb"
+  "CMakeFiles/bench_table1_graphsage.dir/bench_table1_graphsage.cc.o"
+  "CMakeFiles/bench_table1_graphsage.dir/bench_table1_graphsage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_graphsage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_failure"
+  "../bench/bench_table2_failure.pdb"
+  "CMakeFiles/bench_table2_failure.dir/bench_table2_failure.cc.o"
+  "CMakeFiles/bench_table2_failure.dir/bench_table2_failure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_detection.dir/community_detection.cpp.o"
+  "CMakeFiles/community_detection.dir/community_detection.cpp.o.d"
+  "community_detection"
+  "community_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_psfunc.dir/custom_psfunc.cpp.o"
+  "CMakeFiles/custom_psfunc.dir/custom_psfunc.cpp.o.d"
+  "custom_psfunc"
+  "custom_psfunc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_psfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

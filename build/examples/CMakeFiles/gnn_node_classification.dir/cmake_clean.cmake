@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_node_classification.dir/gnn_node_classification.cpp.o"
+  "CMakeFiles/gnn_node_classification.dir/gnn_node_classification.cpp.o.d"
+  "gnn_node_classification"
+  "gnn_node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gnn_node_classification.
+# This may be replaced when dependencies are built.

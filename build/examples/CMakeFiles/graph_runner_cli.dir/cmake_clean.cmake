@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_runner_cli.dir/graph_runner_cli.cpp.o"
+  "CMakeFiles/graph_runner_cli.dir/graph_runner_cli.cpp.o.d"
+  "graph_runner_cli"
+  "graph_runner_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_runner_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

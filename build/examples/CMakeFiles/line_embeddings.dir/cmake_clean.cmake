@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_embeddings.dir/line_embeddings.cpp.o"
+  "CMakeFiles/line_embeddings.dir/line_embeddings.cpp.o.d"
+  "line_embeddings"
+  "line_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for line_embeddings.
+# This may be replaced when dependencies are built.

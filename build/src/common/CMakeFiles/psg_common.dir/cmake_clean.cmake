@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_common.dir/logging.cc.o"
+  "CMakeFiles/psg_common.dir/logging.cc.o.d"
+  "CMakeFiles/psg_common.dir/metrics.cc.o"
+  "CMakeFiles/psg_common.dir/metrics.cc.o.d"
+  "CMakeFiles/psg_common.dir/random.cc.o"
+  "CMakeFiles/psg_common.dir/random.cc.o.d"
+  "CMakeFiles/psg_common.dir/status.cc.o"
+  "CMakeFiles/psg_common.dir/status.cc.o.d"
+  "CMakeFiles/psg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/psg_common.dir/thread_pool.cc.o.d"
+  "libpsg_common.a"
+  "libpsg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

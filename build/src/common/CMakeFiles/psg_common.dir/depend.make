@@ -1,0 +1,2 @@
+# Empty dependencies file for psg_common.
+# This may be replaced when dependencies are built.

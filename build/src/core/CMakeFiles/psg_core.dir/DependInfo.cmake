@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deepwalk.cc" "src/core/CMakeFiles/psg_core.dir/deepwalk.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/deepwalk.cc.o.d"
+  "/root/repo/src/core/fast_unfolding.cc" "src/core/CMakeFiles/psg_core.dir/fast_unfolding.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/fast_unfolding.cc.o.d"
+  "/root/repo/src/core/graph_io.cc" "src/core/CMakeFiles/psg_core.dir/graph_io.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/graph_io.cc.o.d"
+  "/root/repo/src/core/graph_loader.cc" "src/core/CMakeFiles/psg_core.dir/graph_loader.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/graph_loader.cc.o.d"
+  "/root/repo/src/core/graph_runner.cc" "src/core/CMakeFiles/psg_core.dir/graph_runner.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/graph_runner.cc.o.d"
+  "/root/repo/src/core/graphsage.cc" "src/core/CMakeFiles/psg_core.dir/graphsage.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/graphsage.cc.o.d"
+  "/root/repo/src/core/kcore.cc" "src/core/CMakeFiles/psg_core.dir/kcore.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/kcore.cc.o.d"
+  "/root/repo/src/core/label_propagation.cc" "src/core/CMakeFiles/psg_core.dir/label_propagation.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/label_propagation.cc.o.d"
+  "/root/repo/src/core/line.cc" "src/core/CMakeFiles/psg_core.dir/line.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/line.cc.o.d"
+  "/root/repo/src/core/neighbor_algos.cc" "src/core/CMakeFiles/psg_core.dir/neighbor_algos.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/neighbor_algos.cc.o.d"
+  "/root/repo/src/core/pagerank.cc" "src/core/CMakeFiles/psg_core.dir/pagerank.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/pagerank.cc.o.d"
+  "/root/repo/src/core/psgraph_context.cc" "src/core/CMakeFiles/psg_core.dir/psgraph_context.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/psgraph_context.cc.o.d"
+  "/root/repo/src/core/sage_model.cc" "src/core/CMakeFiles/psg_core.dir/sage_model.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/sage_model.cc.o.d"
+  "/root/repo/src/core/sgc.cc" "src/core/CMakeFiles/psg_core.dir/sgc.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/sgc.cc.o.d"
+  "/root/repo/src/core/skipgram.cc" "src/core/CMakeFiles/psg_core.dir/skipgram.cc.o" "gcc" "src/core/CMakeFiles/psg_core.dir/skipgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/psg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/psg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/psg_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/psg_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/minitorch/CMakeFiles/psg_minitorch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_core.dir/deepwalk.cc.o"
+  "CMakeFiles/psg_core.dir/deepwalk.cc.o.d"
+  "CMakeFiles/psg_core.dir/fast_unfolding.cc.o"
+  "CMakeFiles/psg_core.dir/fast_unfolding.cc.o.d"
+  "CMakeFiles/psg_core.dir/graph_io.cc.o"
+  "CMakeFiles/psg_core.dir/graph_io.cc.o.d"
+  "CMakeFiles/psg_core.dir/graph_loader.cc.o"
+  "CMakeFiles/psg_core.dir/graph_loader.cc.o.d"
+  "CMakeFiles/psg_core.dir/graph_runner.cc.o"
+  "CMakeFiles/psg_core.dir/graph_runner.cc.o.d"
+  "CMakeFiles/psg_core.dir/graphsage.cc.o"
+  "CMakeFiles/psg_core.dir/graphsage.cc.o.d"
+  "CMakeFiles/psg_core.dir/kcore.cc.o"
+  "CMakeFiles/psg_core.dir/kcore.cc.o.d"
+  "CMakeFiles/psg_core.dir/label_propagation.cc.o"
+  "CMakeFiles/psg_core.dir/label_propagation.cc.o.d"
+  "CMakeFiles/psg_core.dir/line.cc.o"
+  "CMakeFiles/psg_core.dir/line.cc.o.d"
+  "CMakeFiles/psg_core.dir/neighbor_algos.cc.o"
+  "CMakeFiles/psg_core.dir/neighbor_algos.cc.o.d"
+  "CMakeFiles/psg_core.dir/pagerank.cc.o"
+  "CMakeFiles/psg_core.dir/pagerank.cc.o.d"
+  "CMakeFiles/psg_core.dir/psgraph_context.cc.o"
+  "CMakeFiles/psg_core.dir/psgraph_context.cc.o.d"
+  "CMakeFiles/psg_core.dir/sage_model.cc.o"
+  "CMakeFiles/psg_core.dir/sage_model.cc.o.d"
+  "CMakeFiles/psg_core.dir/sgc.cc.o"
+  "CMakeFiles/psg_core.dir/sgc.cc.o.d"
+  "CMakeFiles/psg_core.dir/skipgram.cc.o"
+  "CMakeFiles/psg_core.dir/skipgram.cc.o.d"
+  "libpsg_core.a"
+  "libpsg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

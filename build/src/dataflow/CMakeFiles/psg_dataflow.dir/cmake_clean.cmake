@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_dataflow.dir/context.cc.o"
+  "CMakeFiles/psg_dataflow.dir/context.cc.o.d"
+  "libpsg_dataflow.a"
+  "libpsg_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

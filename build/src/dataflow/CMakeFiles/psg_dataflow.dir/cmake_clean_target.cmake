@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsg_dataflow.a"
+)

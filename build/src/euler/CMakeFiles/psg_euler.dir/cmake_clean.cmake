@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_euler.dir/euler.cc.o"
+  "CMakeFiles/psg_euler.dir/euler.cc.o.d"
+  "libpsg_euler.a"
+  "libpsg_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

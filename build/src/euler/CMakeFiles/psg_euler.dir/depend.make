@@ -1,0 +1,2 @@
+# Empty dependencies file for psg_euler.
+# This may be replaced when dependencies are built.

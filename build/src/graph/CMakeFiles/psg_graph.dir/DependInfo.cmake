@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/psg_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/psg_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/psg_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/psg_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/degree.cc" "src/graph/CMakeFiles/psg_graph.dir/degree.cc.o" "gcc" "src/graph/CMakeFiles/psg_graph.dir/degree.cc.o.d"
+  "/root/repo/src/graph/edge_io.cc" "src/graph/CMakeFiles/psg_graph.dir/edge_io.cc.o" "gcc" "src/graph/CMakeFiles/psg_graph.dir/edge_io.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/psg_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/psg_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/psg_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/psg_graph.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_graph.dir/csr.cc.o"
+  "CMakeFiles/psg_graph.dir/csr.cc.o.d"
+  "CMakeFiles/psg_graph.dir/datasets.cc.o"
+  "CMakeFiles/psg_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/psg_graph.dir/degree.cc.o"
+  "CMakeFiles/psg_graph.dir/degree.cc.o.d"
+  "CMakeFiles/psg_graph.dir/edge_io.cc.o"
+  "CMakeFiles/psg_graph.dir/edge_io.cc.o.d"
+  "CMakeFiles/psg_graph.dir/generators.cc.o"
+  "CMakeFiles/psg_graph.dir/generators.cc.o.d"
+  "CMakeFiles/psg_graph.dir/partition.cc.o"
+  "CMakeFiles/psg_graph.dir/partition.cc.o.d"
+  "libpsg_graph.a"
+  "libpsg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphx/fast_unfolding.cc" "src/graphx/CMakeFiles/psg_graphx.dir/fast_unfolding.cc.o" "gcc" "src/graphx/CMakeFiles/psg_graphx.dir/fast_unfolding.cc.o.d"
+  "/root/repo/src/graphx/kcore.cc" "src/graphx/CMakeFiles/psg_graphx.dir/kcore.cc.o" "gcc" "src/graphx/CMakeFiles/psg_graphx.dir/kcore.cc.o.d"
+  "/root/repo/src/graphx/pagerank.cc" "src/graphx/CMakeFiles/psg_graphx.dir/pagerank.cc.o" "gcc" "src/graphx/CMakeFiles/psg_graphx.dir/pagerank.cc.o.d"
+  "/root/repo/src/graphx/triangles.cc" "src/graphx/CMakeFiles/psg_graphx.dir/triangles.cc.o" "gcc" "src/graphx/CMakeFiles/psg_graphx.dir/triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/psg_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/psg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_graphx.dir/fast_unfolding.cc.o"
+  "CMakeFiles/psg_graphx.dir/fast_unfolding.cc.o.d"
+  "CMakeFiles/psg_graphx.dir/kcore.cc.o"
+  "CMakeFiles/psg_graphx.dir/kcore.cc.o.d"
+  "CMakeFiles/psg_graphx.dir/pagerank.cc.o"
+  "CMakeFiles/psg_graphx.dir/pagerank.cc.o.d"
+  "CMakeFiles/psg_graphx.dir/triangles.cc.o"
+  "CMakeFiles/psg_graphx.dir/triangles.cc.o.d"
+  "libpsg_graphx.a"
+  "libpsg_graphx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_graphx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

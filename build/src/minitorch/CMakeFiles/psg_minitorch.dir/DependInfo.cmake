@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minitorch/nn.cc" "src/minitorch/CMakeFiles/psg_minitorch.dir/nn.cc.o" "gcc" "src/minitorch/CMakeFiles/psg_minitorch.dir/nn.cc.o.d"
+  "/root/repo/src/minitorch/ops.cc" "src/minitorch/CMakeFiles/psg_minitorch.dir/ops.cc.o" "gcc" "src/minitorch/CMakeFiles/psg_minitorch.dir/ops.cc.o.d"
+  "/root/repo/src/minitorch/tensor.cc" "src/minitorch/CMakeFiles/psg_minitorch.dir/tensor.cc.o" "gcc" "src/minitorch/CMakeFiles/psg_minitorch.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_minitorch.dir/nn.cc.o"
+  "CMakeFiles/psg_minitorch.dir/nn.cc.o.d"
+  "CMakeFiles/psg_minitorch.dir/ops.cc.o"
+  "CMakeFiles/psg_minitorch.dir/ops.cc.o.d"
+  "CMakeFiles/psg_minitorch.dir/tensor.cc.o"
+  "CMakeFiles/psg_minitorch.dir/tensor.cc.o.d"
+  "libpsg_minitorch.a"
+  "libpsg_minitorch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_minitorch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_net.dir/rpc.cc.o"
+  "CMakeFiles/psg_net.dir/rpc.cc.o.d"
+  "libpsg_net.a"
+  "libpsg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

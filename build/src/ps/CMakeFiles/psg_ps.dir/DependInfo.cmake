@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ps/agent.cc" "src/ps/CMakeFiles/psg_ps.dir/agent.cc.o" "gcc" "src/ps/CMakeFiles/psg_ps.dir/agent.cc.o.d"
+  "/root/repo/src/ps/context.cc" "src/ps/CMakeFiles/psg_ps.dir/context.cc.o" "gcc" "src/ps/CMakeFiles/psg_ps.dir/context.cc.o.d"
+  "/root/repo/src/ps/master.cc" "src/ps/CMakeFiles/psg_ps.dir/master.cc.o" "gcc" "src/ps/CMakeFiles/psg_ps.dir/master.cc.o.d"
+  "/root/repo/src/ps/psfuncs_builtin.cc" "src/ps/CMakeFiles/psg_ps.dir/psfuncs_builtin.cc.o" "gcc" "src/ps/CMakeFiles/psg_ps.dir/psfuncs_builtin.cc.o.d"
+  "/root/repo/src/ps/server.cc" "src/ps/CMakeFiles/psg_ps.dir/server.cc.o" "gcc" "src/ps/CMakeFiles/psg_ps.dir/server.cc.o.d"
+  "/root/repo/src/ps/server_rpc.cc" "src/ps/CMakeFiles/psg_ps.dir/server_rpc.cc.o" "gcc" "src/ps/CMakeFiles/psg_ps.dir/server_rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/psg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/psg_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_ps.dir/agent.cc.o"
+  "CMakeFiles/psg_ps.dir/agent.cc.o.d"
+  "CMakeFiles/psg_ps.dir/context.cc.o"
+  "CMakeFiles/psg_ps.dir/context.cc.o.d"
+  "CMakeFiles/psg_ps.dir/master.cc.o"
+  "CMakeFiles/psg_ps.dir/master.cc.o.d"
+  "CMakeFiles/psg_ps.dir/psfuncs_builtin.cc.o"
+  "CMakeFiles/psg_ps.dir/psfuncs_builtin.cc.o.d"
+  "CMakeFiles/psg_ps.dir/server.cc.o"
+  "CMakeFiles/psg_ps.dir/server.cc.o.d"
+  "CMakeFiles/psg_ps.dir/server_rpc.cc.o"
+  "CMakeFiles/psg_ps.dir/server_rpc.cc.o.d"
+  "libpsg_ps.a"
+  "libpsg_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psg_ps.
+# This may be replaced when dependencies are built.

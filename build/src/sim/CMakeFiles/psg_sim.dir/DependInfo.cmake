@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/psg_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/psg_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/memory_accountant.cc" "src/sim/CMakeFiles/psg_sim.dir/memory_accountant.cc.o" "gcc" "src/sim/CMakeFiles/psg_sim.dir/memory_accountant.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/psg_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/psg_sim.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

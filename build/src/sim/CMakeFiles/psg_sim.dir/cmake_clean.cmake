@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_sim.dir/cluster.cc.o"
+  "CMakeFiles/psg_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/psg_sim.dir/memory_accountant.cc.o"
+  "CMakeFiles/psg_sim.dir/memory_accountant.cc.o.d"
+  "CMakeFiles/psg_sim.dir/report.cc.o"
+  "CMakeFiles/psg_sim.dir/report.cc.o.d"
+  "libpsg_sim.a"
+  "libpsg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psg_storage.dir/hdfs.cc.o"
+  "CMakeFiles/psg_storage.dir/hdfs.cc.o.d"
+  "libpsg_storage.a"
+  "libpsg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gnn_test.dir/core_gnn_test.cc.o"
+  "CMakeFiles/core_gnn_test.dir/core_gnn_test.cc.o.d"
+  "core_gnn_test"
+  "core_gnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tg_test.dir/core_tg_test.cc.o"
+  "CMakeFiles/core_tg_test.dir/core_tg_test.cc.o.d"
+  "core_tg_test"
+  "core_tg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_sweep_test.dir/failure_sweep_test.cc.o"
+  "CMakeFiles/failure_sweep_test.dir/failure_sweep_test.cc.o.d"
+  "failure_sweep_test"
+  "failure_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

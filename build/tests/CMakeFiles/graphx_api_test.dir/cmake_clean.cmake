@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphx_api_test.dir/graphx_api_test.cc.o"
+  "CMakeFiles/graphx_api_test.dir/graphx_api_test.cc.o.d"
+  "graphx_api_test"
+  "graphx_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphx_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

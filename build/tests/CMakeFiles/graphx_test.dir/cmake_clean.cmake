@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphx_test.dir/graphx_test.cc.o"
+  "CMakeFiles/graphx_test.dir/graphx_test.cc.o.d"
+  "graphx_test"
+  "graphx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minitorch_test.dir/minitorch_test.cc.o"
+  "CMakeFiles/minitorch_test.dir/minitorch_test.cc.o.d"
+  "minitorch_test"
+  "minitorch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minitorch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
