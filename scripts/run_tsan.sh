@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the parallel execution engine.
+#
+# Configures a separate build tree with -DPSGRAPH_SANITIZE=thread and runs
+# the concurrency-labeled tests at PSGRAPH_THREADS=8 so the RPC fan-out,
+# the partition-task engine and the PS hot paths all run with real thread
+# interleavings under TSan. Usage: scripts/run_tsan.sh [build-dir]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-tsan}"
+
+cmake -B "$build" -S "$repo" -DPSGRAPH_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)"
+cd "$build"
+PSGRAPH_THREADS=8 ctest -L concurrency --output-on-failure

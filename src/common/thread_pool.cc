@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 
 namespace psgraph {
 
@@ -32,20 +35,80 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   return fut;
 }
 
+namespace {
+
+/// Shared state of one ParallelFor region. Heap-owned (shared_ptr) so a
+/// helper task that wakes up after the region already finished can still
+/// touch it safely.
+struct ParallelRegion {
+  explicit ParallelRegion(size_t n, std::function<void(size_t)> f)
+      : total(n), fn(std::move(f)) {}
+
+  const size_t total;
+  std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mu
+
+  /// Claims indices until the range is drained. Returns true when this
+  /// call completed the final index.
+  bool Drain() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= total) return false;
+      bool failed;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        failed = error != nullptr;
+      }
+      if (!failed) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (error == nullptr) error = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1) + 1 == total) {
+        // Lock before notifying so a waiter cannot check the predicate,
+        // miss the increment, and block after the notification fired.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForBounded(n, threads_.size(), fn);
+}
+
+void ThreadPool::ParallelForBounded(size_t n, size_t max_helpers,
+                                    const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || threads_.size() == 1) {
-    // Run inline: avoids deadlock when called from a pool thread on a
-    // single-threaded pool and skips scheduling overhead.
+  size_t helpers = std::min(n - 1, std::min(max_helpers, threads_.size()));
+  if (helpers == 0) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futs.push_back(Submit([&fn, i] { fn(i); }));
+  auto region = std::make_shared<ParallelRegion>(n, fn);
+  for (size_t h = 0; h < helpers; ++h) {
+    // Fire-and-forget: the region outlives the futures via shared_ptr.
+    Submit([region] { region->Drain(); });
   }
-  for (auto& f : futs) f.get();
+  region->Drain();  // caller participates — guarantees forward progress
+  {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->cv.wait(lock, [&] {
+      return region->done.load() == region->total;
+    });
+    if (region->error) std::rethrow_exception(region->error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -60,6 +123,41 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+}
+
+namespace {
+
+size_t DefaultParallelism() {
+  if (const char* env = std::getenv("PSGRAPH_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::atomic<size_t> g_parallelism{0};  // 0 = not yet resolved
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(
+      std::max<size_t>(2, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+size_t GlobalParallelism() {
+  size_t p = g_parallelism.load(std::memory_order_relaxed);
+  if (p == 0) {
+    p = DefaultParallelism();
+    g_parallelism.store(p, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void SetGlobalParallelism(size_t n) {
+  g_parallelism.store(n == 0 ? DefaultParallelism() : n,
+                      std::memory_order_relaxed);
 }
 
 }  // namespace psgraph

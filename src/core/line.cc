@@ -65,34 +65,47 @@ Result<LineResult> Line(PsGraphContext& ctx,
     PSG_ASSIGN_OR_RETURN(auto recovery,
                          ctx.HandleFailures(epoch, opts.recovery));
     (void)recovery;
+    // Executors train on their local batches concurrently (one task per
+    // executor; the per-executor Rng keeps sampling independent of the
+    // schedule). Per-executor losses are reduced in executor order after
+    // the join so the reported loss is the same at any parallelism.
+    std::vector<double> exec_loss(E, 0.0);
+    std::vector<uint64_t> exec_count(E, 0);
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx.dataflow(), E, [&](int32_t e) -> Status {
+          Rng rng(opts.seed ^ Hash64((uint64_t)epoch * 1315423911ull + e));
+          const graph::EdgeList& mine = local[e];
+          for (uint64_t begin = 0; begin < mine.size();
+               begin += opts.batch_size) {
+            uint64_t end =
+                std::min<uint64_t>(mine.size(), begin + opts.batch_size);
+            // One positive pair per edge plus K shared-source negatives.
+            std::vector<std::pair<uint64_t, uint64_t>> pairs;
+            std::vector<float> labels;
+            pairs.reserve((end - begin) * (K + 1));
+            for (uint64_t i = begin; i < end; ++i) {
+              pairs.push_back({mine[i].src, mine[i].dst});
+              labels.push_back(1.0f);
+              for (int k = 0; k < K; ++k) {
+                pairs.push_back({mine[i].src, noise.Sample(rng)});
+                labels.push_back(0.0f);
+              }
+            }
+            PSG_ASSIGN_OR_RETURN(
+                double loss,
+                TrainSkipGramBatch(ctx, e, model, pairs, labels,
+                                   opts.learning_rate,
+                                   opts.use_psfunc_dot));
+            exec_loss[e] += loss;
+            exec_count[e] += pairs.size();
+          }
+          return Status::OK();
+        }));
     double loss_sum = 0.0;
     uint64_t loss_count = 0;
     for (int32_t e = 0; e < E; ++e) {
-      Rng rng(opts.seed ^ Hash64((uint64_t)epoch * 1315423911ull + e));
-      const graph::EdgeList& mine = local[e];
-      for (uint64_t begin = 0; begin < mine.size();
-           begin += opts.batch_size) {
-        uint64_t end =
-            std::min<uint64_t>(mine.size(), begin + opts.batch_size);
-        // One positive pair per edge plus K shared-source negatives.
-        std::vector<std::pair<uint64_t, uint64_t>> pairs;
-        std::vector<float> labels;
-        pairs.reserve((end - begin) * (K + 1));
-        for (uint64_t i = begin; i < end; ++i) {
-          pairs.push_back({mine[i].src, mine[i].dst});
-          labels.push_back(1.0f);
-          for (int k = 0; k < K; ++k) {
-            pairs.push_back({mine[i].src, noise.Sample(rng)});
-            labels.push_back(0.0f);
-          }
-        }
-        PSG_ASSIGN_OR_RETURN(
-            double loss,
-            TrainSkipGramBatch(ctx, e, model, pairs, labels,
-                               opts.learning_rate, opts.use_psfunc_dot));
-        loss_sum += loss;
-        loss_count += pairs.size();
-      }
+      loss_sum += exec_loss[e];
+      loss_count += exec_count[e];
     }
     ctx.sync().IterationBarrier();
     PSG_RETURN_NOT_OK(ctx.MaybeCheckpoint(epoch));

@@ -110,35 +110,39 @@ Result<PageRankResult> PageRank(PsGraphContext& ctx,
     }
 
     // Phase 1: every executor pulls the deltas of its local sources and
-    // computes contributions to destinations.
+    // computes contributions to destinations. Executors run concurrently
+    // (RunPartitioned pins partition p to executor p % E, so updates[e]
+    // and executor e's clock are only touched by e's task).
     std::vector<std::unordered_map<graph::VertexId, float>> updates(E);
-    for (int32_t p = 0; p < nbr.num_partitions(); ++p) {
-      int32_t e = ctx.dataflow().ExecutorOf(p);
-      PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
-      std::vector<uint64_t> keys;
-      keys.reserve(tables.size());
-      for (const NeighborPair& t : tables) keys.push_back(t.first);
-      PSG_ASSIGN_OR_RETURN(std::vector<float> ds,
-                           ctx.agent(e).PullRows(deltas, keys));
-      uint64_t edges_processed = 0;
-      auto& local = updates[e];
-      for (size_t i = 0; i < tables.size(); ++i) {
-        double d = ds[i];
-        if (std::fabs(d) <= opts.prune_epsilon) continue;
-        const auto& dsts = tables[i].second;
-        if (dsts.empty()) continue;
-        double degree =
-            opts.group_to_neighbor_tables
-                ? static_cast<double>(dsts.size())
-                : static_cast<double>(outdeg[tables[i].first]);
-        float contrib = static_cast<float>(damp * d / degree);
-        for (graph::VertexId dst : dsts) local[dst] += contrib;
-        edges_processed += dsts.size();
-      }
-      ctx.cluster().clock().Advance(
-          ctx.cluster().config().executor(e),
-          ctx.cluster().cost().ComputeTime(edges_processed));
-    }
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx.dataflow(), nbr.num_partitions(), [&](int32_t p) -> Status {
+          int32_t e = ctx.dataflow().ExecutorOf(p);
+          PSG_ASSIGN_OR_RETURN(auto tables, nbr.ComputePartition(p));
+          std::vector<uint64_t> keys;
+          keys.reserve(tables.size());
+          for (const NeighborPair& t : tables) keys.push_back(t.first);
+          PSG_ASSIGN_OR_RETURN(std::vector<float> ds,
+                               ctx.agent(e).PullRows(deltas, keys));
+          uint64_t edges_processed = 0;
+          auto& local = updates[e];
+          for (size_t i = 0; i < tables.size(); ++i) {
+            double d = ds[i];
+            if (std::fabs(d) <= opts.prune_epsilon) continue;
+            const auto& dsts = tables[i].second;
+            if (dsts.empty()) continue;
+            double degree =
+                opts.group_to_neighbor_tables
+                    ? static_cast<double>(dsts.size())
+                    : static_cast<double>(outdeg[tables[i].first]);
+            float contrib = static_cast<float>(damp * d / degree);
+            for (graph::VertexId dst : dsts) local[dst] += contrib;
+            edges_processed += dsts.size();
+          }
+          ctx.cluster().clock().Advance(
+              ctx.cluster().config().executor(e),
+              ctx.cluster().cost().ComputeTime(edges_processed));
+          return Status::OK();
+        }));
 
     // Phase 2: PS adds deltas to ranks and resets deltas (psFunc); the
     // returned L1 norm doubles as the convergence metric.
@@ -149,19 +153,21 @@ Result<PageRankResult> PageRank(PsGraphContext& ctx,
         double l1, driver_agent.CallFuncSum("pagerank.advance", args));
     result.final_delta_l1 = l1;
 
-    // Phase 3: push the new contributions into the delta vector.
-    for (int32_t e = 0; e < E; ++e) {
-      if (updates[e].empty()) continue;
-      std::vector<uint64_t> keys;
-      std::vector<float> values;
-      keys.reserve(updates[e].size());
-      values.reserve(updates[e].size());
-      for (const auto& [dst, u] : updates[e]) {
-        keys.push_back(dst);
-        values.push_back(u);
-      }
-      PSG_RETURN_NOT_OK(ctx.agent(e).PushAdd(deltas, keys, values));
-    }
+    // Phase 3: push the new contributions into the delta vector; one
+    // concurrent task per executor (index == executor id).
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx.dataflow(), E, [&](int32_t e) -> Status {
+          if (updates[e].empty()) return Status::OK();
+          std::vector<uint64_t> keys;
+          std::vector<float> values;
+          keys.reserve(updates[e].size());
+          values.reserve(updates[e].size());
+          for (const auto& [dst, u] : updates[e]) {
+            keys.push_back(dst);
+            values.push_back(u);
+          }
+          return ctx.agent(e).PushAdd(deltas, keys, values);
+        }));
 
     ctx.sync().IterationBarrier();
     if (ctx.options().checkpoint_interval > 0 && iter > 0 &&

@@ -31,6 +31,19 @@ void ShuffleService::DropShuffle(uint64_t shuffle_id) {
   }
 }
 
+Result<uint64_t> ShuffleService::BlockSize(uint64_t shuffle_id,
+                                           int32_t map_part,
+                                           int32_t reduce_part) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find({shuffle_id, map_part, reduce_part});
+  if (it == blocks_.end()) {
+    return Status::NotFound("shuffle block (" + std::to_string(shuffle_id) +
+                            "," + std::to_string(map_part) + "," +
+                            std::to_string(reduce_part) + ") missing");
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
 uint64_t ShuffleService::TotalBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

@@ -1,10 +1,13 @@
 // DataflowContext: the mini-Spark runtime shared by all Datasets.
 //
 // Partitions are assigned to executors round-robin (partition p lives on
-// executor p % num_executors). Evaluation is sequential on the driver
-// thread — logical parallelism is captured by the per-node simulated
-// clocks, not by real threads, so the makespan math is exact and
-// deterministic on any host.
+// executor p % num_executors). Actions evaluate partitions concurrently on
+// the global thread pool — one task per executor, partitions in ascending
+// order within a task — so each executor's simulated clock receives its
+// charges from a single thread in a fixed order and the makespan math
+// stays exact and deterministic at any parallelism (see DESIGN.md,
+// "Execution model"). PSGRAPH_THREADS=1 forces the sequential reference
+// path.
 
 #ifndef PSGRAPH_DATAFLOW_CONTEXT_H_
 #define PSGRAPH_DATAFLOW_CONTEXT_H_
@@ -33,6 +36,10 @@ class ShuffleService {
   Result<std::vector<uint8_t>> GetBlock(uint64_t shuffle_id,
                                         int32_t map_part,
                                         int32_t reduce_part) const;
+  /// Size in bytes of one block; NotFound if missing. Lets the shuffle
+  /// fetch-accounting pass charge transfers without copying payloads.
+  Result<uint64_t> BlockSize(uint64_t shuffle_id, int32_t map_part,
+                             int32_t reduce_part) const;
   /// Frees all blocks of one shuffle.
   void DropShuffle(uint64_t shuffle_id);
   uint64_t TotalBytes() const;
@@ -46,10 +53,8 @@ class ShuffleService {
 class DataflowContext {
  public:
   explicit DataflowContext(sim::SimCluster* cluster)
-      : cluster_(cluster) {
-    executor_epochs_.assign(
-        cluster ? cluster->config().num_executors : 1, 0);
-  }
+      : cluster_(cluster),
+        executor_epochs_(cluster ? cluster->config().num_executors : 1) {}
 
   sim::SimCluster* cluster() { return cluster_; }
   int32_t num_executors() const {
@@ -83,16 +88,20 @@ class DataflowContext {
 
   /// Failure-recovery epochs: bumping an executor's epoch invalidates all
   /// cached partitions living on it (Spark lineage then recomputes them).
+  /// Atomic because cache slots read epochs from evaluation tasks.
   uint64_t ExecutorEpoch(int32_t executor) const {
-    return executor_epochs_[executor];
+    return executor_epochs_[executor].load(std::memory_order_acquire);
   }
-  void BumpExecutorEpoch(int32_t executor) { ++executor_epochs_[executor]; }
+  void BumpExecutorEpoch(int32_t executor) {
+    executor_epochs_[executor].fetch_add(1, std::memory_order_acq_rel);
+  }
 
  private:
   sim::SimCluster* cluster_;
   ShuffleService shuffle_;
   std::atomic<uint64_t> next_shuffle_id_{1};
-  std::vector<uint64_t> executor_epochs_;
+  // Sized once in the constructor, never resized (atomics cannot move).
+  std::vector<std::atomic<uint64_t>> executor_epochs_;
 };
 
 }  // namespace psgraph::dataflow

@@ -9,6 +9,12 @@
 // (charged as disk writes), reduce-side fetches (disk read + network) and
 // hash-table builds (charged against the executor memory budget — the
 // source of GraphX's OOM behaviour).
+//
+// Actions evaluate partitions concurrently: one pool task per executor,
+// each walking its own partitions (p % num_executors == e) in ascending
+// order, so every executor clock sees a single ordered charge stream and
+// simulated makespans are identical at any parallelism. Results are
+// assembled in partition order regardless of completion order.
 
 #ifndef PSGRAPH_DATAFLOW_DATASET_H_
 #define PSGRAPH_DATAFLOW_DATASET_H_
@@ -28,6 +34,7 @@
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dataflow/context.h"
 #include "dataflow/element_traits.h"
 
@@ -57,6 +64,49 @@ struct KeyHasher {
     return static_cast<size_t>(KeyHash(k));
   }
 };
+
+/// Engine core shared by all actions and the shuffle map stage: runs
+/// fn(p) for every partition in [0, n). At global parallelism 1 this is
+/// the strictly sequential reference path (ascending p, abort on the
+/// first error). Otherwise one pool task per executor walks that
+/// executor's partitions in ascending order — all simulated-clock and
+/// memory charges for one executor come from one thread in a fixed
+/// order, which is what makes N-thread makespans bit-identical to the
+/// sequential run. A failing partition aborts only its own executor's
+/// stream; the error with the lowest partition index is returned, so the
+/// reported error matches the sequential path.
+inline Status RunPartitioned(DataflowContext* ctx, int32_t n,
+                             const std::function<Status(int32_t)>& fn) {
+  const size_t parallelism = GlobalParallelism();
+  if (parallelism <= 1) {
+    for (int32_t p = 0; p < n; ++p) {
+      PSG_RETURN_NOT_OK(fn(p));
+    }
+    return Status::OK();
+  }
+  const int32_t num_tasks = ctx->num_executors();
+  std::vector<Status> errors(num_tasks, Status::OK());
+  std::vector<int32_t> error_at(num_tasks, INT32_MAX);
+  GlobalThreadPool().ParallelForBounded(
+      static_cast<size_t>(num_tasks), parallelism - 1, [&](size_t e) {
+        for (int32_t p = static_cast<int32_t>(e); p < n; p += num_tasks) {
+          Status st = fn(p);
+          if (!st.ok()) {
+            errors[e] = std::move(st);
+            error_at[e] = p;
+            return;
+          }
+        }
+      });
+  int32_t first = -1;
+  for (int32_t e = 0; e < num_tasks; ++e) {
+    if (error_at[e] != INT32_MAX &&
+        (first < 0 || error_at[e] < error_at[first])) {
+      first = e;
+    }
+  }
+  return first < 0 ? Status::OK() : errors[first];
+}
 
 namespace detail {
 
@@ -212,8 +262,12 @@ class CacheNode final : public Node<T> {
         slots_(this->num_partitions_) {}
 
   Result<std::vector<T>> Compute(int32_t p) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Per-slot lock: partitions on different executors materialize
+    // concurrently; two computations of the same partition serialize so
+    // the memory budget is charged once. Lock order follows the lineage
+    // DAG (slot p, then parent caches' slot p), so no cycles.
     Slot& slot = slots_[p];
+    std::lock_guard<std::mutex> lock(slot.mu);
     uint64_t epoch = this->ctx_->ExecutorEpoch(this->ctx_->ExecutorOf(p));
     if (slot.data.has_value() && slot.epoch == epoch) {
       return *slot.data;
@@ -235,9 +289,9 @@ class CacheNode final : public Node<T> {
 
   /// Drops all cached partitions (Spark unpersist), releasing memory.
   void Unpersist() {
-    std::lock_guard<std::mutex> lock(mu_);
     for (int32_t p = 0; p < this->num_partitions_; ++p) {
       Slot& slot = slots_[p];
+      std::lock_guard<std::mutex> lock(slot.mu);
       if (slot.data.has_value()) {
         uint64_t epoch =
             this->ctx_->ExecutorEpoch(this->ctx_->ExecutorOf(p));
@@ -251,12 +305,13 @@ class CacheNode final : public Node<T> {
 
  private:
   struct Slot {
+    std::mutex mu;
     std::optional<std::vector<T>> data;
     uint64_t epoch = 0;
     uint64_t charged = 0;
   };
   std::shared_ptr<Node<T>> parent_;
-  std::mutex mu_;
+  // Sized once at construction; never resized (Slot holds a mutex).
   std::vector<Slot> slots_;
 };
 
@@ -280,19 +335,40 @@ class ShuffleWriter {
   uint64_t shuffle_id() const { return shuffle_id_; }
   int32_t num_map_partitions() const { return parent_->num_partitions(); }
 
-  /// Idempotent; thread-compatible (driver-thread execution model).
+  /// Idempotent and thread-safe: the first caller runs the whole map
+  /// stage (concurrent reducers block on the once-guard until it
+  /// finishes); every caller shares the resulting status.
   Status EnsureWritten() {
-    if (done_) return map_status_;
-    done_ = true;
-    for (int32_t m = 0; m < parent_->num_partitions(); ++m) {
-      map_status_ = WriteMapPartition(m);
-      if (!map_status_.ok()) return map_status_;
-    }
-    ctx_->StageBarrier();  // shuffle map side ends a stage
+    std::call_once(once_, [&] { map_status_ = WriteAll(); });
     return map_status_;
   }
 
  private:
+  Status WriteAll() {
+    const int32_t num_maps = parent_->num_partitions();
+    PSG_RETURN_NOT_OK(RunPartitioned(
+        ctx_, num_maps, [&](int32_t m) { return WriteMapPartition(m); }));
+    ctx_->StageBarrier();  // shuffle map side ends a stage
+    // Fetch accounting, hoisted out of the reduce tasks: charging a
+    // fetch couples the reduce executor's clock to the map executor's
+    // ("data cannot arrive before it was sent"), which would be racy and
+    // order-dependent when reducers run concurrently. One deterministic
+    // pass charges every block's disk read and map->reduce transfer
+    // here; reducers then deserialize without touching foreign clocks.
+    // Consequence: a reduce partition recomputed through lineage does
+    // not pay the fetch again — the ledger treats the shuffle files as
+    // already delivered.
+    for (int32_t r = 0; r < num_reducers_; ++r) {
+      for (int32_t m = 0; m < num_maps; ++m) {
+        PSG_ASSIGN_OR_RETURN(uint64_t bytes,
+                             ctx_->shuffle().BlockSize(shuffle_id_, m, r));
+        ctx_->ChargeDiskRead(m, bytes);
+        ctx_->ChargeTransfer(m, r, bytes);
+      }
+    }
+    return Status::OK();
+  }
+
   Status WriteMapPartition(int32_t m) {
     auto in = parent_->Compute(m);
     if (!in.ok()) return in.status();
@@ -345,13 +421,14 @@ class ShuffleWriter {
   int32_t num_reducers_;
   Combiner combiner_;
   uint64_t shuffle_id_;
-  bool done_ = false;
-  Status map_status_;
+  std::once_flag once_;
+  Status map_status_;  // written inside the once-guard, read after it
 };
 
 /// Fetches and deserializes all blocks for reduce partition `r`, invoking
-/// `sink(key, value)` per record. Charges disk read on the map executor
-/// and network transfer map->reduce.
+/// `sink(key, value)` per record. Pure data movement: disk-read and
+/// transfer time were already charged by the writer's deterministic
+/// fetch-accounting pass (see ShuffleWriter::WriteAll).
 template <typename K, typename V, typename Sink>
 Status FetchShuffleBlocks(DataflowContext* ctx, uint64_t shuffle_id,
                           int32_t num_map_partitions, int32_t r,
@@ -359,8 +436,6 @@ Status FetchShuffleBlocks(DataflowContext* ctx, uint64_t shuffle_id,
   for (int32_t m = 0; m < num_map_partitions; ++m) {
     auto block = ctx->shuffle().GetBlock(shuffle_id, m, r);
     if (!block.ok()) return block.status();
-    ctx->ChargeDiskRead(m, block->size());
-    ctx->ChargeTransfer(m, r, block->size());
     ByteReader reader(*block);
     while (reader.remaining() > 0) {
       K k{};
@@ -711,35 +786,66 @@ class Dataset {
     return node_->Compute(p);
   }
 
-  /// Materializes every partition on the driver.
+  /// Materializes every partition on the driver, in partition order.
   Result<std::vector<T>> Collect() const {
-    std::vector<T> all;
-    for (int32_t p = 0; p < node_->num_partitions(); ++p) {
-      auto part = node_->Compute(p);
-      if (!part.ok()) return part.status();
-      for (auto& v : *part) all.push_back(std::move(v));
-    }
+    const int32_t num_parts = node_->num_partitions();
+    std::vector<std::vector<T>> parts(num_parts);
+    PSG_RETURN_NOT_OK(
+        RunPartitioned(ctx_, num_parts, [&](int32_t p) -> Status {
+          auto part = node_->Compute(p);
+          if (!part.ok()) return part.status();
+          parts[p] = std::move(*part);
+          return Status::OK();
+        }));
     ctx_->StageBarrier();
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    std::vector<T> all;
+    all.reserve(total);
+    for (auto& part : parts) {
+      for (auto& v : part) all.push_back(std::move(v));
+    }
     return all;
   }
 
   Result<uint64_t> Count() const {
-    uint64_t n = 0;
-    for (int32_t p = 0; p < node_->num_partitions(); ++p) {
-      auto part = node_->Compute(p);
-      if (!part.ok()) return part.status();
-      n += part->size();
-    }
+    const int32_t num_parts = node_->num_partitions();
+    std::vector<uint64_t> sizes(num_parts, 0);
+    PSG_RETURN_NOT_OK(
+        RunPartitioned(ctx_, num_parts, [&](int32_t p) -> Status {
+          auto part = node_->Compute(p);
+          if (!part.ok()) return part.status();
+          sizes[p] = part->size();
+          return Status::OK();
+        }));
     ctx_->StageBarrier();
+    uint64_t n = 0;
+    for (uint64_t s : sizes) n += s;
     return n;
   }
 
   /// Evaluates all partitions for side effects / materialization.
   Status Evaluate() const {
-    for (int32_t p = 0; p < node_->num_partitions(); ++p) {
-      auto part = node_->Compute(p);
-      if (!part.ok()) return part.status();
-    }
+    PSG_RETURN_NOT_OK(RunPartitioned(
+        ctx_, node_->num_partitions(),
+        [&](int32_t p) { return node_->Compute(p).status(); }));
+    ctx_->StageBarrier();
+    return Status::OK();
+  }
+
+  /// Streams each partition into `fn(p, std::move(rows))` on the
+  /// evaluating task. At parallelism > 1 invocations for partitions on
+  /// *different* executors run concurrently (fn must tolerate that); one
+  /// executor's partitions arrive in ascending order on one thread.
+  /// F: (int32_t partition, std::vector<T>&&) -> Status.
+  template <typename F>
+  Status ForeachPartition(F fn) const {
+    PSG_RETURN_NOT_OK(RunPartitioned(
+        ctx_, node_->num_partitions(), [&](int32_t p) -> Status {
+          auto part = node_->Compute(p);
+          if (!part.ok()) return part.status();
+          return fn(p, std::move(*part));
+        }));
     ctx_->StageBarrier();
     return Status::OK();
   }

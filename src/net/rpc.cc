@@ -3,23 +3,33 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "sim/sim_clock.h"
 
 namespace psgraph::net {
 
 void RpcEndpoint::Register(const std::string& method, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(handlers_mu_);
   handlers_[method] = std::move(handler);
 }
 
 Result<ByteBuffer> RpcEndpoint::Dispatch(const std::string& method,
                                          const std::vector<uint8_t>& request) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = handlers_.find(method);
-  if (it == handlers_.end()) {
-    return Status::NotFound("rpc: no handler for method '" + method + "'");
+  std::lock_guard<std::mutex> serial(serial_mu_);
+  return DispatchUnlocked(method, request);
+}
+
+Result<ByteBuffer> RpcEndpoint::DispatchUnlocked(
+    const std::string& method, const std::vector<uint8_t>& request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    auto it = handlers_.find(method);
+    if (it == handlers_.end()) {
+      return Status::NotFound("rpc: no handler for method '" + method + "'");
+    }
+    handler = it->second;  // copy so re-registration is safe
   }
-  Handler handler = it->second;  // copy so re-registration is safe
-  // Keep the lock: one shard processes requests serially.
   return handler(request);
 }
 
@@ -34,10 +44,13 @@ void RpcFabric::Unbind(sim::NodeId node) {
 }
 
 namespace {
-/// Wire time excluding latency: serialization onto the NIC.
-double WireTime(const sim::CostModel& cost, uint64_t bytes) {
-  return static_cast<double>(bytes) /
-         cost.config().network_bandwidth_bytes_per_sec;
+/// Wire time excluding latency, in clock ticks: serialization onto the NIC.
+/// A pure function of the byte count, so every execution mode charges the
+/// same tick amounts.
+int64_t WireTicks(const sim::CostModel& cost, uint64_t bytes) {
+  return sim::SimClock::TicksOf(
+      static_cast<double>(bytes) /
+      cost.config().network_bandwidth_bytes_per_sec);
 }
 }  // namespace
 
@@ -52,19 +65,20 @@ Result<std::vector<uint8_t>> RpcFabric::Call(sim::NodeId from, sim::NodeId to,
 
 Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
     sim::NodeId from, std::vector<ParallelCall> calls) {
-  std::vector<std::vector<uint8_t>> responses;
-  responses.reserve(calls.size());
-  const double latency =
+  const size_t n = calls.size();
+  const bool timed = cluster_ != nullptr && from >= 0;
+  const int64_t latency_ticks =
       cluster_ != nullptr
-          ? cluster_->cost().config().network_latency_sec
-          : 0.0;
-  double t0 = 0.0, send_cursor = 0.0, t_end = 0.0;
-  if (cluster_ != nullptr && from >= 0) {
-    t0 = cluster_->clock().Now(from);
-    t_end = t0;
-  }
+          ? sim::SimClock::TicksOf(cluster_->cost().config().network_latency_sec)
+          : 0;
+  const int64_t t0 = timed ? cluster_->clock().NowTicks(from) : 0;
 
-  for (ParallelCall& call : calls) {
+  // Validates liveness/binding for one call and accounts its send. Returns
+  // the endpoint, or an error. `send_cursor` models the caller's NIC:
+  // sends serialize, flights overlap.
+  int64_t send_cursor = 0;
+  auto plan_call = [&](const ParallelCall& call, int64_t* arrival)
+      -> Result<std::shared_ptr<RpcEndpoint>> {
     if (cluster_ != nullptr && !cluster_->IsAlive(call.to)) {
       return Status::Unavailable("rpc: node " + std::to_string(call.to) +
                                  " is down");
@@ -79,42 +93,99 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
       return Status::Unavailable("rpc: node " + std::to_string(call.to) +
                                  " has no endpoint bound");
     }
-
     Metrics::Global().Add("rpc.calls", 1);
     Metrics::Global().Add("rpc.bytes_sent", call.request.size());
-
-    double arrival = 0.0, busy_before = 0.0;
-    if (cluster_ != nullptr && from >= 0) {
-      // Requests share the caller's NIC: sends serialize, flights overlap.
-      send_cursor += WireTime(cluster_->cost(), call.request.size());
-      arrival = t0 + send_cursor + latency;
-      busy_before = cluster_->clock().Now(call.to);
-      // Receiving/deserializing the request keeps the server busy too.
-      cluster_->clock().Advance(
-          call.to, WireTime(cluster_->cost(), call.request.size()));
+    if (timed) {
+      send_cursor += WireTicks(cluster_->cost(), call.request.size());
+      *arrival = t0 + send_cursor + latency_ticks;
     }
+    return endpoint;
+  };
 
-    auto response = endpoint->Dispatch(call.method, call.request.data());
+  // Executes one planned call. The per-endpoint serial mutex is held
+  // around the whole charge bracket, so the busy-time difference below
+  // contains exactly this request's charges even when other callers hit
+  // the same server concurrently — one shard is one logical event loop.
+  // On success stores the response payload and the callee's service time.
+  auto execute_call = [&](const ParallelCall& call, RpcEndpoint& endpoint,
+                          std::vector<uint8_t>* response_out,
+                          int64_t* service_out) -> Status {
+    std::lock_guard<std::mutex> serial(endpoint.serial_mutex());
+    int64_t busy_before = 0;
+    if (timed) {
+      busy_before = cluster_->clock().NowTicks(call.to);
+      // Receiving/deserializing the request keeps the server busy too.
+      cluster_->clock().AdvanceTicks(
+          call.to, WireTicks(cluster_->cost(), call.request.size()));
+    }
+    auto response = endpoint.DispatchUnlocked(call.method, call.request.data());
     if (!response.ok()) return response.status();
     Metrics::Global().Add("rpc.bytes_received", response->size());
-
-    if (cluster_ != nullptr && from >= 0) {
+    if (timed) {
       // A server's clock accumulates pure *busy* time (handler compute
-      // charged inside Dispatch, plus serializing the response onto the
-      // wire). The caller's completion is arrival + this call's service
-      // time + latency — concurrent callers are not serialized through
-      // the server clock; if a server saturates, its busy-time clock
+      // charged inside the handler, plus serializing the response onto
+      // the wire). Concurrent callers are not serialized through the
+      // server clock; if a server saturates, its busy-time clock
       // dominates the makespan, which is the throughput bound.
-      double wire = WireTime(cluster_->cost(), response->size());
-      cluster_->clock().Advance(call.to, wire);
-      double service =
-          cluster_->clock().Now(call.to) - busy_before;  // handler + wire
-      t_end = std::max(t_end, arrival + service + latency);
+      cluster_->clock().AdvanceTicks(
+          call.to, WireTicks(cluster_->cost(), response->size()));
+      *service_out = cluster_->clock().NowTicks(call.to) - busy_before;
     }
-    responses.push_back(std::move(*response).TakeData());
+    *response_out = std::move(*response).TakeData();
+    return Status::OK();
+  };
+
+  std::vector<std::vector<uint8_t>> responses(n);
+  std::vector<int64_t> arrival(n, 0);
+  std::vector<int64_t> service(n, 0);
+
+  const size_t parallelism = GlobalParallelism();
+  if (parallelism <= 1 || n <= 1) {
+    // Strictly sequential reference path: calls after a failed one are
+    // never planned or started.
+    for (size_t k = 0; k < n; ++k) {
+      PSG_ASSIGN_OR_RETURN(auto endpoint, plan_call(calls[k], &arrival[k]));
+      Status st =
+          execute_call(calls[k], *endpoint, &responses[k], &service[k]);
+      if (!st.ok()) return st;
+    }
+  } else {
+    // Plan sequentially (send order is part of the model), then overlap
+    // the dispatches on the global pool. On failure, return the first
+    // error in call order: every launched call still runs to completion
+    // so no endpoint is left mid-dispatch.
+    std::vector<std::shared_ptr<RpcEndpoint>> endpoints;
+    endpoints.reserve(n);
+    Status plan_error = Status::OK();
+    for (size_t k = 0; k < n; ++k) {
+      auto endpoint = plan_call(calls[k], &arrival[k]);
+      if (!endpoint.ok()) {
+        plan_error = endpoint.status();
+        break;
+      }
+      endpoints.push_back(std::move(*endpoint));
+    }
+    const size_t launched = endpoints.size();
+    std::vector<Status> statuses(launched, Status::OK());
+    GlobalThreadPool().ParallelForBounded(
+        launched, parallelism - 1, [&](size_t k) {
+          statuses[k] =
+              execute_call(calls[k], *endpoints[k], &responses[k], &service[k]);
+        });
+    for (size_t k = 0; k < launched; ++k) {
+      if (!statuses[k].ok()) return statuses[k];
+    }
+    if (!plan_error.ok()) return plan_error;
   }
-  if (cluster_ != nullptr && from >= 0) {
-    cluster_->clock().AdvanceTo(from, t_end);
+
+  if (timed) {
+    // Completion of the slowest call; evaluated in call order after all
+    // dispatches finished, so the result is independent of interleaving.
+    int64_t t_end = t0;
+    for (size_t k = 0; k < n; ++k) {
+      t_end = std::max(t_end, arrival[k] + service[k] + latency_ticks);
+    }
+    cluster_->clock().AdvanceToTicks(from, t_end);
   }
   return responses;
 }

@@ -1,10 +1,18 @@
 // In-process RPC fabric between simulated nodes.
 //
 // The paper's PS agents talk to parameter servers via RPC; here a call is
-// a synchronous function dispatch that (1) serializes request/response
-// through ByteBuffers, (2) charges both transfers to the simulated clocks
-// of caller and callee, and (3) fails with Unavailable when the target
-// node has been killed — which is what drives the failure-recovery path.
+// a function dispatch that (1) serializes request/response through
+// ByteBuffers, (2) charges both transfers to the simulated clocks of
+// caller and callee, and (3) fails with Unavailable when the target node
+// has been killed — which is what drives the failure-recovery path.
+//
+// Execution model: when the global parallelism (common/thread_pool.h) is
+// greater than 1, CallParallel dispatches its calls concurrently on the
+// process-wide pool — a PS agent's per-server requests genuinely overlap,
+// as in the paper. Handler execution stays serialized *per endpoint* (one
+// shard = one single-threaded event loop, like Angel) via a per-endpoint
+// serial mutex that also brackets the callee's busy-time measurement, so
+// the simulated-clock totals are identical at any parallelism level.
 
 #ifndef PSGRAPH_NET_RPC_H_
 #define PSGRAPH_NET_RPC_H_
@@ -26,7 +34,7 @@ namespace psgraph::net {
 
 /// A service bound to one node. Handlers receive the raw request payload
 /// and return a response payload. Handler execution is serialized per
-/// endpoint (one shard = one single-threaded event loop, like Angel).
+/// endpoint through serial_mutex().
 class RpcEndpoint {
  public:
   using Handler =
@@ -35,12 +43,23 @@ class RpcEndpoint {
   /// Registers a handler; overwrites any existing one for `method`.
   void Register(const std::string& method, Handler handler);
 
-  /// Dispatches a request. NotFound if the method is unknown.
+  /// Dispatches a request under serial_mutex(). NotFound if the method is
+  /// unknown.
   Result<ByteBuffer> Dispatch(const std::string& method,
                               const std::vector<uint8_t>& request);
 
+  /// Dispatch variant for callers that already hold serial_mutex() (the
+  /// fabric brackets clock charging and dispatch under one lock).
+  Result<ByteBuffer> DispatchUnlocked(const std::string& method,
+                                      const std::vector<uint8_t>& request);
+
+  /// The endpoint's logical event-loop lock: whoever holds it is the one
+  /// request this shard is processing.
+  std::mutex& serial_mutex() { return serial_mu_; }
+
  private:
-  std::mutex mu_;
+  std::mutex handlers_mu_;
+  std::mutex serial_mu_;
   std::map<std::string, Handler> handlers_;
 };
 
@@ -72,7 +91,12 @@ class RpcFabric {
   /// Fan-out: issues all calls concurrently (a PS agent's per-server
   /// requests overlap on the wire). The caller's clock advances to the
   /// completion of the *slowest* call instead of the sum; each callee is
-  /// charged its own busy time. Fails fast on the first error.
+  /// charged its own busy time. Fails fast on the first error in call
+  /// order. At parallelism > 1 the handlers run concurrently on the
+  /// global pool (still serialized per endpoint); on a handler error the
+  /// other *already launched* calls run to completion, whereas the
+  /// strictly sequential mode never starts calls after a failed one —
+  /// the only divergence between the modes, and only on error paths.
   Result<std::vector<std::vector<uint8_t>>> CallParallel(
       sim::NodeId from, std::vector<ParallelCall> calls);
 

@@ -1,5 +1,9 @@
 #include "ps/agent.h"
 
+#include <algorithm>
+
+#include "ps/partitioner.h"
+
 namespace psgraph::ps {
 
 namespace {
@@ -14,9 +18,30 @@ Result<std::vector<uint8_t>> PsAgent::Call(int32_t server,
 
 std::vector<std::vector<uint32_t>> PsAgent::GroupKeysByServer(
     const MatrixMeta& meta, const std::vector<uint64_t>& keys) const {
-  std::vector<std::vector<uint32_t>> by_server(ctx_->num_servers());
+  // Sort-and-sweep grouping: one hoisted partitioner (not one per key), a
+  // counting pass to pre-size each bucket exactly, then each server's
+  // index list is stable-sorted by key. Sorted per-server requests let
+  // the server walk its frozen CSR monotonically instead of restarting
+  // the binary search per key; stability keeps duplicate keys in arrival
+  // order, so the float-add order of push_add is unchanged.
+  const int32_t num_servers = ctx_->num_servers();
+  Partitioner part(meta.scheme, meta.num_rows, num_servers);
+  std::vector<uint32_t> server_of(keys.size());
+  std::vector<uint32_t> counts(num_servers, 0);
   for (uint32_t i = 0; i < keys.size(); ++i) {
-    by_server[ctx_->ServerOfKey(meta, keys[i])].push_back(i);
+    uint32_t s = static_cast<uint32_t>(part.PartitionOf(keys[i]));
+    server_of[i] = s;
+    ++counts[s];
+  }
+  std::vector<std::vector<uint32_t>> by_server(num_servers);
+  for (int32_t s = 0; s < num_servers; ++s) by_server[s].reserve(counts[s]);
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    by_server[server_of[i]].push_back(i);
+  }
+  for (auto& idxs : by_server) {
+    std::stable_sort(idxs.begin(), idxs.end(), [&](uint32_t a, uint32_t b) {
+      return keys[a] < keys[b];
+    });
   }
   return by_server;
 }
@@ -172,8 +197,9 @@ Status PsAgent::PushNeighbors(
     const MatrixMeta& meta,
     const std::vector<graph::NeighborList>& tables) {
   std::vector<std::vector<uint32_t>> by_server(ctx_->num_servers());
+  Partitioner part(meta.scheme, meta.num_rows, ctx_->num_servers());
   for (uint32_t i = 0; i < tables.size(); ++i) {
-    by_server[ctx_->ServerOfKey(meta, tables[i].vertex)].push_back(i);
+    by_server[part.PartitionOf(tables[i].vertex)].push_back(i);
   }
   std::vector<ParallelCall> calls;
   for (int32_t s = 0; s < ctx_->num_servers(); ++s) {

@@ -1,6 +1,7 @@
 #include "ps/server.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/hash.h"
 #include "common/metrics.h"
@@ -145,15 +146,22 @@ Result<MatrixShard*> PsServer::GetShard(MatrixId id) {
 Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
                           std::vector<float>* out) {
   PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
-  ChargeCompute(keys.size() * shard->slice_cols / 8 + keys.size());
-  out->reserve(out->size() + keys.size() * shard->slice_cols);
+  const uint32_t cols = shard->slice_cols;
+  ChargeCompute(keys.size() * cols / 8 + keys.size());
+  // Contiguous pre-sized response buffer: one resize, then a single pass
+  // that memcpys each stored row (or fills init_value) into place —
+  // no per-key reallocation/insert bookkeeping on the pull hot path.
+  const size_t base = out->size();
+  out->resize(base + keys.size() * cols);
+  float* dst = out->data() + base;
   for (uint64_t key : keys) {
     const std::vector<float>* row = shard->FindRow(key);
     if (row != nullptr) {
-      out->insert(out->end(), row->begin(), row->end());
+      std::memcpy(dst, row->data(), size_t{cols} * sizeof(float));
     } else {
-      out->insert(out->end(), shard->slice_cols, shard->meta.init_value);
+      std::fill_n(dst, cols, shard->meta.init_value);
     }
+    dst += cols;
   }
   Metrics::Global().Add("ps.rows_pulled", keys.size());
   return Status::OK();
@@ -167,23 +175,27 @@ Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
         "push_add: values size " + std::to_string(values.size()) +
         " != keys*cols " + std::to_string(keys.size() * shard->slice_cols));
   }
+  const uint32_t cols = shard->slice_cols;
   ChargeCompute(values.size() / 4 + keys.size());
-  const uint64_t row_bytes = kHashEntryOverhead +
-                             uint64_t{shard->slice_cols} * sizeof(float);
-  for (size_t i = 0; i < keys.size(); ++i) {
-    auto it = shard->rows.find(keys[i]);
-    if (it == shard->rows.end()) {
-      PSG_RETURN_NOT_OK(ChargeMemory(row_bytes, "ps row"));
+  const uint64_t row_bytes =
+      kHashEntryOverhead + uint64_t{cols} * sizeof(float);
+  // Single-pass batched add: one hash probe per key (try_emplace covers
+  // both hit and miss) and a tight accumulate over the contiguous value
+  // slab.
+  const float* src = values.data();
+  for (size_t i = 0; i < keys.size(); ++i, src += cols) {
+    auto [it, inserted] = shard->rows.try_emplace(keys[i]);
+    if (inserted) {
+      Status st = ChargeMemory(row_bytes, "ps row");
+      if (!st.ok()) {
+        shard->rows.erase(it);
+        return st;
+      }
       shard->charged_bytes += row_bytes;
-      it = shard->rows
-               .emplace(keys[i], std::vector<float>(
-                                     shard->slice_cols,
-                                     shard->meta.init_value))
-               .first;
+      it->second.assign(cols, shard->meta.init_value);
     }
-    const float* src = values.data() + i * shard->slice_cols;
     float* dst = it->second.data();
-    for (uint32_t c = 0; c < shard->slice_cols; ++c) dst[c] += src[c];
+    for (uint32_t c = 0; c < cols; ++c) dst[c] += src[c];
   }
   Metrics::Global().Add("ps.rows_pushed", keys.size());
   return Status::OK();
@@ -195,22 +207,23 @@ Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
   if (values.size() != keys.size() * shard->slice_cols) {
     return Status::InvalidArgument("push_assign: bad values size");
   }
+  const uint32_t cols = shard->slice_cols;
   ChargeCompute(values.size() / 4 + keys.size());
-  const uint64_t row_bytes = kHashEntryOverhead +
-                             uint64_t{shard->slice_cols} * sizeof(float);
-  for (size_t i = 0; i < keys.size(); ++i) {
-    auto it = shard->rows.find(keys[i]);
-    if (it == shard->rows.end()) {
-      PSG_RETURN_NOT_OK(ChargeMemory(row_bytes, "ps row"));
+  const uint64_t row_bytes =
+      kHashEntryOverhead + uint64_t{cols} * sizeof(float);
+  const float* src = values.data();
+  for (size_t i = 0; i < keys.size(); ++i, src += cols) {
+    auto [it, inserted] = shard->rows.try_emplace(keys[i]);
+    if (inserted) {
+      Status st = ChargeMemory(row_bytes, "ps row");
+      if (!st.ok()) {
+        shard->rows.erase(it);
+        return st;
+      }
       shard->charged_bytes += row_bytes;
-      it = shard->rows
-               .emplace(keys[i],
-                        std::vector<float>(shard->slice_cols, 0.0f))
-               .first;
+      it->second.resize(cols);
     }
-    std::copy(values.begin() + i * shard->slice_cols,
-              values.begin() + (i + 1) * shard->slice_cols,
-              it->second.begin());
+    std::memcpy(it->second.data(), src, size_t{cols} * sizeof(float));
   }
   Metrics::Global().Add("ps.rows_pushed", keys.size());
   return Status::OK();
@@ -263,9 +276,17 @@ Status PsServer::PullNeighbors(MatrixId id,
   out->reserve(out->size() + keys.size());
   if (shard->csr.has_value()) {
     const CsrStore& csr = *shard->csr;
+    // The agent sends each server's keys sorted (GroupKeysByServer), so
+    // the binary search sweeps forward from the previous hit instead of
+    // restarting over the whole key array — near-linear for a sorted
+    // batch. An out-of-order key (direct callers) just resets the sweep.
+    auto hint = csr.keys.begin();
+    uint64_t prev_key = 0;
     for (uint64_t key : keys) {
-      auto it =
-          std::lower_bound(csr.keys.begin(), csr.keys.end(), key);
+      if (key < prev_key) hint = csr.keys.begin();
+      prev_key = key;
+      auto it = std::lower_bound(hint, csr.keys.end(), key);
+      hint = it;
       if (it == csr.keys.end() || *it != key) {
         out->push_back({});
         continue;

@@ -5,11 +5,20 @@
 // barrier advances every participant to the slowest one — exactly how BSP
 // supersteps compose. The makespan over all nodes is the number a bench
 // reports as "cluster time".
+//
+// Storage is fixed-point (integer picoseconds), not floating point. This
+// is what makes the real-threads execution engine deterministic: integer
+// addition is associative and commutative, so a clock whose charges are
+// pure Advance() calls ends at the same tick count no matter how
+// concurrent charging threads interleave. With doubles, reordered += would
+// drift in the last ulp and 1-thread vs N-thread runs would not be
+// bit-identical.
 
 #ifndef PSGRAPH_SIM_SIM_CLOCK_H_
 #define PSGRAPH_SIM_SIM_CLOCK_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -19,63 +28,89 @@ namespace psgraph::sim {
 
 class SimClock {
  public:
-  explicit SimClock(int32_t num_nodes) : times_(num_nodes, 0.0) {}
+  /// Clock resolution: 1 tick = 1 picosecond. int64 overflows after ~107
+  /// days of simulated time, far beyond any bench horizon.
+  static constexpr double kTicksPerSec = 1e12;
 
-  int32_t num_nodes() const { return static_cast<int32_t>(times_.size()); }
+  explicit SimClock(int32_t num_nodes) : ticks_(num_nodes, 0) {}
+
+  int32_t num_nodes() const { return static_cast<int32_t>(ticks_.size()); }
+
+  static int64_t TicksOf(double seconds) {
+    return static_cast<int64_t>(std::llround(seconds * kTicksPerSec));
+  }
+  static double SecondsOf(int64_t ticks) {
+    return static_cast<double>(ticks) / kTicksPerSec;
+  }
 
   /// Adds `seconds` of simulated work to `node`'s clock.
   void Advance(int32_t node, double seconds) {
     std::lock_guard<std::mutex> lock(mu_);
-    times_[node] += seconds;
+    ticks_[node] += TicksOf(seconds);
   }
 
   /// Ensures `node`'s clock is at least `t` (e.g. a message cannot be
   /// received before it was sent).
   void AdvanceTo(int32_t node, double t) {
     std::lock_guard<std::mutex> lock(mu_);
-    times_[node] = std::max(times_[node], t);
+    ticks_[node] = std::max(ticks_[node], TicksOf(t));
   }
 
   double Now(int32_t node) const {
     std::lock_guard<std::mutex> lock(mu_);
-    return times_[node];
+    return SecondsOf(ticks_[node]);
+  }
+
+  /// Exact tick readings for code that must difference two clock states
+  /// without floating-point rounding (the RPC busy-time bracket).
+  int64_t NowTicks(int32_t node) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ticks_[node];
+  }
+  void AdvanceTicks(int32_t node, int64_t ticks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticks_[node] += ticks;
+  }
+  void AdvanceToTicks(int32_t node, int64_t ticks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticks_[node] = std::max(ticks_[node], ticks);
   }
 
   /// BSP barrier: every node in `nodes` advances to the max among them.
   /// Returns the barrier time.
   double Barrier(std::span<const int32_t> nodes) {
     std::lock_guard<std::mutex> lock(mu_);
-    double t = 0.0;
-    for (int32_t n : nodes) t = std::max(t, times_[n]);
-    for (int32_t n : nodes) times_[n] = t;
-    return t;
+    int64_t t = 0;
+    for (int32_t n : nodes) t = std::max(t, ticks_[n]);
+    for (int32_t n : nodes) ticks_[n] = t;
+    return SecondsOf(t);
   }
 
   /// Barrier over every node.
   double BarrierAll() {
     std::lock_guard<std::mutex> lock(mu_);
-    double t = 0.0;
-    for (double v : times_) t = std::max(t, v);
-    for (double& v : times_) v = t;
-    return t;
+    int64_t t = 0;
+    for (int64_t v : ticks_) t = std::max(t, v);
+    for (int64_t& v : ticks_) v = t;
+    return SecondsOf(t);
   }
 
   /// Max simulated time over all nodes.
   double Makespan() const {
     std::lock_guard<std::mutex> lock(mu_);
-    double t = 0.0;
-    for (double v : times_) t = std::max(t, v);
-    return t;
+    int64_t t = 0;
+    for (int64_t v : ticks_) t = std::max(t, v);
+    return SecondsOf(t);
   }
 
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
-    std::fill(times_.begin(), times_.end(), 0.0);
+    std::fill(ticks_.begin(), ticks_.end(), int64_t{0});
   }
 
  private:
   mutable std::mutex mu_;
-  std::vector<double> times_;
+  std::vector<int64_t> ticks_;
 };
 
 }  // namespace psgraph::sim
