@@ -19,7 +19,7 @@ namespace psgraph::bench {
 namespace {
 
 void RunOne(const graph::EdgeList& edges, double prune, const char* label,
-            double scale) {
+            double scale, BenchReport* report, const char* cell_key) {
   core::PsGraphContext::Options opts;
   opts.cluster.num_executors = 100;
   opts.cluster.num_servers = 20;
@@ -31,24 +31,32 @@ void RunOne(const graph::EdgeList& edges, double prune, const char* label,
   auto ds = core::StageAndLoadEdges(**ctx, edges, "bench/abl_delta.bin");
   PSG_CHECK_OK(ds.status());
 
-  Metrics::Global().Reset();
+  (*ctx)->metrics().Reset();  // isolate PageRank traffic from loading
   core::PageRankOptions po;
   po.max_iterations = 60;
   po.prune_epsilon = prune;
   auto result = core::PageRank(**ctx, *ds, 0, po);
   PSG_CHECK_OK(result.status());
 
+  Metrics& metrics = (*ctx)->metrics();
+  const uint64_t rows_pushed = metrics.Get("ps.rows_pushed");
+  const uint64_t rpc_bytes =
+      metrics.Get("rpc.bytes_sent") + metrics.Get("rpc.bytes_received");
   std::printf("%-28s rows-pushed=%-10llu rpc-bytes=%-10s sim=%s "
               "(final delta L1=%.2e)\n",
-              label,
-              (unsigned long long)Metrics::Global().Get("ps.rows_pushed"),
-              FormatBytes((double)(Metrics::Global().Get("rpc.bytes_sent") +
-                                   Metrics::Global().Get(
-                                       "rpc.bytes_received")))
-                  .c_str(),
+              label, (unsigned long long)rows_pushed,
+              FormatBytes((double)rpc_bytes).c_str(),
               FormatDuration((*ctx)->cluster().clock().Makespan() * scale)
                   .c_str(),
               result->final_delta_l1);
+
+  JsonValue cell = JsonValue::Object();
+  cell.Set("rows_pushed", rows_pushed);
+  cell.Set("rpc_bytes", rpc_bytes);
+  cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
+  cell.Set("final_delta_l1", result->final_delta_l1);
+  report->Set(cell_key, std::move(cell));
+  report->Capture(&(*ctx)->cluster());
 }
 
 void Run() {
@@ -57,9 +65,14 @@ void Run() {
   graph::EdgeList edges = graph::MakeDs1Mini(ds1);
   std::printf("=== Ablation B: delta PageRank increment pruning (DS1, 60 "
               "iterations) ===\n\n");
-  RunOne(edges, 0.0, "no pruning (full deltas)", ds1.paper_scale());
-  RunOne(edges, 1e-4, "prune |delta| <= 1e-4", ds1.paper_scale());
-  RunOne(edges, 1e-3, "prune |delta| <= 1e-3", ds1.paper_scale());
+  BenchReport report("ablation_delta_pagerank");
+  RunOne(edges, 0.0, "no pruning (full deltas)", ds1.paper_scale(),
+         &report, "no_pruning");
+  RunOne(edges, 1e-4, "prune |delta| <= 1e-4", ds1.paper_scale(), &report,
+         "prune_1e-4");
+  RunOne(edges, 1e-3, "prune |delta| <= 1e-3", ds1.paper_scale(), &report,
+         "prune_1e-3");
+  report.Write();
 }
 
 }  // namespace

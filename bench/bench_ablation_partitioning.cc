@@ -21,7 +21,8 @@ namespace psgraph::bench {
 namespace {
 
 void RunOne(const graph::EdgeList& edges, graph::PartitionStrategy strat,
-            bool group, const char* label, double scale) {
+            bool group, const char* label, double scale,
+            BenchReport* report, const char* cell_key) {
   core::PsGraphContext::Options opts;
   opts.cluster.num_executors = 100;
   opts.cluster.num_servers = 20;
@@ -38,15 +39,15 @@ void RunOne(const graph::EdgeList& edges, graph::PartitionStrategy strat,
   auto parts = graph::PartitionEdges(edges, 100, strat);
   auto stats = graph::ComputePartitionStats(parts);
 
-  Metrics::Global().Reset();
+  (*ctx)->metrics().Reset();  // isolate PageRank traffic from loading
   core::PageRankOptions po;
   po.max_iterations = 10;
   po.group_to_neighbor_tables = group;
   auto result = core::PageRank(**ctx, *ds, 0, po);
   PSG_CHECK_OK(result.status());
 
-  uint64_t ps_bytes = Metrics::Global().Get("rpc.bytes_sent") +
-                      Metrics::Global().Get("rpc.bytes_received");
+  uint64_t ps_bytes = (*ctx)->metrics().Get("rpc.bytes_sent") +
+                      (*ctx)->metrics().Get("rpc.bytes_received");
   std::printf(
       "%-27s src-replication=%-6.2f ps-traffic/iter=%-9s end-to-end "
       "sim=%s\n",
@@ -54,6 +55,13 @@ void RunOne(const graph::EdgeList& edges, graph::PartitionStrategy strat,
       FormatBytes((double)ps_bytes / 10).c_str(),
       FormatDuration((*ctx)->cluster().clock().Makespan() * scale)
           .c_str());
+
+  JsonValue cell = JsonValue::Object();
+  cell.Set("avg_src_replication", stats.avg_src_replication);
+  cell.Set("ps_traffic_bytes", ps_bytes);
+  cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
+  report->Set(cell_key, std::move(cell));
+  report->Capture(&(*ctx)->cluster());
 }
 
 void Run() {
@@ -62,15 +70,19 @@ void Run() {
   graph::EdgeList edges = graph::MakeDs1Mini(ds1);
   std::printf("=== Ablation A: graph partitioning strategy (PageRank, "
               "DS1) ===\n\n");
+  BenchReport report("ablation_partitioning");
   RunOne(edges, graph::PartitionStrategy::kVertexPartition, true,
-         "vertex partition (groupBy)", ds1.paper_scale());
+         "vertex partition (groupBy)", ds1.paper_scale(), &report,
+         "vertex_partition");
   RunOne(edges, graph::PartitionStrategy::kEdgePartition, false,
-         "edge partition (no group)", ds1.paper_scale());
+         "edge partition (no group)", ds1.paper_scale(), &report,
+         "edge_partition");
   std::printf(
       "\nPaper SIV-A: \"edge partitioning (vertex cut) yields a high "
       "communication overhead as many executors need to get the ranks "
       "of one vertex concurrently\"; the replication factor above "
       "multiplies the pull traffic.\n");
+  report.Write();
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ namespace psgraph::bench {
 namespace {
 
 void RunOne(const graph::EdgeList& edges, bool psfunc, int dim,
-            double scale) {
+            double scale, BenchReport* report) {
   core::PsGraphContext::Options opts;
   opts.cluster.num_executors = 100;
   opts.cluster.num_servers = 20;
@@ -31,7 +31,7 @@ void RunOne(const graph::EdgeList& edges, bool psfunc, int dim,
   auto ds = core::StageAndLoadEdges(**ctx, edges, "bench/abl_psf.bin");
   PSG_CHECK_OK(ds.status());
 
-  Metrics::Global().Reset();
+  (*ctx)->metrics().Reset();  // isolate training traffic from loading
   core::LineOptions lo;
   lo.embedding_dim = dim;
   lo.epochs = 1;
@@ -39,15 +39,21 @@ void RunOne(const graph::EdgeList& edges, bool psfunc, int dim,
   auto result = core::Line(**ctx, *ds, 0, lo);
   PSG_CHECK_OK(result.status());
 
+  const uint64_t rpc_bytes = (*ctx)->metrics().Get("rpc.bytes_sent") +
+                             (*ctx)->metrics().Get("rpc.bytes_received");
   std::printf("%-26s rpc-bytes=%-10s sim/epoch=%s (loss %.4f)\n",
               psfunc ? "psFunc dot products" : "pull whole vectors",
-              FormatBytes((double)(Metrics::Global().Get("rpc.bytes_sent") +
-                                   Metrics::Global().Get(
-                                       "rpc.bytes_received")))
-                  .c_str(),
+              FormatBytes((double)rpc_bytes).c_str(),
               FormatDuration((*ctx)->cluster().clock().Makespan() * scale)
                   .c_str(),
               result->final_avg_loss);
+
+  JsonValue cell = JsonValue::Object();
+  cell.Set("rpc_bytes", rpc_bytes);
+  cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
+  cell.Set("final_avg_loss", result->final_avg_loss);
+  report->Set(psfunc ? "psfunc_dot" : "pull_vectors", std::move(cell));
+  report->Capture(&(*ctx)->cluster());
 }
 
 void Run() {
@@ -57,8 +63,10 @@ void Run() {
   graph::EdgeList edges = graph::MakeDs1Mini(ds1);
   std::printf("=== Ablation C: LINE dot products on PS vs pulled vectors "
               "(DS1, dim %d, 1 epoch) ===\n\n", dim);
-  RunOne(edges, true, dim, ds1.paper_scale());
-  RunOne(edges, false, dim, ds1.paper_scale());
+  BenchReport report("ablation_psfunc");
+  RunOne(edges, true, dim, ds1.paper_scale(), &report);
+  RunOne(edges, false, dim, ds1.paper_scale(), &report);
+  report.Write();
 }
 
 }  // namespace

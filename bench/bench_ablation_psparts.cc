@@ -12,7 +12,9 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "net/rpc.h"
 #include "ps/agent.h"
 #include "ps/context.h"
@@ -21,13 +23,21 @@
 namespace psgraph::bench {
 namespace {
 
-void RunOne(ps::PartitionScheme scheme, const char* label) {
+void RunOne(ps::PartitionScheme scheme, const char* label,
+            BenchReport* report, const char* cell_key) {
   sim::ClusterConfig cfg;
   cfg.num_executors = 8;
   cfg.num_servers = 8;
   cfg.executor_mem_bytes = 512ull << 20;
   cfg.server_mem_bytes = 512ull << 20;
   sim::SimCluster cluster(cfg);
+  // Per-run sinks so each scheme's histograms stay isolated (this bench
+  // has no PsGraphContext to own them).
+  Metrics metrics;
+  Tracer tracer;
+  tracer.set_enabled(Tracer::EnabledByEnv());
+  cluster.set_metrics(&metrics);
+  cluster.set_tracer(&tracer);
   net::RpcFabric fabric(&cluster);
   ps::PsContext psctx(&cluster, &fabric, nullptr);
   PSG_CHECK_OK(psctx.Start());
@@ -77,18 +87,28 @@ void RunOne(ps::PartitionScheme scheme, const char* label) {
               "sim=%.3f s\n",
               label, (unsigned long long)min_rows,
               (unsigned long long)max_rows, hot_time);
+
+  JsonValue cell = JsonValue::Object();
+  cell.Set("rows_per_server_min", min_rows);
+  cell.Set("rows_per_server_max", max_rows);
+  cell.Set("hot_range_sim_seconds", hot_time);
+  report->Set(cell_key, std::move(cell));
+  report->Capture(&cluster);
 }
 
 void Run() {
   std::printf("=== Ablation E: PS partitioning scheme (row balance + hot "
               "range workload) ===\n\n");
-  RunOne(ps::PartitionScheme::kRange, "range");
-  RunOne(ps::PartitionScheme::kHash, "hash");
-  RunOne(ps::PartitionScheme::kHashRange, "hash-range");
+  BenchReport report("ablation_psparts");
+  RunOne(ps::PartitionScheme::kRange, "range", &report, "range");
+  RunOne(ps::PartitionScheme::kHash, "hash", &report, "hash");
+  RunOne(ps::PartitionScheme::kHashRange, "hash-range", &report,
+         "hash_range");
   std::printf("\nRange concentrates the hot range on one server "
               "(saturated busy time); hash and hash-range spread it. "
               "Hash-range keeps chunk locality, which matters for "
               "range-scan psFuncs.\n");
+  report.Write();
 }
 
 }  // namespace

@@ -21,7 +21,8 @@ namespace psgraph::bench {
 namespace {
 
 void RunOne(const graph::EdgeList& edges, ps::SyncProtocol sync,
-            const char* label, double scale) {
+            const char* label, double scale, BenchReport* report,
+            const char* cell_key) {
   core::PsGraphContext::Options opts;
   opts.cluster.num_executors = 100;
   opts.cluster.num_servers = 20;
@@ -70,6 +71,14 @@ void RunOne(const graph::EdgeList& edges, ps::SyncProtocol sync,
       FormatDuration((*ctx)->cluster().clock().Makespan() * scale).c_str(),
       FormatDuration((*ctx)->sync().total_wait() * scale).c_str(),
       slowest > 0 ? (slowest - fastest) / slowest * 100 : 0.0);
+
+  JsonValue cell = JsonValue::Object();
+  cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
+  cell.Set("barrier_wait_seconds", (*ctx)->sync().total_wait());
+  cell.Set("executor_spread",
+           slowest > 0 ? (slowest - fastest) / slowest : 0.0);
+  report->Set(cell_key, std::move(cell));
+  report->Capture(&(*ctx)->cluster());
 }
 
 void Run() {
@@ -78,11 +87,16 @@ void Run() {
   graph::EdgeList edges = graph::MakeDs1Mini(ds1);
   std::printf("=== Ablation D: BSP vs ASP synchronization (PageRank, "
               "DS1, skewed partitions) ===\n\n");
-  RunOne(edges, ps::SyncProtocol::kBsp, "BSP", ds1.paper_scale());
-  RunOne(edges, ps::SyncProtocol::kSsp, "SSP-3", ds1.paper_scale());
-  RunOne(edges, ps::SyncProtocol::kAsp, "ASP", ds1.paper_scale());
+  BenchReport report("ablation_sync");
+  RunOne(edges, ps::SyncProtocol::kBsp, "BSP", ds1.paper_scale(), &report,
+         "bsp");
+  RunOne(edges, ps::SyncProtocol::kSsp, "SSP-3", ds1.paper_scale(),
+         &report, "ssp3");
+  RunOne(edges, ps::SyncProtocol::kAsp, "ASP", ds1.paper_scale(), &report,
+         "asp");
   std::printf("\nNote: ASP trades the barrier wait for bounded staleness "
               "(acceptable for GE/GNN, not for exact PageRank).\n");
+  report.Write();
 }
 
 }  // namespace

@@ -149,6 +149,19 @@ void Run() {
               (unsigned long long)graph::NumVerticesOf(e2), e2.size(),
               (unsigned long long)ds2_denom);
 
+  // Every table cell goes both to stdout and to the run report. The
+  // contexts live inside RunPsgraph/RunGraphx, so the report carries no
+  // cluster section — just the table itself.
+  BenchReport report("fig6_traditional");
+  JsonValue rows = JsonValue::Array();
+  auto Row = [&](const char* system, const char* workload,
+                 const char* paper_value, const CellResult& cell,
+                 double paper_scale) {
+    PrintRow(system, workload, paper_value, cell, paper_scale);
+    rows.Append(CellToJson(system, workload, paper_value, cell,
+                           paper_scale));
+  };
+
   // ---- PageRank on DS1 ----
   {
     auto ps = RunPsgraph(ps_ds1, ds1.paper_scale(), e1,
@@ -157,13 +170,13 @@ void Run() {
                            o.max_iterations = pr_iters;
                            return PageRank(ctx, ds, 0, o).status();
                          });
-    PrintRow("PSGraph", "PageRank (DS1)", "0.5h", ps, ds1.paper_scale());
+    Row("PSGraph", "PageRank (DS1)", "0.5h", ps, ds1.paper_scale());
     auto gx = RunGraphx(gx_ds1, ds1.paper_scale(), e1, [&](auto& ds) {
       graphx::PageRankOptions o;
       o.max_iterations = pr_iters;
       return graphx::PageRank(ds, o).status();
     });
-    PrintRow("GraphX", "PageRank (DS1)", "4h", gx, ds1.paper_scale());
+    Row("GraphX", "PageRank (DS1)", "4h", gx, ds1.paper_scale());
     PrintSpeedup(ps, gx, "8x");
   }
 
@@ -175,13 +188,13 @@ void Run() {
                            o.max_iterations = pr_iters;
                            return PageRank(ctx, ds, 0, o).status();
                          });
-    PrintRow("PSGraph", "PageRank (DS2)", "7h", ps, ds2.paper_scale());
+    Row("PSGraph", "PageRank (DS2)", "7h", ps, ds2.paper_scale());
     auto gx = RunGraphx(gx_ds2, ds2.paper_scale(), e2, [&](auto& ds) {
       graphx::PageRankOptions o;
       o.max_iterations = pr_iters;
       return graphx::PageRank(ds, o).status();
     });
-    PrintRow("GraphX", "PageRank (DS2)", "OOM", gx, ds2.paper_scale());
+    Row("GraphX", "PageRank (DS2)", "OOM", gx, ds2.paper_scale());
     PrintSpeedup(ps, gx, "n/a");
   }
 
@@ -196,14 +209,14 @@ void Run() {
                            o.pair_fraction = cn_fraction;
                            return CommonNeighbor(ctx, ds, o).status();
                          });
-    PrintRow("PSGraph", "CommonNeighbor (DS1)", "0.5h", ps,
+    Row("PSGraph", "CommonNeighbor (DS1)", "0.5h", ps,
              ds1.paper_scale());
     auto gx = RunGraphx(gx_ds1, ds1.paper_scale(), e1, [&](auto& ds) {
       graphx::CommonNeighborOptions o;
       o.pair_fraction = cn_fraction;
       return graphx::CommonNeighbor(ds, o).status();
     });
-    PrintRow("GraphX", "CommonNeighbor (DS1)", "1.5h", gx,
+    Row("GraphX", "CommonNeighbor (DS1)", "1.5h", gx,
              ds1.paper_scale());
     PrintSpeedup(ps, gx, "3x");
   }
@@ -216,14 +229,14 @@ void Run() {
                            o.pair_fraction = cn_fraction;
                            return CommonNeighbor(ctx, ds, o).status();
                          });
-    PrintRow("PSGraph", "CommonNeighbor (DS2)", "3.5h", ps,
+    Row("PSGraph", "CommonNeighbor (DS2)", "3.5h", ps,
              ds2.paper_scale());
     auto gx = RunGraphx(gx_ds2, ds2.paper_scale(), e2, [&](auto& ds) {
       graphx::CommonNeighborOptions o;
       o.pair_fraction = cn_fraction;
       return graphx::CommonNeighbor(ds, o).status();
     });
-    PrintRow("GraphX", "CommonNeighbor (DS2)", "OOM", gx,
+    Row("GraphX", "CommonNeighbor (DS2)", "OOM", gx,
              ds2.paper_scale());
     PrintSpeedup(ps, gx, "n/a");
   }
@@ -238,7 +251,7 @@ void Run() {
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            return FastUnfolding(ctx, ds, fo).status();
                          });
-    PrintRow("PSGraph", "FastUnfolding (DS1)", "3.5h", ps,
+    Row("PSGraph", "FastUnfolding (DS1)", "3.5h", ps,
              ds1.paper_scale());
     graphx::FastUnfoldingOptions go;
     go.max_passes = 2;
@@ -246,7 +259,7 @@ void Run() {
     auto gx = RunGraphx(gx_ds1, ds1.paper_scale(), sym, [&](auto& ds) {
       return graphx::FastUnfolding(ds, go).status();
     });
-    PrintRow("GraphX", "FastUnfolding (DS1)", "10.3h", gx,
+    Row("GraphX", "FastUnfolding (DS1)", "10.3h", gx,
              ds1.paper_scale());
     PrintSpeedup(ps, gx, "2.9x");
   }
@@ -258,11 +271,11 @@ void Run() {
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            return KCoreSubgraph(ctx, ds, 0, k).status();
                          });
-    PrintRow("PSGraph", "K-core (DS1)", "2h", ps, ds1.paper_scale());
+    Row("PSGraph", "K-core (DS1)", "2h", ps, ds1.paper_scale());
     auto gx = RunGraphx(gx_ds1, ds1.paper_scale(), e1, [&](auto& ds) {
       return graphx::KCoreSubgraph(ds, k).status();
     });
-    PrintRow("GraphX", "K-core (DS1)", "OOM", gx, ds1.paper_scale());
+    Row("GraphX", "K-core (DS1)", "OOM", gx, ds1.paper_scale());
     PrintSpeedup(ps, gx, "n/a");
   }
 
@@ -272,15 +285,18 @@ void Run() {
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            return TriangleCount(ctx, ds).status();
                          });
-    PrintRow("PSGraph", "TriangleCount (DS1)", "0.7h", ps,
+    Row("PSGraph", "TriangleCount (DS1)", "0.7h", ps,
              ds1.paper_scale());
     auto gx = RunGraphx(gx_ds1, ds1.paper_scale(), e1, [&](auto& ds) {
       return graphx::TriangleCount(ds).status();
     });
-    PrintRow("GraphX", "TriangleCount (DS1)", "OOM", gx,
+    Row("GraphX", "TriangleCount (DS1)", "OOM", gx,
              ds1.paper_scale());
     PrintSpeedup(ps, gx, "n/a");
   }
+
+  report.Set("rows", std::move(rows));
+  report.Write();
 }
 
 }  // namespace

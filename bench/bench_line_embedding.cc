@@ -57,7 +57,7 @@ void Run() {
   lo.order = 2;
 
   Stopwatch wall;
-  Metrics::Global().Reset();
+  (*ctx)->metrics().Reset();  // isolate the training phase from loading
   double t0 = (*ctx)->cluster().clock().Makespan();
   auto result = core::Line(**ctx, *ds, 0, lo);
   PSG_CHECK_OK(result.status());
@@ -72,12 +72,19 @@ void Run() {
   std::printf("  total (%d epochs at paper's 6-epoch budget: %s)\n",
               epochs,
               FormatDuration(per_epoch * ds1.paper_scale() * 6).c_str());
-  std::printf("  rpc bytes sent=%s received=%s\n",
-              FormatBytes((double)Metrics::Global().Get("rpc.bytes_sent"))
-                  .c_str(),
-              FormatBytes(
-                  (double)Metrics::Global().Get("rpc.bytes_received"))
-                  .c_str());
+  std::printf(
+      "  rpc bytes sent=%s received=%s\n",
+      FormatBytes((double)(*ctx)->metrics().Get("rpc.bytes_sent")).c_str(),
+      FormatBytes((double)(*ctx)->metrics().Get("rpc.bytes_received"))
+          .c_str());
+
+  BenchReport report("line_embedding");
+  report.Set("embedding_dim", JsonValue(dim));
+  report.Set("epochs", JsonValue(epochs));
+  report.Set("final_avg_loss", JsonValue(result->final_avg_loss));
+  report.Set("per_epoch_sim_seconds", JsonValue(per_epoch));
+  report.Capture(&(*ctx)->cluster());
+  report.Write();
 }
 
 }  // namespace

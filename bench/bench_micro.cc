@@ -5,8 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/byte_buffer.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "dataflow/dataset.h"
 #include "graph/generators.h"
 #include "minitorch/ops.h"
@@ -151,7 +155,51 @@ void BM_RmatGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_RmatGenerate)->Arg(1 << 16)->Arg(1 << 19);
 
+// Deterministic instrumented PS workload for the regression baseline:
+// with parallelism pinned to 1 every simulated tick — including
+// rpc.queue_ticks — is reproducible run-to-run, so the pull/push latency
+// histograms and per-node makespans in BENCH_micro.json can be diffed
+// exactly by scripts/check_bench_regression.py. The google-benchmark
+// timings above measure wall clock and are NOT part of the report.
+void EmitMicroReport() {
+  SetGlobalParallelism(1);
+  PsFixture fx;
+  // Per-run sinks, attached after the fixture's setup traffic, so the
+  // report holds exactly the workload below.
+  Metrics metrics;
+  Tracer tracer;
+  tracer.set_enabled(Tracer::EnabledByEnv());
+  fx.cluster->set_metrics(&metrics);
+  fx.cluster->set_tracer(&tracer);
+
+  const size_t kKeys = 4096;
+  const int kRounds = 32;
+  std::vector<uint64_t> keys(kKeys);
+  std::vector<float> vals(kKeys * 8, 1.0f);
+  Rng rng(7);
+  for (auto& k : keys) k = rng.NextBounded(1 << 20);
+  for (int round = 0; round < kRounds; ++round) {
+    PSG_CHECK_OK(fx.agent->PushAdd(fx.meta, keys, vals));
+    auto rows = fx.agent->PullRows(fx.meta, keys);
+    PSG_CHECK_OK(rows.status());
+  }
+
+  bench::BenchReport report("micro");
+  report.Set("rounds", JsonValue(kRounds));
+  report.Set("keys_per_round", JsonValue((uint64_t)kKeys));
+  report.Capture(fx.cluster.get());
+  report.Write();
+  SetGlobalParallelism(0);  // restore the env/hardware default
+}
+
 }  // namespace
 }  // namespace psgraph
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  psgraph::EmitMicroReport();
+  return 0;
+}

@@ -54,7 +54,7 @@ int64_t MakespanTicks(core::PsGraphContext& ctx) {
 }
 
 Sample RunPageRank(const graph::EdgeList& edges, size_t parallelism,
-                   int iterations) {
+                   int iterations, BenchReport* report) {
   SetGlobalParallelism(parallelism);
   auto ctx = core::PsGraphContext::Create(BenchOptions());
   PSG_CHECK_OK(ctx.status());
@@ -70,6 +70,9 @@ Sample RunPageRank(const graph::EdgeList& edges, size_t parallelism,
   s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   s.sim_seconds = (*ctx)->cluster().clock().Makespan();
   s.makespan_ticks = MakespanTicks(**ctx);
+  // The parallelism=1 run is fully deterministic (even rpc.queue_ticks),
+  // so it is the one whose histograms the regression checker gates on.
+  if (report != nullptr) report->Capture(&(*ctx)->cluster());
   return s;
 }
 
@@ -109,27 +112,22 @@ void PrintSweep(const char* workload, const std::vector<Sample>& sweep) {
   }
 }
 
-void EmitJson(std::FILE* f, const char* workload,
-              const std::vector<Sample>& sweep, bool last) {
-  std::fprintf(f, "    \"%s\": [\n", workload);
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    const Sample& s = sweep[i];
-    std::fprintf(f,
-                 "      {\"parallelism\": %zu, \"wall_seconds\": %.6f, "
-                 "\"speedup\": %.4f, \"sim_seconds\": %.6f, "
-                 "\"sim_ticks\": %lld, \"sim_ticks_identical\": %s}%s\n",
-                 s.parallelism, s.wall_seconds,
-                 s.wall_seconds > 0
-                     ? sweep.front().wall_seconds / s.wall_seconds
-                     : 0.0,
-                 s.sim_seconds,
-                 static_cast<long long>(s.makespan_ticks),
-                 s.makespan_ticks == sweep.front().makespan_ticks
-                     ? "true"
-                     : "false",
-                 i + 1 < sweep.size() ? "," : "");
+JsonValue SweepToJson(const std::vector<Sample>& sweep) {
+  JsonValue arr = JsonValue::Array();
+  for (const Sample& s : sweep) {
+    JsonValue v = JsonValue::Object();
+    v.Set("parallelism", static_cast<uint64_t>(s.parallelism));
+    v.Set("wall_seconds", s.wall_seconds);
+    v.Set("speedup", s.wall_seconds > 0
+                         ? sweep.front().wall_seconds / s.wall_seconds
+                         : 0.0);
+    v.Set("sim_seconds", s.sim_seconds);
+    v.Set("sim_ticks", s.makespan_ticks);
+    v.Set("sim_ticks_identical",
+          s.makespan_ticks == sweep.front().makespan_ticks);
+    arr.Append(std::move(v));
   }
-  std::fprintf(f, "    ]%s\n", last ? "" : ",");
+  return arr;
 }
 
 void Run() {
@@ -145,10 +143,12 @@ void Run() {
   graph::EdgeList line_edges =
       graph::GenerateErdosRenyi(2000 / denom, 16000 / denom, 13);
 
+  BenchReport report("parallel");
   const std::vector<size_t> levels{1, 2, 4, 8};
   std::vector<Sample> pr_sweep, line_sweep;
   for (size_t p : levels) {
-    pr_sweep.push_back(RunPageRank(pr_edges, p, /*iterations=*/10));
+    pr_sweep.push_back(RunPageRank(pr_edges, p, /*iterations=*/10,
+                                   p == 1 ? &report : nullptr));
   }
   for (size_t p : levels) {
     line_sweep.push_back(RunLine(line_edges, p, /*epochs=*/2));
@@ -158,18 +158,12 @@ void Run() {
   PrintSweep("PageRank (10 iterations)", pr_sweep);
   PrintSweep("LINE pull/push training (2 epochs)", line_sweep);
 
-  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
-  if (f == nullptr) {
-    std::perror("BENCH_parallel.json");
-    return;
-  }
-  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(f, "  \"workloads\": {\n");
-  EmitJson(f, "pagerank", pr_sweep, /*last=*/false);
-  EmitJson(f, "line", line_sweep, /*last=*/true);
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_parallel.json\n");
+  report.Set("hardware_concurrency", JsonValue((uint64_t)hw));
+  JsonValue workloads = JsonValue::Object();
+  workloads.Set("pagerank", SweepToJson(pr_sweep));
+  workloads.Set("line", SweepToJson(line_sweep));
+  report.Set("workloads", std::move(workloads));
+  report.Write();
 }
 
 }  // namespace

@@ -35,7 +35,7 @@ double MeasureRun(const graph::EdgeList& edges, int32_t executors,
 }
 
 void RunOne(int32_t executors, int32_t servers, uint64_t denom,
-            double* base_iter) {
+            double* base_iter, JsonValue* points) {
   // Graph size proportional to the cluster: constant work per executor.
   graph::DatasetInfo info = graph::Ds1MiniInfo(denom * 100 / executors);
   graph::EdgeList edges = graph::MakeDs1Mini(info);
@@ -49,6 +49,14 @@ void RunOne(int32_t executors, int32_t servers, uint64_t denom,
               "sim=%.2f ms  weak-scaling efficiency=%.0f%%\n",
               executors, servers, edges.size(), per_iter * 1e3,
               100.0 * *base_iter / per_iter);
+
+  JsonValue point = JsonValue::Object();
+  point.Set("executors", executors);
+  point.Set("servers", servers);
+  point.Set("edges", static_cast<uint64_t>(edges.size()));
+  point.Set("per_iteration_sim_seconds", per_iter);
+  point.Set("efficiency", *base_iter / per_iter);
+  points->Append(std::move(point));
 }
 
 void Run() {
@@ -57,10 +65,14 @@ void Run() {
               "edges/executor ===\n(paper DS1 allocation = 100 executors "
               "+ 20 servers)\n\n");
   double base = 0.0;
-  RunOne(25, 5, denom, &base);
-  RunOne(50, 10, denom, &base);
-  RunOne(100, 20, denom, &base);
-  RunOne(200, 40, denom, &base);
+  BenchReport report("scaling");
+  JsonValue points = JsonValue::Array();
+  RunOne(25, 5, denom, &base, &points);
+  RunOne(50, 10, denom, &base, &points);
+  RunOne(100, 20, denom, &base, &points);
+  RunOne(200, 40, denom, &base, &points);
+  report.Set("points", std::move(points));
+  report.Write();
 }
 
 }  // namespace

@@ -35,6 +35,8 @@ void Run() {
               (unsigned long long)g.num_vertices, g.edges.size(),
               g.feature_dim, g.num_classes);
 
+  BenchReport report("table1_graphsage");
+
   // ---- PSGraph ----
   CellResult ps_pre, ps_epoch;
   double ps_acc = 0.0;
@@ -58,6 +60,7 @@ void Run() {
     ps_epoch.sim_seconds = result->AvgEpochSimSeconds();
     ps_epoch.wall_seconds = wall.ElapsedSeconds();
     ps_acc = result->test_accuracy;
+    report.Capture(&(*ctx)->cluster());
   }
 
   // ---- Euler ----
@@ -111,6 +114,18 @@ void Run() {
       eu_pre.sim_seconds / ps_pre.sim_seconds);
   std::printf("  -> per-epoch ratio Euler/PSGraph = %.1fx (paper: ~29x)\n",
               eu_epoch.sim_seconds / ps_epoch.sim_seconds);
+
+  JsonValue psg = JsonValue::Object();
+  psg.Set("preprocess_sim_seconds", ps_pre.sim_seconds);
+  psg.Set("epoch_sim_seconds", ps_epoch.sim_seconds);
+  psg.Set("test_accuracy", ps_acc);
+  report.Set("psgraph", std::move(psg));
+  JsonValue eul = JsonValue::Object();
+  eul.Set("preprocess_sim_seconds", eu_pre.sim_seconds);
+  eul.Set("epoch_sim_seconds", eu_epoch.sim_seconds);
+  eul.Set("test_accuracy", eu_acc);
+  report.Set("euler", std::move(eul));
+  report.Write();
 }
 
 }  // namespace

@@ -29,6 +29,7 @@ void Run() {
   graph::EdgeList edges = graph::MakeDs1Mini(ds1);
   const double scale = ds1.paper_scale();
 
+  BenchReport report("table2_failure");
   auto run = [&](sim::NodeId kill_node, int64_t kill_round,
                  const char* label) -> RunOutcome {
     core::PsGraphContext::Options opts;
@@ -61,6 +62,7 @@ void Run() {
         FormatDuration(out.sim_seconds * scale).c_str(), out.stats.rounds,
         (unsigned long long)out.stats.pairs,
         (unsigned long long)out.stats.total_common);
+    report.Capture(&(*ctx)->cluster());
     return out;
   };
 
@@ -88,6 +90,20 @@ void Run() {
               FormatDuration((ps_fail.sim_seconds - clean.sim_seconds) *
                              scale)
                   .c_str());
+
+  auto cell = [](const RunOutcome& out) {
+    JsonValue v = JsonValue::Object();
+    v.Set("sim_seconds", out.sim_seconds);
+    v.Set("rounds", out.stats.rounds);
+    v.Set("pairs", out.stats.pairs);
+    v.Set("total_common", out.stats.total_common);
+    return v;
+  };
+  report.Set("no_failure", cell(clean));
+  report.Set("executor_failure", cell(exec_fail));
+  report.Set("ps_failure", cell(ps_fail));
+  report.Set("output_identical", JsonValue(same));
+  report.Write();
 }
 
 }  // namespace

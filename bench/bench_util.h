@@ -13,6 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+
+#include "sim/report.h"
 
 namespace psgraph::bench {
 
@@ -68,6 +71,66 @@ inline void PrintRow(const char* system, const char* workload,
               FormatDuration(cell.wall_seconds).c_str(),
               cell.detail.c_str());
 }
+
+/// JSON form of one PrintRow cell, for the "bench" payload of a run
+/// report.
+inline JsonValue CellToJson(const char* system, const char* workload,
+                            const char* paper_value,
+                            const CellResult& cell, double paper_scale) {
+  JsonValue row = JsonValue::Object();
+  row.Set("system", system);
+  row.Set("workload", workload);
+  row.Set("paper", paper_value);
+  row.Set("oom", cell.oom);
+  row.Set("sim_seconds", cell.sim_seconds);
+  row.Set("sim_seconds_paper_scale", cell.sim_seconds * paper_scale);
+  row.Set("wall_seconds", cell.wall_seconds);
+  return row;
+}
+
+/// Accumulates one bench's machine-readable run report (the versioned
+/// schema in sim/report.h). Capture() snapshots a cluster's counters,
+/// histograms, span summaries and per-node simulated clocks — call it on
+/// a representative context before tearing the context down (the last
+/// capture wins; the bench payload survives captures). Set() entries
+/// carry the bench's own table under "bench". Write() emits
+/// BENCH_<name>.json into the working directory, which
+/// scripts/check_bench_regression.py validates and diffs in CI.
+class BenchReport {
+ public:
+  explicit BenchReport(const std::string& name) { report_.name = name; }
+
+  /// Snapshots `cluster`'s observability sinks and clocks into the
+  /// report, replacing any earlier capture. Null collects the
+  /// process-wide registries with no cluster section.
+  void Capture(sim::SimCluster* cluster) {
+    JsonValue payload = std::move(report_.bench);
+    report_ = sim::CollectRunReport(report_.name, cluster);
+    report_.bench = std::move(payload);
+  }
+
+  /// Adds one entry to the bench-specific payload.
+  void Set(const std::string& key, JsonValue value) {
+    report_.bench.Set(key, std::move(value));
+  }
+
+  const sim::RunReport& report() const { return report_; }
+
+  /// Writes BENCH_<name>.json; prints a warning instead of failing the
+  /// bench when the file cannot be written.
+  void Write() {
+    const std::string path = "BENCH_" + report_.name + ".json";
+    Status st = sim::WriteRunReport(report_, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench report: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  sim::RunReport report_;
+};
 
 }  // namespace psgraph::bench
 

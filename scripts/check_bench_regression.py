@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validates bench run reports and gates on simulated-time regressions.
+
+Usage:
+    scripts/check_bench_regression.py [--report-dir DIR] \
+        [--baseline-dir bench/baselines] [--tolerance 0.05]
+
+For every baseline ``BENCH_<name>.json`` committed under the baseline
+directory, the freshly produced report of the same name (in the report
+directory, default cwd) is
+
+  1. schema-validated (mirrors ``sim::ValidateRunReportJson``), and
+  2. diffed against the baseline on *simulated* quantities only.
+
+Gated quantities — all derived from the deterministic simulated clock,
+so at parallelism 1 they are bit-identical run-to-run and any drift is a
+real behaviour change:
+
+  * cluster.makespan_ticks and each per-node busy_ticks
+  * p50/p95/p99/count of the pull/push latency histograms
+    (agent.pull.latency_ticks, agent.push.latency_ticks,
+    ps.pull.service_ticks, ps.push.service_ticks)
+  * bench.workloads.*[*].sim_ticks and sim_ticks_identical
+    (BENCH_parallel.json: the determinism contract itself)
+
+Deliberately NOT gated: wall-clock fields (machine-dependent),
+rpc.queue_ticks (queueing order is nondeterministic at parallelism > 1;
+see DESIGN.md "Observability"), and span summaries (trace-gated).
+
+A tolerance band (default 5%) allows intentional cost-model tuning to
+pass while catching order-of-magnitude regressions; exact-match fields
+(counts, sim_ticks_identical) ignore the band. Exits non-zero on any
+schema violation or out-of-band drift.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED_HISTOGRAMS = [
+    "agent.pull.latency_ticks",
+    "agent.push.latency_ticks",
+    "ps.pull.service_ticks",
+    "ps.push.service_ticks",
+]
+GATED_QUANTILES = ["p50", "p95", "p99"]
+
+HIST_NUMERIC_FIELDS = [
+    "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+]
+
+
+def fail(errors, fmt, *args):
+    errors.append(fmt % args if args else fmt)
+
+
+def validate_schema(report, path, errors):
+    """Mirrors sim::ValidateRunReportJson — a report CI would gate on
+    must be readable by tooling that only knows the schema."""
+    def err(fmt, *args):
+        fail(errors, "%s: %s" % (path, fmt % args if args else fmt))
+
+    if not isinstance(report, dict):
+        err("top level is not an object")
+        return
+    if report.get("schema") != "psgraph.run_report":
+        err("bad schema marker %r", report.get("schema"))
+    if report.get("schema_version") != 1:
+        err("unsupported schema_version %r", report.get("schema_version"))
+    if not isinstance(report.get("name"), str) or not report.get("name"):
+        err("missing name")
+    for section in ("counters", "gauges", "histograms", "spans"):
+        if not isinstance(report.get(section), dict):
+            err("missing section %r", section)
+    if "bench" not in report:
+        err("missing bench payload")
+    for name, hist in report.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            err("histogram %r is not an object", name)
+            continue
+        for field in HIST_NUMERIC_FIELDS:
+            if not isinstance(hist.get(field), (int, float)):
+                err("histogram %r missing numeric %r", name, field)
+        if not isinstance(hist.get("buckets"), list):
+            err("histogram %r missing buckets array", name)
+    cluster = report.get("cluster")
+    if cluster is not None:
+        if not isinstance(cluster, dict):
+            err("cluster is neither null nor an object")
+        else:
+            nodes = cluster.get("nodes")
+            if not isinstance(nodes, list) or not nodes:
+                err("cluster.nodes missing or empty")
+            if not isinstance(cluster.get("makespan_ticks"), int):
+                err("cluster.makespan_ticks missing")
+
+
+def within(baseline, current, tolerance):
+    if baseline == current:
+        return True
+    if baseline == 0:
+        return abs(current) <= tolerance
+    return abs(current - baseline) <= tolerance * abs(baseline)
+
+
+def diff_value(label, baseline, current, tolerance, errors, exact=False):
+    if current is None:
+        fail(errors, "%s: missing in current report (baseline %s)",
+             label, baseline)
+        return
+    if exact:
+        if baseline != current:
+            fail(errors, "%s: %s -> %s (exact-match field)", label,
+                 baseline, current)
+    elif not within(baseline, current, tolerance):
+        drift = ((current - baseline) / baseline * 100.0
+                 if baseline else float("inf"))
+        fail(errors, "%s: %s -> %s (%+.1f%%, tolerance %.0f%%)", label,
+             baseline, current, drift, tolerance * 100)
+
+
+def diff_reports(name, baseline, current, tolerance, errors):
+    # Simulated makespan: the headline number.
+    b_cluster = baseline.get("cluster")
+    c_cluster = current.get("cluster")
+    if b_cluster is not None:
+        if c_cluster is None:
+            fail(errors, "%s: cluster section disappeared", name)
+        else:
+            diff_value("%s: cluster.makespan_ticks" % name,
+                       b_cluster.get("makespan_ticks"),
+                       c_cluster.get("makespan_ticks"), tolerance, errors)
+            b_nodes = {n["node"]: n for n in b_cluster.get("nodes", [])}
+            c_nodes = {n["node"]: n for n in c_cluster.get("nodes", [])}
+            for node_id, b_node in sorted(b_nodes.items()):
+                c_node = c_nodes.get(node_id)
+                diff_value(
+                    "%s: node %s busy_ticks" % (name, node_id),
+                    b_node.get("busy_ticks"),
+                    c_node.get("busy_ticks") if c_node else None,
+                    tolerance, errors)
+
+    # Pull/push latency distributions.
+    for hist_name in GATED_HISTOGRAMS:
+        b_hist = baseline.get("histograms", {}).get(hist_name)
+        if b_hist is None:
+            continue  # this bench does not exercise that path
+        c_hist = current.get("histograms", {}).get(hist_name)
+        if c_hist is None:
+            fail(errors, "%s: histogram %r disappeared", name, hist_name)
+            continue
+        diff_value("%s: %s.count" % (name, hist_name), b_hist["count"],
+                   c_hist.get("count"), tolerance, errors, exact=True)
+        for q in GATED_QUANTILES:
+            diff_value("%s: %s.%s" % (name, hist_name, q), b_hist[q],
+                       c_hist.get(q), tolerance, errors)
+
+    # Parallel-sweep payload: the determinism contract.
+    b_workloads = baseline.get("bench", {}).get("workloads")
+    if isinstance(b_workloads, dict):
+        c_workloads = current.get("bench", {}).get("workloads", {})
+        for workload, b_sweep in sorted(b_workloads.items()):
+            c_sweep = c_workloads.get(workload, [])
+            for i, b_sample in enumerate(b_sweep):
+                c_sample = c_sweep[i] if i < len(c_sweep) else {}
+                label = "%s: %s[parallelism=%s]" % (
+                    name, workload, b_sample.get("parallelism"))
+                diff_value(label + ".sim_ticks_identical",
+                           b_sample.get("sim_ticks_identical"),
+                           c_sample.get("sim_ticks_identical"),
+                           tolerance, errors, exact=True)
+                diff_value(label + ".sim_ticks", b_sample.get("sim_ticks"),
+                           c_sample.get("sim_ticks"), tolerance, errors)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report-dir", default=".",
+                        help="directory holding fresh BENCH_*.json")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory holding committed baselines")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative tolerance band (default 0.05)")
+    args = parser.parse_args()
+
+    baselines = sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print("error: no baselines in %s" % args.baseline_dir)
+        return 1
+
+    errors = []
+    checked = 0
+    for fname in baselines:
+        baseline_path = os.path.join(args.baseline_dir, fname)
+        current_path = os.path.join(args.report_dir, fname)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        if not os.path.exists(current_path):
+            fail(errors, "%s: report not produced (expected at %s)", fname,
+                 current_path)
+            continue
+        with open(current_path) as f:
+            current = json.load(f)
+        validate_schema(baseline, baseline_path, errors)
+        validate_schema(current, current_path, errors)
+        diff_reports(fname, baseline, current, args.tolerance, errors)
+        checked += 1
+        print("checked %s against %s" % (current_path, baseline_path))
+
+    if errors:
+        print("\n%d regression check failure(s):" % len(errors))
+        for e in errors:
+            print("  FAIL %s" % e)
+        return 1
+    print("OK: %d report(s) within %.0f%% of baseline" %
+          (checked, args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

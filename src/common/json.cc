@@ -1,0 +1,352 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace psgraph {
+
+JsonValue::JsonValue(uint64_t v) {
+  if (v <= static_cast<uint64_t>(INT64_MAX)) {
+    kind_ = Kind::kInt;
+    int_ = static_cast<int64_t>(v);
+  } else {
+    kind_ = Kind::kDouble;
+    double_ = static_cast<double>(v);
+  }
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+  // Keep a float marker so a parse round-trip stays a double.
+  if (std::strpbrk(buf, ".eE") == nullptr) *out += ".0";
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; break;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: *out += std::to_string(int_); break;
+    case Kind::kDouble: AppendNumber(double_, out); break;
+    case Kind::kString: EscapeString(string_, out); break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        EscapeString(members_[i].first, out);
+        *out += indent > 0 ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    PSG_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWs();
+    if (pos_ != s_.size()) return Err("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        PSG_ASSIGN_OR_RETURN(std::string str, ParseString());
+        return JsonValue(std::move(str));
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return JsonValue(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return JsonValue(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue();
+        }
+        return Err("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      PSG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      PSG_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      PSG_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return Err("bad escape");
+        char e = s_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Err("bad \\u escape");
+            }
+            pos_ += 4;
+            // BMP-only UTF-8 encode (all this repo ever writes).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return Err("bad escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Err("expected value");
+    const char* begin = s_.data() + start;
+    const char* end = s_.data() + pos_;
+    if (!is_double) {
+      int64_t iv = 0;
+      auto [p, ec] = std::from_chars(begin, end, iv);
+      if (ec == std::errc() && p == end) return JsonValue(iv);
+      // Integer overflow: fall through to double.
+    }
+    double dv = 0.0;
+    auto [p, ec] = std::from_chars(begin, end, dv);
+    if (ec != std::errc() || p != end) return Err("bad number");
+    return JsonValue(dv);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace psgraph

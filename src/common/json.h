@@ -1,0 +1,100 @@
+// Minimal JSON value tree: build, serialize, parse.
+//
+// Exists so run reports (sim/report.h) are emitted through one
+// structured path instead of ad-hoc fprintf, and so tests can parse a
+// report back and validate its schema (round-trip). Integers are kept
+// distinct from doubles end to end — simulated-clock tick counts exceed
+// 2^53 on long runs and must survive a dump/parse cycle exactly.
+//
+// Not a general-purpose parser: UTF-8 is passed through opaquely and
+// \uXXXX escapes are decoded only for the BMP, which covers everything
+// this repo writes.
+
+#ifndef PSGRAPH_COMMON_JSON_H_
+#define PSGRAPH_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace psgraph {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(uint64_t v);  // widens to int64 or double (> INT64_MAX)
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+
+  // -- Object interface (insertion-ordered keys) --
+  JsonValue& Set(const std::string& key, JsonValue value);
+  /// nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // -- Array interface --
+  JsonValue& Append(JsonValue value);
+  size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : elements_.size();
+  }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+  const JsonValue& at(size_t i) const { return elements_[i]; }
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per
+  /// level, 0 emits compact single-line JSON.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing junk is an
+  /// error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  // object
+  std::vector<JsonValue> elements_;                         // array
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_JSON_H_

@@ -1,0 +1,104 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace psgraph {
+
+namespace {
+
+struct OpenSpan {
+  const Tracer* tracer;
+  uint64_t id;
+};
+
+// Innermost-open-span stack per thread. Entries carry the tracer they
+// belong to so independent tracers (one per PsGraphContext) nesting on
+// the same thread do not see each other's spans as parents.
+thread_local std::vector<OpenSpan> t_open_spans;
+
+uint64_t CurrentParent(const Tracer* tracer) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->tracer == tracer) return it->id;
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t Tracer::Begin(const std::string& name, int32_t node,
+                       int64_t begin_ticks) {
+  if (!enabled()) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    lock.unlock();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  TraceSpan span;
+  span.id = spans_.size() + 1;
+  span.parent = CurrentParent(this);
+  span.name = name;
+  span.node = node;
+  span.begin_ticks = begin_ticks;
+  span.end_ticks = begin_ticks;
+  spans_.push_back(span);
+  lock.unlock();
+  t_open_spans.push_back({this, span.id});
+  return span.id;
+}
+
+void Tracer::End(uint64_t id, int64_t end_ticks) {
+  if (id == 0) return;
+  // Pop this tracer's innermost matching entry (spans close LIFO per
+  // thread; an out-of-order close only affects parent attribution of
+  // later spans, never correctness of the record itself).
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->tracer == this && it->id == id) {
+      t_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  TraceSpan& span = spans_[id - 1];
+  span.end_ticks = end_ticks;
+  SpanStats& stats = summary_[span.name];
+  stats.count++;
+  const int64_t dur = std::max<int64_t>(0, end_ticks - span.begin_ticks);
+  stats.total_ticks += dur;
+  stats.max_ticks = std::max(stats.max_ticks, dur);
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, Tracer::SpanStats> Tracer::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  summary_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+bool Tracer::EnabledByEnv() {
+  const char* v = std::getenv("PSGRAPH_TRACE");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = [] {
+    auto* t = new Tracer();
+    t->set_enabled(EnabledByEnv());
+    return t;
+  }();
+  return *instance;
+}
+
+}  // namespace psgraph

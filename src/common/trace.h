@@ -1,0 +1,112 @@
+// Lightweight structured tracing over the simulated clocks.
+//
+// A TraceSpan is one named interval on one logical node, stamped with
+// sim-clock ticks (common/ cannot depend on sim/, so callers pass the
+// tick readings). Spans nest: Begin() links the new span to the
+// innermost span previously begun by the same thread on the same
+// tracer, so a PS pull handled inside an RPC dispatch inside a
+// partition task forms a parent chain.
+//
+// Tracing is off by default (Begin() is one relaxed atomic load). The
+// global tracer enables itself when the PSGRAPH_TRACE environment
+// variable is set to a non-empty, non-"0" value; PsGraphContext-owned
+// tracers inherit that default. Span *summaries* (count/total/max per
+// name) feed the JSON run report; full span detail is capped at
+// kMaxSpans to bound memory, with a dropped-span counter kept honest.
+
+#ifndef PSGRAPH_COMMON_TRACE_H_
+#define PSGRAPH_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psgraph {
+
+struct TraceSpan {
+  uint64_t id = 0;      ///< 1-based; 0 means "no span"
+  uint64_t parent = 0;  ///< id of the enclosing span, 0 at the root
+  std::string name;
+  int32_t node = -1;  ///< sim node the span ran on, -1 if not node-bound
+  int64_t begin_ticks = 0;
+  int64_t end_ticks = 0;
+};
+
+class Tracer {
+ public:
+  /// Full span detail kept in memory; spans past the cap are dropped
+  /// (counted in dropped()) and excluded from summaries.
+  static constexpr size_t kMaxSpans = 1 << 16;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Opens a span; returns its id (0 when disabled or at capacity —
+  /// End() ignores id 0). The parent is the calling thread's innermost
+  /// open span on this tracer.
+  uint64_t Begin(const std::string& name, int32_t node,
+                 int64_t begin_ticks);
+  /// Closes the span and folds it into the per-name summary.
+  void End(uint64_t id, int64_t end_ticks);
+
+  struct SpanStats {
+    uint64_t count = 0;
+    int64_t total_ticks = 0;
+    int64_t max_ticks = 0;
+  };
+
+  std::vector<TraceSpan> Snapshot() const;
+  /// Per-name aggregate over all *closed* spans.
+  std::map<std::string, SpanStats> Summary() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+  /// Process-wide tracer; enabled iff PSGRAPH_TRACE is set (see above).
+  static Tracer& Global();
+
+  /// True when the PSGRAPH_TRACE environment variable asks for tracing.
+  static bool EnabledByEnv();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::string, SpanStats> summary_;
+};
+
+/// RAII span: opens on construction, closes with the tick value read
+/// from `end_fn` at destruction. `tracer` may be null (no-op).
+template <typename EndFn>
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const std::string& name, int32_t node,
+             int64_t begin_ticks, EndFn end_fn)
+      : tracer_(tracer), end_fn_(std::move(end_fn)) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      id_ = tracer_->Begin(name, node, begin_ticks);
+    }
+  }
+  ~ScopedSpan() {
+    if (id_ != 0) tracer_->End(id_, end_fn_());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  EndFn end_fn_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_TRACE_H_

@@ -8,6 +8,11 @@ Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
     Options options) {
   std::unique_ptr<PsGraphContext> ctx(new PsGraphContext(options));
   ctx->cluster_ = std::make_unique<sim::SimCluster>(options.cluster);
+  // Route every component's counters/spans into this context's own sinks
+  // (see metrics()/tracer()); tracing stays opt-in via PSGRAPH_TRACE.
+  ctx->tracer_.set_enabled(Tracer::EnabledByEnv());
+  ctx->cluster_->set_metrics(&ctx->metrics_);
+  ctx->cluster_->set_tracer(&ctx->tracer_);
   ctx->hdfs_ = std::make_unique<storage::Hdfs>(ctx->cluster_.get());
   ctx->fabric_ = std::make_unique<net::RpcFabric>(ctx->cluster_.get());
   ctx->dataflow_ =

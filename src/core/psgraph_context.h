@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "dataflow/context.h"
 #include "net/rpc.h"
 #include "ps/agent.h"
@@ -47,6 +49,14 @@ class PsGraphContext {
 
   const Options& options() const { return options_; }
   sim::SimCluster& cluster() { return *cluster_; }
+
+  /// Per-context observability sinks. Every component of this context
+  /// (PS servers, RPC fabric, dataflow, HDFS) reports here instead of
+  /// into the process-wide Metrics::Global()/Tracer::Global(), so
+  /// concurrent contexts — or a context created after a bench reset the
+  /// globals — cannot contaminate each other's counters or run reports.
+  Metrics& metrics() { return metrics_; }
+  Tracer& tracer() { return tracer_; }
   storage::Hdfs& hdfs() { return *hdfs_; }
   net::RpcFabric& fabric() { return *fabric_; }
   dataflow::DataflowContext& dataflow() { return *dataflow_; }
@@ -87,6 +97,10 @@ class PsGraphContext {
   explicit PsGraphContext(Options options) : options_(std::move(options)) {}
 
   Options options_;
+  // Declared before cluster_ (and destroyed after it): the cluster holds
+  // raw pointers to these sinks for its whole lifetime.
+  Metrics metrics_;
+  Tracer tracer_;
   std::unique_ptr<sim::SimCluster> cluster_;
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<net::RpcFabric> fabric_;

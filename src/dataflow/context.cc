@@ -59,14 +59,14 @@ void DataflowContext::ChargeCompute(int32_t partition, uint64_t ops) {
 
 void DataflowContext::ChargeDiskWrite(int32_t partition, uint64_t bytes) {
   if (!cluster_) return;
-  Metrics::Global().Add("dataflow.shuffle_bytes_written", bytes);
+  metrics().Add("dataflow.shuffle_bytes_written", bytes);
   cluster_->clock().Advance(ExecutorOf(partition),
                             cluster_->cost().DiskWriteTime(bytes));
 }
 
 void DataflowContext::ChargeDiskRead(int32_t partition, uint64_t bytes) {
   if (!cluster_) return;
-  Metrics::Global().Add("dataflow.shuffle_bytes_read", bytes);
+  metrics().Add("dataflow.shuffle_bytes_read", bytes);
   cluster_->clock().Advance(ExecutorOf(partition),
                             cluster_->cost().DiskReadTime(bytes));
 }
@@ -77,7 +77,7 @@ void DataflowContext::ChargeTransfer(int32_t from_part, int32_t to_part,
   int32_t from = ExecutorOf(from_part);
   int32_t to = ExecutorOf(to_part);
   if (from == to) return;  // local fetch
-  Metrics::Global().Add("dataflow.network_bytes", bytes);
+  metrics().Add("dataflow.network_bytes", bytes);
   double t = cluster_->cost().NetworkTime(bytes);
   cluster_->clock().Advance(from, t);
   cluster_->clock().AdvanceTo(to, cluster_->clock().Now(from));

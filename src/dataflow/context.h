@@ -19,8 +19,10 @@
 #include <tuple>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "sim/cluster.h"
 
 namespace psgraph::dataflow {
@@ -57,6 +59,16 @@ class DataflowContext {
         executor_epochs_(cluster ? cluster->config().num_executors : 1) {}
 
   sim::SimCluster* cluster() { return cluster_; }
+
+  /// Observability sinks: the cluster's per-context registries, or the
+  /// process-wide globals for clusterless unit-test contexts.
+  Metrics& metrics() const {
+    return cluster_ != nullptr ? cluster_->metrics() : Metrics::Global();
+  }
+  Tracer& tracer() const {
+    return cluster_ != nullptr ? cluster_->tracer() : Tracer::Global();
+  }
+
   int32_t num_executors() const {
     return cluster_ ? cluster_->config().num_executors : 1;
   }

@@ -4,6 +4,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "sim/sim_clock.h"
 
 namespace psgraph::net {
@@ -67,6 +68,11 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
     sim::NodeId from, std::vector<ParallelCall> calls) {
   const size_t n = calls.size();
   const bool timed = cluster_ != nullptr && from >= 0;
+  // Per-context sinks when the fabric belongs to a cluster; process-wide
+  // globals for bare unit-test fabrics.
+  Metrics& metrics =
+      cluster_ != nullptr ? cluster_->metrics() : Metrics::Global();
+  Tracer& tracer = cluster_ != nullptr ? cluster_->tracer() : Tracer::Global();
   const int64_t latency_ticks =
       cluster_ != nullptr
           ? sim::SimClock::TicksOf(cluster_->cost().config().network_latency_sec)
@@ -93,8 +99,8 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
       return Status::Unavailable("rpc: node " + std::to_string(call.to) +
                                  " has no endpoint bound");
     }
-    Metrics::Global().Add("rpc.calls", 1);
-    Metrics::Global().Add("rpc.bytes_sent", call.request.size());
+    metrics.Add("rpc.calls", 1);
+    metrics.Add("rpc.bytes_sent", call.request.size());
     if (timed) {
       send_cursor += WireTicks(cluster_->cost(), call.request.size());
       *arrival = t0 + send_cursor + latency_ticks;
@@ -108,6 +114,7 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
   // the same server concurrently — one shard is one logical event loop.
   // On success stores the response payload and the callee's service time.
   auto execute_call = [&](const ParallelCall& call, RpcEndpoint& endpoint,
+                          int64_t arrival_ticks,
                           std::vector<uint8_t>* response_out,
                           int64_t* service_out) -> Status {
     std::lock_guard<std::mutex> serial(endpoint.serial_mutex());
@@ -118,9 +125,13 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
       cluster_->clock().AdvanceTicks(
           call.to, WireTicks(cluster_->cost(), call.request.size()));
     }
+    ScopedSpan span(&tracer, "rpc." + call.method, call.to, busy_before,
+                    [&]() -> int64_t {
+                      return timed ? cluster_->clock().NowTicks(call.to) : 0;
+                    });
     auto response = endpoint.DispatchUnlocked(call.method, call.request.data());
     if (!response.ok()) return response.status();
-    Metrics::Global().Add("rpc.bytes_received", response->size());
+    metrics.Add("rpc.bytes_received", response->size());
     if (timed) {
       // A server's clock accumulates pure *busy* time (handler compute
       // charged inside the handler, plus serializing the response onto
@@ -130,6 +141,16 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
       cluster_->clock().AdvanceTicks(
           call.to, WireTicks(cluster_->cost(), response->size()));
       *service_out = cluster_->clock().NowTicks(call.to) - busy_before;
+      // Service time is bracketed under the endpoint's serial lock, so it
+      // is deterministic per request; queueing (waiting behind the shard's
+      // event loop after arriving) depends on dispatch interleaving at
+      // parallelism > 1 and is therefore excluded from regression gating.
+      metrics.Observe("rpc.service_ticks",
+                      static_cast<uint64_t>(*service_out));
+      metrics.Observe(
+          "rpc.queue_ticks",
+          static_cast<uint64_t>(
+              std::max<int64_t>(0, busy_before - arrival_ticks)));
     }
     *response_out = std::move(*response).TakeData();
     return Status::OK();
@@ -145,8 +166,8 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
     // never planned or started.
     for (size_t k = 0; k < n; ++k) {
       PSG_ASSIGN_OR_RETURN(auto endpoint, plan_call(calls[k], &arrival[k]));
-      Status st =
-          execute_call(calls[k], *endpoint, &responses[k], &service[k]);
+      Status st = execute_call(calls[k], *endpoint, arrival[k],
+                               &responses[k], &service[k]);
       if (!st.ok()) return st;
     }
   } else {
@@ -169,8 +190,8 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
     std::vector<Status> statuses(launched, Status::OK());
     GlobalThreadPool().ParallelForBounded(
         launched, parallelism - 1, [&](size_t k) {
-          statuses[k] =
-              execute_call(calls[k], *endpoints[k], &responses[k], &service[k]);
+          statuses[k] = execute_call(calls[k], *endpoints[k], arrival[k],
+                                     &responses[k], &service[k]);
         });
     for (size_t k = 0; k < launched; ++k) {
       if (!statuses[k].ok()) return statuses[k];

@@ -53,6 +53,9 @@ Result<std::vector<float>> PsAgent::PullRows(
   }
   const uint32_t cols = meta.num_cols;
   std::vector<float> out(keys.size() * cols, 0.0f);
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.pull", node_, t0,
+                  [this] { return NowTicks(); });
   auto by_server = GroupKeysByServer(meta, keys);
 
   std::vector<ParallelCall> calls;
@@ -68,8 +71,11 @@ Result<std::vector<float>> PsAgent::PullRows(
     calls.push_back({ctx_->ServerNode(s), "ps.pull", std::move(req)});
     call_server.push_back(s);
   }
+  metrics().Observe("agent.pull.fanout", calls.size());
   PSG_ASSIGN_OR_RETURN(auto responses,
                        ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.pull.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   for (size_t c = 0; c < responses.size(); ++c) {
     int32_t s = call_server[c];
     ByteReader reader(responses[c]);
@@ -91,6 +97,9 @@ Result<std::vector<float>> PsAgent::PullRowsColumnPartitioned(
     const MatrixMeta& meta, const std::vector<uint64_t>& keys) {
   const uint32_t cols = meta.num_cols;
   std::vector<float> out(keys.size() * cols, 0.0f);
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.pull", node_, t0,
+                  [this] { return NowTicks(); });
   ByteBuffer req;
   req.Write<MatrixId>(meta.id);
   req.WriteVector(keys);
@@ -103,8 +112,11 @@ Result<std::vector<float>> PsAgent::PullRowsColumnPartitioned(
     calls.push_back({ctx_->ServerNode(s), "ps.pull", req});
     call_server.push_back(s);
   }
+  metrics().Observe("agent.pull.fanout", calls.size());
   PSG_ASSIGN_OR_RETURN(auto responses,
                        ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.pull.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   for (size_t c = 0; c < responses.size(); ++c) {
     int32_t s = call_server[c];
     auto [begin, end] = ColumnSliceOf(cols, s, ctx_->num_servers());
@@ -132,6 +144,9 @@ Status PsAgent::Push(const MatrixMeta& meta,
     return Status::InvalidArgument("push: values size mismatch");
   }
   const char* method = add ? "ps.push_add" : "ps.push_assign";
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.push", node_, t0,
+                  [this] { return NowTicks(); });
   std::vector<ParallelCall> calls;
   if (meta.layout == Layout::kColumnPartitioned) {
     if (!add) {
@@ -175,8 +190,11 @@ Status PsAgent::Push(const MatrixMeta& meta,
       calls.push_back({ctx_->ServerNode(s), method, std::move(req)});
     }
   }
+  metrics().Observe("agent.push.fanout", calls.size());
   PSG_ASSIGN_OR_RETURN(auto responses,
                        ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.push.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   (void)responses;
   return Status::OK();
 }
@@ -196,6 +214,9 @@ Status PsAgent::PushAssign(const MatrixMeta& meta,
 Status PsAgent::PushNeighbors(
     const MatrixMeta& meta,
     const std::vector<graph::NeighborList>& tables) {
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.push_nbrs", node_, t0,
+                  [this] { return NowTicks(); });
   std::vector<std::vector<uint32_t>> by_server(ctx_->num_servers());
   Partitioner part(meta.scheme, meta.num_rows, ctx_->num_servers());
   for (uint32_t i = 0; i < tables.size(); ++i) {
@@ -216,8 +237,11 @@ Status PsAgent::PushNeighbors(
     }
     calls.push_back({ctx_->ServerNode(s), "ps.push_nbrs", std::move(req)});
   }
+  metrics().Observe("agent.push_nbrs.fanout", calls.size());
   PSG_ASSIGN_OR_RETURN(auto responses,
                        ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.push_nbrs.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   (void)responses;
   return Status::OK();
 }
@@ -240,6 +264,9 @@ Status PsAgent::FreezeNeighbors(const MatrixMeta& meta) {
 Result<std::vector<NeighborEntry>> PsAgent::PullNeighbors(
     const MatrixMeta& meta, const std::vector<uint64_t>& keys) {
   std::vector<NeighborEntry> out(keys.size());
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.pull_nbrs", node_, t0,
+                  [this] { return NowTicks(); });
   auto by_server = GroupKeysByServer(meta, keys);
   std::vector<ParallelCall> calls;
   std::vector<int32_t> call_server;
@@ -254,8 +281,11 @@ Result<std::vector<NeighborEntry>> PsAgent::PullNeighbors(
     calls.push_back({ctx_->ServerNode(s), "ps.pull_nbrs", std::move(req)});
     call_server.push_back(s);
   }
+  metrics().Observe("agent.pull_nbrs.fanout", calls.size());
   PSG_ASSIGN_OR_RETURN(auto responses,
                        ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.pull_nbrs.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   for (size_t c = 0; c < responses.size(); ++c) {
     int32_t s = call_server[c];
     ByteReader reader(responses[c]);
@@ -286,7 +316,14 @@ Result<std::vector<std::vector<uint8_t>>> PsAgent::CallFuncAll(
   for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
     calls.push_back({ctx_->ServerNode(s), "ps.func", req});
   }
-  return ctx_->fabric()->CallParallel(node_, std::move(calls));
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.func", node_, t0,
+                  [this] { return NowTicks(); });
+  metrics().Observe("agent.func.fanout", calls.size());
+  auto responses = ctx_->fabric()->CallParallel(node_, std::move(calls));
+  metrics().Observe("agent.func.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  return responses;
 }
 
 Result<double> PsAgent::CallFuncSum(const std::string& name,

@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "graph/types.h"
 #include "ps/context.h"
 
@@ -76,6 +78,25 @@ class PsAgent {
       const MatrixMeta& meta, const std::vector<uint64_t>& keys);
 
  private:
+  /// Observability sinks of the owning context's cluster (globals when
+  /// the context was built without one, which only happens in tests).
+  Metrics& metrics() const {
+    return ctx_->cluster() != nullptr ? ctx_->cluster()->metrics()
+                                      : Metrics::Global();
+  }
+  Tracer& tracer() const {
+    return ctx_->cluster() != nullptr ? ctx_->cluster()->tracer()
+                                      : Tracer::Global();
+  }
+  /// Executor-clock reading bracketing an end-to-end agent operation:
+  /// CallParallel advances the caller clock to the slowest call's
+  /// completion, so Now - t0 is the simulated round-trip latency.
+  int64_t NowTicks() const {
+    return ctx_->cluster() != nullptr
+               ? ctx_->cluster()->clock().NowTicks(node_)
+               : 0;
+  }
+
   Result<std::vector<uint8_t>> Call(int32_t server,
                                     const std::string& method,
                                     const ByteBuffer& req);

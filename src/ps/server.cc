@@ -145,6 +145,12 @@ Result<MatrixShard*> PsServer::GetShard(MatrixId id) {
 
 Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
                           std::vector<float>* out) {
+  // Service-time bracket: the shard's clock only moves for this
+  // request while we hold its endpoint's serial lock (or run
+  // single-threaded), so the delta is exactly this pull's busy time.
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.pull", node_, t0,
+                  [this] { return NowTicks(); });
   PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
   const uint32_t cols = shard->slice_cols;
   ChargeCompute(keys.size() * cols / 8 + keys.size());
@@ -163,12 +169,18 @@ Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
     }
     dst += cols;
   }
-  Metrics::Global().Add("ps.rows_pulled", keys.size());
+  metrics().Add("ps.rows_pulled", keys.size());
+  metrics().Observe("ps.pull.keys_per_request", keys.size());
+  metrics().Observe("ps.pull.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   return Status::OK();
 }
 
 Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
                          const std::vector<float>& values) {
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.push_add", node_, t0,
+                  [this] { return NowTicks(); });
   PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
   if (values.size() != keys.size() * shard->slice_cols) {
     return Status::InvalidArgument(
@@ -197,12 +209,18 @@ Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
     float* dst = it->second.data();
     for (uint32_t c = 0; c < cols; ++c) dst[c] += src[c];
   }
-  Metrics::Global().Add("ps.rows_pushed", keys.size());
+  metrics().Add("ps.rows_pushed", keys.size());
+  metrics().Observe("ps.push.keys_per_request", keys.size());
+  metrics().Observe("ps.push.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   return Status::OK();
 }
 
 Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
                             const std::vector<float>& values) {
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.push_assign", node_, t0,
+                  [this] { return NowTicks(); });
   PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
   if (values.size() != keys.size() * shard->slice_cols) {
     return Status::InvalidArgument("push_assign: bad values size");
@@ -225,7 +243,10 @@ Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
     }
     std::memcpy(it->second.data(), src, size_t{cols} * sizeof(float));
   }
-  Metrics::Global().Add("ps.rows_pushed", keys.size());
+  metrics().Add("ps.rows_pushed", keys.size());
+  metrics().Observe("ps.push.keys_per_request", keys.size());
+  metrics().Observe("ps.push.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   return Status::OK();
 }
 
@@ -264,13 +285,16 @@ Status PsServer::PushNeighbors(MatrixId id,
     }
   }
   ChargeCompute(keys.size());
-  Metrics::Global().Add("ps.neighbor_entries_pushed", keys.size());
+  metrics().Add("ps.neighbor_entries_pushed", keys.size());
   return Status::OK();
 }
 
 Status PsServer::PullNeighbors(MatrixId id,
                                const std::vector<uint64_t>& keys,
                                std::vector<NeighborEntry>* out) {
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.pull_nbrs", node_, t0,
+                  [this] { return NowTicks(); });
   PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
   ChargeCompute(keys.size());
   out->reserve(out->size() + keys.size());
@@ -311,7 +335,9 @@ Status PsServer::PullNeighbors(MatrixId id,
       }
     }
   }
-  Metrics::Global().Add("ps.neighbor_entries_pulled", keys.size());
+  metrics().Add("ps.neighbor_entries_pulled", keys.size());
+  metrics().Observe("ps.pull_nbrs.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
   return Status::OK();
 }
 
@@ -363,8 +389,14 @@ Status PsServer::FreezeNeighbors(MatrixId id) {
 Result<ByteBuffer> PsServer::CallFunc(const std::string& name,
                                       const std::vector<uint8_t>& args) {
   PSG_ASSIGN_OR_RETURN(PsFunc fn, PsFuncRegistry::Global().Find(name));
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.func." + name, node_, t0,
+                  [this] { return NowTicks(); });
   ByteReader reader(args.data(), args.size());
-  return fn(*this, reader);
+  auto result = fn(*this, reader);
+  metrics().Observe("ps.func.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  return result;
 }
 
 Status PsServer::Checkpoint(const std::string& prefix) {
@@ -395,7 +427,7 @@ Status PsServer::Checkpoint(const std::string& prefix) {
       buf.WriteVector(shard.csr->weights);
     }
   }
-  Metrics::Global().Add("ps.checkpoint_bytes", buf.size());
+  metrics().Add("ps.checkpoint_bytes", buf.size());
   return hdfs_->Write(prefix + "/server_" + std::to_string(server_index_),
                       buf, node_);
 }

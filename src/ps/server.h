@@ -158,6 +158,21 @@ class PsServer {
   void ChargeCompute(uint64_t ops);
   static uint64_t EntryBytes(const NeighborEntry& e);
 
+  /// Observability sinks: the cluster's per-context registries, or the
+  /// process-wide ones when this server runs without a cluster (tests).
+  Metrics& metrics() const {
+    return cluster_ != nullptr ? cluster_->metrics() : Metrics::Global();
+  }
+  Tracer& tracer() const {
+    return cluster_ != nullptr ? cluster_->tracer() : Tracer::Global();
+  }
+  /// Shard-clock reading for span stamps and service-time brackets; 0
+  /// when there is no cluster (histograms then record 0-tick service,
+  /// which still counts requests).
+  int64_t NowTicks() const {
+    return cluster_ != nullptr ? cluster_->clock().NowTicks(node_) : 0;
+  }
+
   int32_t server_index_;
   int32_t num_servers_;
   sim::SimCluster* cluster_;

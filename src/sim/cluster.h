@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "sim/cost_model.h"
 #include "sim/memory_accountant.h"
 #include "sim/sim_clock.h"
@@ -67,6 +69,21 @@ class SimCluster {
   MemoryAccountant& memory() { return memory_; }
   const CostModel& cost() const { return cost_; }
 
+  /// Observability sinks every component holding a SimCluster* reports
+  /// into (PS servers, the RPC fabric, the dataflow context). They
+  /// default to the process-wide registries; PsGraphContext installs
+  /// its own instances so concurrent contexts cannot cross-contaminate
+  /// each other's counters (or a bench's run report). Callers keep the
+  /// pointed-to objects alive for the cluster's lifetime.
+  Metrics& metrics() { return *metrics_; }
+  Tracer& tracer() { return *tracer_; }
+  void set_metrics(Metrics* metrics) {
+    metrics_ = metrics != nullptr ? metrics : &Metrics::Global();
+  }
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer != nullptr ? tracer : &Tracer::Global();
+  }
+
   /// Marks a node as failed. Subsequent RPCs to it return Unavailable and
   /// its memory ledger is wiped (the container is gone).
   void KillNode(NodeId node);
@@ -87,6 +104,8 @@ class SimCluster {
   CostModel cost_;
   SimClock clock_;
   MemoryAccountant memory_;
+  Metrics* metrics_ = &Metrics::Global();
+  Tracer* tracer_ = &Tracer::Global();
   mutable std::mutex mu_;
   std::vector<bool> alive_;
   double restart_delay_sec_ = 30.0;

@@ -1,6 +1,7 @@
 #include "sim/report.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace psgraph::sim {
 
@@ -58,6 +59,222 @@ std::string FormatReport(const ClusterReport& report) {
           ? 100.0 * report.servers.max_peak_mem / report.servers.budget
           : 0.0);
   return buf;
+}
+
+RunReport CollectRunReport(const std::string& name, Metrics& metrics,
+                           Tracer& tracer) {
+  RunReport report;
+  report.name = name;
+  report.counters = metrics.Snapshot();
+  report.gauges = metrics.GaugeSnapshot();
+  report.histograms = metrics.HistogramSnapshots();
+  report.spans = tracer.Summary();
+  report.spans_dropped = tracer.dropped();
+  return report;
+}
+
+RunReport CollectRunReport(const std::string& name, SimCluster* cluster) {
+  if (cluster == nullptr) {
+    return CollectRunReport(name, Metrics::Global(), Tracer::Global());
+  }
+  RunReport report =
+      CollectRunReport(name, cluster->metrics(), cluster->tracer());
+  const ClusterConfig& cfg = cluster->config();
+  report.has_cluster = true;
+  report.num_executors = cfg.num_executors;
+  report.num_servers = cfg.num_servers;
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    RunReport::NodeStat stat;
+    stat.node = n;
+    stat.role = cfg.is_executor(n)   ? "executor"
+                : cfg.is_server(n)   ? "server"
+                                     : "driver";
+    stat.busy_ticks = cluster->clock().NowTicks(n);
+    stat.busy_seconds = SimClock::SecondsOf(stat.busy_ticks);
+    report.nodes.push_back(std::move(stat));
+    report.makespan_ticks =
+        std::max(report.makespan_ticks, report.nodes.back().busy_ticks);
+  }
+  report.makespan_seconds = SimClock::SecondsOf(report.makespan_ticks);
+  return report;
+}
+
+namespace {
+
+JsonValue HistogramToJson(const HistogramSnapshot& h) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("count", h.count);
+  obj.Set("sum", h.sum);
+  obj.Set("min", h.min);
+  obj.Set("max", h.max);
+  obj.Set("mean", h.mean());
+  obj.Set("p50", h.Quantile(0.50));
+  obj.Set("p95", h.Quantile(0.95));
+  obj.Set("p99", h.Quantile(0.99));
+  // Sparse [bucket_index, count] pairs: enough to rebuild the full
+  // distribution, without 400 zeros per histogram.
+  JsonValue buckets = JsonValue::Array();
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    JsonValue pair = JsonValue::Array();
+    pair.Append(static_cast<uint64_t>(i));
+    pair.Append(h.buckets[i]);
+    buckets.Append(std::move(pair));
+  }
+  obj.Set("buckets", std::move(buckets));
+  return obj;
+}
+
+}  // namespace
+
+JsonValue RunReportToJson(const RunReport& report) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", kRunReportSchema);
+  doc.Set("schema_version", kRunReportSchemaVersion);
+  doc.Set("name", report.name);
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [k, v] : report.counters) counters.Set(k, v);
+  doc.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [k, v] : report.gauges) gauges.Set(k, v);
+  doc.Set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::Object();
+  for (const auto& [k, v] : report.histograms) {
+    hists.Set(k, HistogramToJson(v));
+  }
+  doc.Set("histograms", std::move(hists));
+
+  JsonValue spans = JsonValue::Object();
+  for (const auto& [k, v] : report.spans) {
+    JsonValue s = JsonValue::Object();
+    s.Set("count", v.count);
+    s.Set("total_ticks", v.total_ticks);
+    s.Set("max_ticks", v.max_ticks);
+    spans.Set(k, std::move(s));
+  }
+  doc.Set("spans", std::move(spans));
+  doc.Set("spans_dropped", report.spans_dropped);
+
+  if (report.has_cluster) {
+    JsonValue cluster = JsonValue::Object();
+    cluster.Set("num_executors", static_cast<int64_t>(report.num_executors));
+    cluster.Set("num_servers", static_cast<int64_t>(report.num_servers));
+    cluster.Set("makespan_ticks", report.makespan_ticks);
+    cluster.Set("makespan_seconds", report.makespan_seconds);
+    JsonValue nodes = JsonValue::Array();
+    for (const auto& n : report.nodes) {
+      JsonValue node = JsonValue::Object();
+      node.Set("node", static_cast<int64_t>(n.node));
+      node.Set("role", n.role);
+      node.Set("busy_ticks", n.busy_ticks);
+      node.Set("busy_seconds", n.busy_seconds);
+      nodes.Append(std::move(node));
+    }
+    cluster.Set("nodes", std::move(nodes));
+    doc.Set("cluster", std::move(cluster));
+  } else {
+    doc.Set("cluster", JsonValue());
+  }
+
+  doc.Set("bench", report.bench);
+  return doc;
+}
+
+namespace {
+
+Status Expect(bool ok, const std::string& what) {
+  if (ok) return Status::OK();
+  return Status::InvalidArgument("run report schema: " + what);
+}
+
+}  // namespace
+
+Status ValidateRunReportJson(const JsonValue& doc) {
+  PSG_RETURN_NOT_OK(Expect(doc.is_object(), "document must be an object"));
+  const JsonValue* schema = doc.Find("schema");
+  PSG_RETURN_NOT_OK(Expect(
+      schema != nullptr && schema->is_string() &&
+          schema->as_string() == kRunReportSchema,
+      std::string("'schema' must be \"") + kRunReportSchema + "\""));
+  const JsonValue* version = doc.Find("schema_version");
+  PSG_RETURN_NOT_OK(Expect(
+      version != nullptr && version->is_number() &&
+          version->as_int() == kRunReportSchemaVersion,
+      "'schema_version' must be " +
+          std::to_string(kRunReportSchemaVersion)));
+  const JsonValue* name = doc.Find("name");
+  PSG_RETURN_NOT_OK(Expect(name != nullptr && name->is_string() &&
+                               !name->as_string().empty(),
+                           "'name' must be a non-empty string"));
+  for (const char* section : {"counters", "gauges", "histograms", "spans"}) {
+    const JsonValue* v = doc.Find(section);
+    PSG_RETURN_NOT_OK(Expect(v != nullptr && v->is_object(),
+                             std::string("'") + section +
+                                 "' must be an object"));
+  }
+  const JsonValue* hists = doc.Find("histograms");
+  for (const auto& [hname, h] : hists->members()) {
+    PSG_RETURN_NOT_OK(
+        Expect(h.is_object(), "histogram '" + hname + "' must be object"));
+    for (const char* field : {"count", "sum", "min", "max", "mean", "p50",
+                              "p95", "p99"}) {
+      const JsonValue* f = h.Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               "histogram '" + hname + "' needs numeric '" +
+                                   field + "'"));
+    }
+    const JsonValue* buckets = h.Find("buckets");
+    PSG_RETURN_NOT_OK(Expect(buckets != nullptr && buckets->is_array(),
+                             "histogram '" + hname + "' needs 'buckets'"));
+  }
+  const JsonValue* cluster = doc.Find("cluster");
+  PSG_RETURN_NOT_OK(
+      Expect(cluster != nullptr, "'cluster' must be present (may be null)"));
+  if (!cluster->is_null()) {
+    PSG_RETURN_NOT_OK(
+        Expect(cluster->is_object(), "'cluster' must be object or null"));
+    for (const char* field :
+         {"num_executors", "num_servers", "makespan_ticks",
+          "makespan_seconds"}) {
+      const JsonValue* f = cluster->Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               std::string("'cluster.") + field +
+                                   "' must be numeric"));
+    }
+    const JsonValue* nodes = cluster->Find("nodes");
+    PSG_RETURN_NOT_OK(Expect(nodes != nullptr && nodes->is_array() &&
+                                 nodes->size() > 0,
+                             "'cluster.nodes' must be a non-empty array"));
+    for (const JsonValue& node : nodes->elements()) {
+      const JsonValue* role = node.Find("role");
+      const JsonValue* busy = node.Find("busy_ticks");
+      PSG_RETURN_NOT_OK(Expect(
+          node.is_object() && role != nullptr && role->is_string() &&
+              busy != nullptr && busy->is_number(),
+          "every cluster node needs 'role' and 'busy_ticks'"));
+    }
+  }
+  const JsonValue* bench = doc.Find("bench");
+  PSG_RETURN_NOT_OK(Expect(bench != nullptr,
+                           "'bench' must be present (bench payload)"));
+  return Status::OK();
+}
+
+Status WriteRunReport(const RunReport& report, const std::string& path) {
+  const std::string text = RunReportToJson(report).Dump(/*indent=*/2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != text.size() || !closed_ok) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
 }
 
 }  // namespace psgraph::sim

@@ -1,13 +1,27 @@
-// Cluster utilization report: per-role simulated busy time and memory
-// peaks. Benches print it to show where a workload's time and memory
-// went (executor compute vs server busy vs memory headroom).
+// Run reports: what a bench (or test) records about one run.
+//
+// Two layers:
+//  * ClusterReport — the original per-role busy-time / memory summary,
+//    still printed as a human-readable block.
+//  * RunReport — the machine-readable superset behind every
+//    BENCH_<name>.json: a versioned schema carrying counters, gauges,
+//    latency histograms (p50/p95/p99/max), span summaries and per-node
+//    simulated clock makespans. scripts/check_bench_regression.py
+//    validates the schema and diffs the simulated quantities against
+//    committed baselines in CI; only sim-derived fields gate (wall
+//    clock varies by host, simulated ticks must not).
 
 #ifndef PSGRAPH_SIM_REPORT_H_
 #define PSGRAPH_SIM_REPORT_H_
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sim/cluster.h"
 
 namespace psgraph::sim {
@@ -31,6 +45,56 @@ ClusterReport CollectReport(const SimCluster& cluster);
 
 /// Renders the report as a short human-readable block.
 std::string FormatReport(const ClusterReport& report);
+
+/// The versioned JSON run-report schema. Version history:
+///   1 — initial: counters/gauges/histograms/spans/cluster/bench.
+inline constexpr const char* kRunReportSchema = "psgraph.run_report";
+inline constexpr int kRunReportSchemaVersion = 1;
+
+struct RunReport {
+  std::string name;  ///< bench/run identifier ("micro", "parallel", ...)
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, Tracer::SpanStats> spans;
+  uint64_t spans_dropped = 0;
+
+  /// Per-node simulated busy time; empty when the run had no cluster
+  /// (the JSON then carries "cluster": null).
+  struct NodeStat {
+    int32_t node = 0;
+    std::string role;  // "executor" | "server" | "driver"
+    int64_t busy_ticks = 0;
+    double busy_seconds = 0.0;
+  };
+  bool has_cluster = false;
+  int32_t num_executors = 0;
+  int32_t num_servers = 0;
+  std::vector<NodeStat> nodes;
+  int64_t makespan_ticks = 0;
+  double makespan_seconds = 0.0;
+
+  /// Free-form bench-specific payload, emitted under "bench".
+  JsonValue bench = JsonValue::Object();
+};
+
+/// Snapshots metrics + tracer (+ per-node clocks when `cluster` is
+/// non-null; metrics/tracer are then taken from the cluster's sinks).
+RunReport CollectRunReport(const std::string& name, SimCluster* cluster);
+RunReport CollectRunReport(const std::string& name, Metrics& metrics,
+                           Tracer& tracer);
+
+/// Schema serialization: Parse(RunReportToJson(r).Dump()) validates.
+JsonValue RunReportToJson(const RunReport& report);
+
+/// Checks that a parsed document is a structurally valid run report
+/// (schema marker + version, and the required sections with the right
+/// shapes). Used by tests and mirrored by the CI regression checker.
+Status ValidateRunReportJson(const JsonValue& doc);
+
+/// Serializes and writes `report` to `path` (pretty-printed).
+Status WriteRunReport(const RunReport& report, const std::string& path);
 
 }  // namespace psgraph::sim
 

@@ -7,7 +7,7 @@ namespace psgraph::storage {
 Status Hdfs::Write(const std::string& path, std::vector<uint8_t> bytes,
                    sim::NodeId node) {
   ChargeIo(node, bytes.size(), /*write=*/true);
-  Metrics::Global().Add("hdfs.bytes_written", bytes.size());
+  metrics().Add("hdfs.bytes_written", bytes.size());
   std::lock_guard<std::mutex> lock(mu_);
   files_[path] = std::move(bytes);
   return Status::OK();
@@ -25,7 +25,7 @@ Result<std::vector<uint8_t>> Hdfs::Read(const std::string& path,
     out = it->second;
   }
   ChargeIo(node, out.size(), /*write=*/false);
-  Metrics::Global().Add("hdfs.bytes_read", out.size());
+  metrics().Add("hdfs.bytes_read", out.size());
   return out;
 }
 

@@ -56,6 +56,11 @@ class Hdfs {
 
  private:
   void ChargeIo(sim::NodeId node, uint64_t bytes, bool write);
+  /// Counter sink: the owning cluster's metrics, or the process-wide
+  /// registry for clusterless test instances.
+  Metrics& metrics() const {
+    return cluster_ != nullptr ? cluster_->metrics() : Metrics::Global();
+  }
 
   sim::SimCluster* cluster_;
   mutable std::mutex mu_;

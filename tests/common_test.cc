@@ -219,6 +219,127 @@ TEST(MetricsTest, AddAndSnapshot) {
   EXPECT_EQ(m.Get("a"), 0u);
 }
 
+TEST(MetricsTest, GaugesHoldLastSetValue) {
+  Metrics m;
+  EXPECT_EQ(m.GetGauge("p"), 0.0);
+  m.SetGauge("p", 4.0);
+  m.SetGauge("p", 8.0);
+  EXPECT_EQ(m.GetGauge("p"), 8.0);
+  auto snap = m.GaugeSnapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap["p"], 8.0);
+  m.Reset();
+  EXPECT_EQ(m.GetGauge("p"), 0.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesCollapse) {
+  Histogram h;
+  h.Record(1234);
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 1234u);
+  EXPECT_EQ(snap.max, 1234u);
+  // Every quantile of a single sample is that sample (the clamp to
+  // [min, max] guarantees it despite bucket interpolation).
+  EXPECT_EQ(snap.Quantile(0.0), 1234.0);
+  EXPECT_EQ(snap.Quantile(0.5), 1234.0);
+  EXPECT_EQ(snap.Quantile(1.0), 1234.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExactBuckets) {
+  // Values below kSubBuckets get one bucket each.
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketOf(v), v) << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(v), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v + 1);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  for (uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 100ull, 1000ull,
+                     123456789ull, 1ull << 40, (1ull << 63) + 5}) {
+    size_t i = Histogram::BucketOf(v);
+    ASSERT_LT(i, Histogram::kNumBuckets);
+    EXPECT_GE(v, Histogram::BucketLowerBound(i)) << v;
+    EXPECT_LT(v, Histogram::BucketUpperBound(i)) << v;
+  }
+}
+
+TEST(HistogramTest, OverflowBucketCatchesHugeValues) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX - 1);
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.max, UINT64_MAX);
+  // Quantiles stay clamped to observed range even in the last bucket.
+  EXPECT_LE(snap.Quantile(0.99), static_cast<double>(UINT64_MAX));
+  EXPECT_GE(snap.Quantile(0.01),
+            static_cast<double>(UINT64_MAX - 1));
+}
+
+TEST(HistogramTest, QuantilesTrackDistribution) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 1000u);
+  // 1/kSubBuckets = 12.5% relative bucket error; allow a bit more.
+  EXPECT_NEAR(snap.Quantile(0.5), 500.0, 90.0);
+  EXPECT_NEAR(snap.Quantile(0.95), 950.0, 150.0);
+  EXPECT_NEAR(snap.Quantile(0.99), 990.0, 150.0);
+  EXPECT_NEAR(snap.mean(), 500.5, 1e-9);
+}
+
+TEST(HistogramTest, ResetZeroesInPlace) {
+  Metrics m;
+  Histogram& h = m.GetHistogram("x");
+  h.Record(42);
+  m.Reset();
+  // The reference must stay valid and empty after Reset.
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(7);
+  EXPECT_EQ(m.GetHistogram("x").count(), 1u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Metrics m;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      m.Observe("lat", t * kPerThread + i);
+    }
+  });
+  auto snap = m.GetHistogram("lat").Snapshot();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(MetricsTest, HistogramSnapshotsSkipEmpty) {
+  Metrics m;
+  m.GetHistogram("empty");
+  m.Observe("used", 3);
+  auto snaps = m.HistogramSnapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps.count("used"), 1u);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(3);
   std::atomic<int> count{0};

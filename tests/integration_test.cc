@@ -134,14 +134,24 @@ TEST(IntegrationTest, FullPipelineOnSharedContext) {
   EXPECT_EQ(ServerMemoryInUse(ctx), baseline_mem);
 
   // The whole pipeline advanced the simulated clock and produced RPC
-  // traffic and checkpoints.
+  // traffic and checkpoints — counted in the context's own registry, not
+  // the process-wide one (per-context observability isolation).
   EXPECT_GT(ctx.cluster().clock().Makespan(), 0.0);
-  EXPECT_GT(Metrics::Global().Get("rpc.calls"), 0u);
+  EXPECT_GT(ctx.metrics().Get("rpc.calls"), 0u);
+  EXPECT_EQ(Metrics::Global().Get("rpc.calls"), 0u);
+  EXPECT_GT(ctx.metrics().GetHistogram("rpc.service_ticks").count(), 0u);
 
   // The utilization report renders.
   auto report = sim::CollectReport(ctx.cluster());
   EXPECT_GT(report.makespan, 0.0);
   EXPECT_FALSE(sim::FormatReport(report).empty());
+
+  // The machine-readable run report validates against its own schema.
+  sim::RunReport run = sim::CollectRunReport("integration", &ctx.cluster());
+  auto parsed = JsonValue::Parse(sim::RunReportToJson(run).Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Status valid = sim::ValidateRunReportJson(*parsed);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
 }
 
 TEST(IntegrationTest, HdfsHoldsDatasetsAndCheckpoints) {

@@ -1,0 +1,265 @@
+// Observability layer tests: tracer span nesting and capping, JSON
+// round-trips (including int64 tick exactness), run-report schema
+// validation, and per-context metrics isolation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/graph_loader.h"
+#include "core/pagerank.h"
+#include "core/psgraph_context.h"
+#include "graph/generators.h"
+#include "sim/report.h"
+
+namespace psgraph {
+namespace {
+
+TEST(TracerTest, DisabledBeginReturnsZero) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.Begin("op", 0, 10), 0u);
+  t.End(0, 20);  // must be a no-op, not a crash
+  EXPECT_TRUE(t.Snapshot().empty());
+  EXPECT_TRUE(t.Summary().empty());
+}
+
+TEST(TracerTest, SpansNestWithParentLinks) {
+  Tracer t;
+  t.set_enabled(true);
+  uint64_t outer = t.Begin("outer", 1, 100);
+  uint64_t inner = t.Begin("inner", 1, 110);
+  ASSERT_NE(outer, 0u);
+  ASSERT_NE(inner, 0u);
+  t.End(inner, 150);
+  uint64_t sibling = t.Begin("sibling", 1, 160);
+  t.End(sibling, 170);
+  t.End(outer, 200);
+
+  auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Snapshot order is begin order.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, outer);
+  // After inner closed, the innermost open span is outer again.
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent, outer);
+  EXPECT_EQ(spans[0].begin_ticks, 100);
+  EXPECT_EQ(spans[0].end_ticks, 200);
+}
+
+TEST(TracerTest, SummaryAggregatesClosedSpans) {
+  Tracer t;
+  t.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    uint64_t id = t.Begin("op", 0, 0);
+    t.End(id, 10 * (i + 1));
+  }
+  uint64_t open = t.Begin("op", 0, 0);
+  (void)open;  // never ended: must not appear in the summary
+  auto summary = t.Summary();
+  ASSERT_EQ(summary.count("op"), 1u);
+  EXPECT_EQ(summary["op"].count, 3u);
+  EXPECT_EQ(summary["op"].total_ticks, 60);
+  EXPECT_EQ(summary["op"].max_ticks, 30);
+}
+
+TEST(TracerTest, CapsSpansAndCountsDropped) {
+  Tracer t;
+  t.set_enabled(true);
+  for (size_t i = 0; i < Tracer::kMaxSpans + 100; ++i) {
+    uint64_t id = t.Begin("s", 0, 0);
+    t.End(id, 1);
+  }
+  EXPECT_EQ(t.Snapshot().size(), Tracer::kMaxSpans);
+  EXPECT_EQ(t.dropped(), 100u);
+  t.Reset();
+  EXPECT_TRUE(t.Snapshot().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+  uint64_t id = t.Begin("s", 0, 0);
+  EXPECT_NE(id, 0u);  // capacity is available again after Reset
+  t.End(id, 1);
+}
+
+TEST(TracerTest, ScopedSpanRecordsOnlyWhenEnabled) {
+  Tracer t;
+  {
+    ScopedSpan span(&t, "off", 0, 5, [] { return int64_t{9}; });
+  }
+  EXPECT_TRUE(t.Snapshot().empty());
+  t.set_enabled(true);
+  {
+    ScopedSpan span(&t, "on", 2, 5, [] { return int64_t{9}; });
+  }
+  auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "on");
+  EXPECT_EQ(spans[0].node, 2);
+  EXPECT_EQ(spans[0].begin_ticks, 5);
+  EXPECT_EQ(spans[0].end_ticks, 9);
+  {
+    ScopedSpan span(static_cast<Tracer*>(nullptr), "null", 0, 0,
+                    [] { return int64_t{0}; });
+  }
+}
+
+TEST(JsonTest, RoundTripPreservesInt64Exactly) {
+  // Ticks beyond 2^53 lose precision as doubles; the int path must not.
+  const int64_t big = (int64_t{1} << 60) + 12345;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ticks", big);
+  doc.Set("ratio", 0.25);
+  doc.Set("label", "x");
+  doc.Set("flag", true);
+  doc.Set("nothing", JsonValue());
+  auto parsed = JsonValue::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* ticks = parsed->Find("ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_EQ(ticks->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(ticks->as_int(), big);
+  EXPECT_EQ(parsed->Find("ratio")->as_double(), 0.25);
+  EXPECT_EQ(parsed->Find("label")->as_string(), "x");
+  EXPECT_TRUE(parsed->Find("flag")->as_bool());
+  EXPECT_TRUE(parsed->Find("nothing")->is_null());
+}
+
+TEST(JsonTest, ParseRejectsTrailingJunk) {
+  EXPECT_FALSE(JsonValue::Parse("{} extra").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+}
+
+TEST(RunReportTest, CollectFromRegistriesRoundTrips) {
+  Metrics metrics;
+  Tracer tracer;
+  tracer.set_enabled(true);
+  metrics.Add("rpc.calls", 7);
+  metrics.SetGauge("parallelism", 4.0);
+  metrics.Observe("ps.pull.service_ticks", 100);
+  metrics.Observe("ps.pull.service_ticks", 200);
+  uint64_t id = tracer.Begin("ps.pull", 3, 0);
+  tracer.End(id, 42);
+
+  sim::RunReport report = sim::CollectRunReport("unit", metrics, tracer);
+  report.bench.Set("note", "hello");
+  EXPECT_FALSE(report.has_cluster);
+  EXPECT_EQ(report.counters["rpc.calls"], 7u);
+  EXPECT_EQ(report.histograms["ps.pull.service_ticks"].count, 2u);
+  EXPECT_EQ(report.spans["ps.pull"].count, 1u);
+
+  JsonValue doc = sim::RunReportToJson(report);
+  auto parsed = JsonValue::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Status valid = sim::ValidateRunReportJson(*parsed);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // No cluster: the schema wants an explicit null, not a missing key.
+  const JsonValue* cluster = parsed->Find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_TRUE(cluster->is_null());
+  const JsonValue* hist =
+      parsed->Find("histograms")->Find("ps.pull.service_ticks");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->as_int(), 2);
+  EXPECT_EQ(parsed->Find("bench")->Find("note")->as_string(), "hello");
+}
+
+TEST(RunReportTest, ValidatorRejectsBrokenDocuments) {
+  Metrics metrics;
+  Tracer tracer;
+  metrics.Observe("h", 1);
+  sim::RunReport report = sim::CollectRunReport("unit", metrics, tracer);
+  JsonValue good = sim::RunReportToJson(report);
+  ASSERT_TRUE(sim::ValidateRunReportJson(good).ok());
+
+  {
+    JsonValue bad = good;
+    bad.Set("schema", "something.else");
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
+  {
+    JsonValue bad = good;
+    bad.Set("schema_version", 999);
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
+  {
+    JsonValue bad = good;
+    bad.Set("histograms", JsonValue::Array());
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
+  EXPECT_FALSE(sim::ValidateRunReportJson(JsonValue(3)).ok());
+  EXPECT_FALSE(sim::ValidateRunReportJson(JsonValue::Object()).ok());
+}
+
+TEST(RunReportTest, CollectFromClusterAddsNodeStats) {
+  core::PsGraphContext::Options opts;
+  opts.cluster.num_executors = 2;
+  opts.cluster.num_servers = 1;
+  opts.cluster.executor_mem_bytes = 64ull << 20;
+  opts.cluster.server_mem_bytes = 64ull << 20;
+  auto ctx = core::PsGraphContext::Create(opts);
+  ASSERT_TRUE(ctx.ok());
+  graph::EdgeList edges = graph::GenerateErdosRenyi(200, 1000, 17);
+  auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/edges.bin");
+  ASSERT_TRUE(ds.ok());
+
+  sim::RunReport report =
+      sim::CollectRunReport("cluster_unit", &(*ctx)->cluster());
+  ASSERT_TRUE(report.has_cluster);
+  EXPECT_EQ(report.num_executors, 2);
+  EXPECT_EQ(report.num_servers, 1);
+  ASSERT_EQ(report.nodes.size(), 4u);  // 2 exec + 1 server + driver
+  EXPECT_EQ(report.nodes[0].role, "executor");
+  EXPECT_EQ(report.nodes[2].role, "server");
+  EXPECT_EQ(report.nodes[3].role, "driver");
+  EXPECT_GT(report.makespan_ticks, 0);
+  int64_t max_busy = 0;
+  for (const auto& n : report.nodes) {
+    if (n.busy_ticks > max_busy) max_busy = n.busy_ticks;
+  }
+  EXPECT_EQ(report.makespan_ticks, max_busy);
+
+  auto parsed = JsonValue::Parse(sim::RunReportToJson(report).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(sim::ValidateRunReportJson(*parsed).ok());
+}
+
+TEST(ContextMetricsTest, TwoContextsDoNotCrossContaminate) {
+  auto make = [] {
+    core::PsGraphContext::Options opts;
+    opts.cluster.num_executors = 2;
+    opts.cluster.num_servers = 1;
+    opts.cluster.executor_mem_bytes = 64ull << 20;
+    opts.cluster.server_mem_bytes = 64ull << 20;
+    return core::PsGraphContext::Create(opts);
+  };
+  auto a = make();
+  auto b = make();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const uint64_t global_before = Metrics::Global().Get("rpc.calls");
+
+  graph::EdgeList edges = graph::GenerateErdosRenyi(200, 1000, 19);
+  auto ds = core::StageAndLoadEdges(**a, edges, "obs/iso.bin");
+  ASSERT_TRUE(ds.ok());
+  core::PageRankOptions po;
+  po.max_iterations = 2;
+  ASSERT_TRUE(core::PageRank(**a, *ds, 0, po).status().ok());
+
+  EXPECT_GT((*a)->metrics().Get("rpc.calls"), 0u);
+  EXPECT_GT((*a)->metrics().GetHistogram("ps.pull.service_ticks").count(),
+            0u);
+  EXPECT_EQ((*b)->metrics().Get("rpc.calls"), 0u);
+  // Traffic on a context's cluster never lands in the global registry.
+  EXPECT_EQ(Metrics::Global().Get("rpc.calls"), global_before);
+}
+
+}  // namespace
+}  // namespace psgraph
