@@ -56,7 +56,7 @@ void RunOne(const graph::EdgeList& edges, double prune, const char* label,
   cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
   cell.Set("final_delta_l1", result->final_delta_l1);
   report->Set(cell_key, std::move(cell));
-  report->Capture(&(*ctx)->cluster());
+  report->Capture(&(*ctx)->cluster(), cell_key);
 }
 
 void Run() {

@@ -61,7 +61,7 @@ void RunOne(const graph::EdgeList& edges, graph::PartitionStrategy strat,
   cell.Set("ps_traffic_bytes", ps_bytes);
   cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
   report->Set(cell_key, std::move(cell));
-  report->Capture(&(*ctx)->cluster());
+  report->Capture(&(*ctx)->cluster(), cell_key);
 }
 
 void Run() {

@@ -53,7 +53,7 @@ void RunOne(const graph::EdgeList& edges, bool psfunc, int dim,
   cell.Set("sim_seconds", (*ctx)->cluster().clock().Makespan());
   cell.Set("final_avg_loss", result->final_avg_loss);
   report->Set(psfunc ? "psfunc_dot" : "pull_vectors", std::move(cell));
-  report->Capture(&(*ctx)->cluster());
+  report->Capture(&(*ctx)->cluster(), psfunc ? "psfunc_dot" : "pull_vectors");
 }
 
 void Run() {

@@ -93,7 +93,7 @@ void RunOne(ps::PartitionScheme scheme, const char* label,
   cell.Set("rows_per_server_max", max_rows);
   cell.Set("hot_range_sim_seconds", hot_time);
   report->Set(cell_key, std::move(cell));
-  report->Capture(&cluster);
+  report->Capture(&cluster, cell_key);
 }
 
 void Run() {

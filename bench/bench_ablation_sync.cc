@@ -78,7 +78,7 @@ void RunOne(const graph::EdgeList& edges, ps::SyncProtocol sync,
   cell.Set("executor_spread",
            slowest > 0 ? (slowest - fastest) / slowest : 0.0);
   report->Set(cell_key, std::move(cell));
-  report->Capture(&(*ctx)->cluster());
+  report->Capture(&(*ctx)->cluster(), cell_key);
 }
 
 void Run() {

@@ -59,8 +59,12 @@ sim::ClusterConfig MakeCluster(const Geometry& g, double scale) {
 }
 
 /// Runs a PSGraph algorithm inside a fresh context; reports OOM cleanly.
+/// Captures the context's flight-recorder state into `report` under
+/// `cell_key` before teardown (the table cells are the "bench" payload;
+/// skew + convergence come from the last PSGraph cell captured).
 CellResult RunPsgraph(
-    const Geometry& geo, double scale, const EdgeList& edges,
+    BenchReport* report, const std::string& cell_key, const Geometry& geo,
+    double scale, const EdgeList& edges,
     const std::function<Status(core::PsGraphContext&,
                                dataflow::Dataset<Edge>&)>& body) {
   CellResult cell;
@@ -81,6 +85,9 @@ CellResult RunPsgraph(
     PSG_CHECK_OK(st);
     cell.detail =
         "peak=" + FormatBytes((double)(*ctx)->cluster().memory().MaxPeak());
+  }
+  if (report != nullptr) {
+    report->Capture(&(*ctx)->cluster(), cell_key);
   }
   return cell;
 }
@@ -149,9 +156,10 @@ void Run() {
               (unsigned long long)graph::NumVerticesOf(e2), e2.size(),
               (unsigned long long)ds2_denom);
 
-  // Every table cell goes both to stdout and to the run report. The
-  // contexts live inside RunPsgraph/RunGraphx, so the report carries no
-  // cluster section — just the table itself.
+  // Every table cell goes both to stdout and to the run report. Each
+  // PSGraph cell also captures its context's flight-recorder state
+  // (convergence series keyed by cell; the cluster/skew sections come
+  // from the last cell captured).
   BenchReport report("fig6_traditional");
   JsonValue rows = JsonValue::Array();
   auto Row = [&](const char* system, const char* workload,
@@ -164,7 +172,8 @@ void Run() {
 
   // ---- PageRank on DS1 ----
   {
-    auto ps = RunPsgraph(ps_ds1, ds1.paper_scale(), e1,
+    auto ps = RunPsgraph(&report, "pagerank_ds1", ps_ds1,
+                         ds1.paper_scale(), e1,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            core::PageRankOptions o;
                            o.max_iterations = pr_iters;
@@ -182,7 +191,8 @@ void Run() {
 
   // ---- PageRank on DS2 ----
   {
-    auto ps = RunPsgraph(ps_ds2, ds2.paper_scale(), e2,
+    auto ps = RunPsgraph(&report, "pagerank_ds2", ps_ds2,
+                         ds2.paper_scale(), e2,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            core::PageRankOptions o;
                            o.max_iterations = pr_iters;
@@ -203,7 +213,8 @@ void Run() {
   // quarter of the edges as candidate pairs.
   const double cn_fraction = 0.25;
   {
-    auto ps = RunPsgraph(ps_ds1, ds1.paper_scale(), e1,
+    auto ps = RunPsgraph(&report, "common_neighbor_ds1", ps_ds1,
+                         ds1.paper_scale(), e1,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            core::CommonNeighborOptions o;
                            o.pair_fraction = cn_fraction;
@@ -223,7 +234,8 @@ void Run() {
 
   // ---- Common neighbor on DS2 ----
   {
-    auto ps = RunPsgraph(ps_ds2, ds2.paper_scale(), e2,
+    auto ps = RunPsgraph(&report, "common_neighbor_ds2", ps_ds2,
+                         ds2.paper_scale(), e2,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            core::CommonNeighborOptions o;
                            o.pair_fraction = cn_fraction;
@@ -247,7 +259,8 @@ void Run() {
     core::FastUnfoldingOptions fo;
     fo.max_passes = 2;
     fo.opt_iterations = 3;
-    auto ps = RunPsgraph(ps_ds1, ds1.paper_scale(), sym,
+    auto ps = RunPsgraph(&report, "fast_unfolding_ds1", ps_ds1,
+                         ds1.paper_scale(), sym,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            return FastUnfolding(ctx, ds, fo).status();
                          });
@@ -267,7 +280,8 @@ void Run() {
   // ---- K-core on DS1 (k-core subgraph by peeling) ----
   {
     const uint32_t k = static_cast<uint32_t>(EnvU64("PSG_KCORE_K", 8));
-    auto ps = RunPsgraph(ps_ds1, ds1.paper_scale(), e1,
+    auto ps = RunPsgraph(&report, "kcore_ds1", ps_ds1,
+                         ds1.paper_scale(), e1,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            return KCoreSubgraph(ctx, ds, 0, k).status();
                          });
@@ -281,7 +295,8 @@ void Run() {
 
   // ---- Triangle count on DS1 ----
   {
-    auto ps = RunPsgraph(ps_ds1, ds1.paper_scale(), e1,
+    auto ps = RunPsgraph(&report, "triangle_count_ds1", ps_ds1,
+                         ds1.paper_scale(), e1,
                          [&](core::PsGraphContext& ctx, auto& ds) {
                            return TriangleCount(ctx, ds).status();
                          });

@@ -17,8 +17,12 @@ namespace psgraph::bench {
 namespace {
 
 /// Simulated makespan of a fresh run with `iterations` PageRank rounds.
+/// When `report`/`cell_key` are given, captures the run's
+/// flight-recorder state before teardown.
 double MeasureRun(const graph::EdgeList& edges, int32_t executors,
-                  int32_t servers, int iterations) {
+                  int32_t servers, int iterations,
+                  BenchReport* report = nullptr,
+                  const std::string& cell_key = "") {
   core::PsGraphContext::Options opts;
   opts.cluster.num_executors = executors;
   opts.cluster.num_servers = servers;
@@ -31,18 +35,22 @@ double MeasureRun(const graph::EdgeList& edges, int32_t executors,
   core::PageRankOptions po;
   po.max_iterations = iterations;
   PSG_CHECK_OK(core::PageRank(**ctx, *ds, 0, po).status());
+  if (report != nullptr) {
+    report->Capture(&(*ctx)->cluster(), cell_key);
+  }
   return (*ctx)->cluster().clock().Makespan();
 }
 
-void RunOne(int32_t executors, int32_t servers, uint64_t denom,
-            double* base_iter, JsonValue* points) {
+void RunOne(BenchReport* report, int32_t executors, int32_t servers,
+            uint64_t denom, double* base_iter, JsonValue* points) {
   // Graph size proportional to the cluster: constant work per executor.
   graph::DatasetInfo info = graph::Ds1MiniInfo(denom * 100 / executors);
   graph::EdgeList edges = graph::MakeDs1Mini(info);
   // Steady-state per-iteration cost, isolated from the one-time load +
   // groupBy via an iteration-count delta.
+  const std::string cell_key = "e" + std::to_string(executors);
   double t5 = MeasureRun(edges, executors, servers, 5);
-  double t15 = MeasureRun(edges, executors, servers, 15);
+  double t15 = MeasureRun(edges, executors, servers, 15, report, cell_key);
   double per_iter = (t15 - t5) / 10.0;
   if (*base_iter == 0.0) *base_iter = per_iter;
   std::printf("%4d executors + %3d servers, |E|=%7zu: per-iteration "
@@ -67,10 +75,10 @@ void Run() {
   double base = 0.0;
   BenchReport report("scaling");
   JsonValue points = JsonValue::Array();
-  RunOne(25, 5, denom, &base, &points);
-  RunOne(50, 10, denom, &base, &points);
-  RunOne(100, 20, denom, &base, &points);
-  RunOne(200, 40, denom, &base, &points);
+  RunOne(&report, 25, 5, denom, &base, &points);
+  RunOne(&report, 50, 10, denom, &base, &points);
+  RunOne(&report, 100, 20, denom, &base, &points);
+  RunOne(&report, 200, 40, denom, &base, &points);
   report.Set("points", std::move(points));
   report.Write();
 }

@@ -62,7 +62,7 @@ void Run() {
         FormatDuration(out.sim_seconds * scale).c_str(), out.stats.rounds,
         (unsigned long long)out.stats.pairs,
         (unsigned long long)out.stats.total_common);
-    report.Capture(&(*ctx)->cluster());
+    report.Capture(&(*ctx)->cluster(), label);
     return out;
   };
 

@@ -14,7 +14,9 @@
 #include <cstdlib>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "common/trace_export.h"
 #include "sim/report.h"
 
 namespace psgraph::bench {
@@ -101,12 +103,30 @@ class BenchReport {
   explicit BenchReport(const std::string& name) { report_.name = name; }
 
   /// Snapshots `cluster`'s observability sinks and clocks into the
-  /// report, replacing any earlier capture. Null collects the
-  /// process-wide registries with no cluster section.
-  void Capture(sim::SimCluster* cluster) {
+  /// report, replacing any earlier capture (except convergence series,
+  /// which accumulate across captures — multi-cell benches tear one
+  /// context down per cell, and `series_prefix` keeps their series
+  /// apart). Null collects the process-wide registries with no cluster
+  /// section.
+  void Capture(sim::SimCluster* cluster,
+               const std::string& series_prefix = "") {
     JsonValue payload = std::move(report_.bench);
     report_ = sim::CollectRunReport(report_.name, cluster);
     report_.bench = std::move(payload);
+    for (auto& [name, series] : report_.convergence) {
+      const std::string key =
+          series_prefix.empty() ? name : series_prefix + "/" + name;
+      convergence_acc_[key] = std::move(series);
+    }
+    report_.convergence = convergence_acc_;
+    // Keep the raw spans of the captured cluster for Write()'s optional
+    // Chrome-trace export (the report itself only carries summaries).
+    if (cluster != nullptr) {
+      trace_spans_ = cluster->tracer().Snapshot();
+      trace_dropped_ = cluster->tracer().dropped();
+      trace_config_ = cluster->config();
+      trace_has_cluster_ = true;
+    }
   }
 
   /// Adds one entry to the bench-specific payload.
@@ -117,19 +137,57 @@ class BenchReport {
   const sim::RunReport& report() const { return report_; }
 
   /// Writes BENCH_<name>.json; prints a warning instead of failing the
-  /// bench when the file cannot be written.
+  /// bench when the file cannot be written. When PSGRAPH_TRACE_OUT is
+  /// set, also exports the last captured cluster's spans as a
+  /// Chrome-trace/Perfetto JSON (open in chrome://tracing or
+  /// ui.perfetto.dev; validate with scripts/trace_summary.py).
   void Write() {
     const std::string path = "BENCH_" + report_.name + ".json";
     Status st = sim::WriteRunReport(report_, path);
     if (!st.ok()) {
       std::fprintf(stderr, "bench report: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("wrote %s\n", path.c_str());
+    }
+    const std::string trace_path = TraceOutPathFromEnv();
+    if (trace_path.empty()) return;
+    TraceExportOptions options;
+    options.spans_dropped = trace_dropped_;
+    if (trace_has_cluster_) {
+      const sim::ClusterConfig config = trace_config_;
+      options.process_name = [config](int32_t node) -> std::string {
+        if (config.is_executor(node)) {
+          return "executor " + std::to_string(node);
+        }
+        if (config.is_server(node)) {
+          return "server " + std::to_string(node - config.num_executors);
+        }
+        if (node == config.driver()) return "driver";
+        return node < 0 ? "(unbound)" : "node " + std::to_string(node);
+      };
+    }
+    if (trace_dropped_ > 0) {
+      std::fprintf(stderr,
+                   "trace export: %llu spans dropped at the cap — raise "
+                   "PSGRAPH_TRACE_MAX_SPANS for a complete timeline\n",
+                   static_cast<unsigned long long>(trace_dropped_));
+    }
+    st = WriteChromeTrace(trace_spans_, options, trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export: %s\n", st.ToString().c_str());
       return;
     }
-    std::printf("wrote %s\n", path.c_str());
+    std::printf("wrote %s (%zu spans)\n", trace_path.c_str(),
+                trace_spans_.size());
   }
 
  private:
   sim::RunReport report_;
+  std::map<std::string, sim::ConvergenceLog::Series> convergence_acc_;
+  std::vector<TraceSpan> trace_spans_;
+  uint64_t trace_dropped_ = 0;
+  sim::ClusterConfig trace_config_;
+  bool trace_has_cluster_ = false;
 };
 
 }  // namespace psgraph::bench

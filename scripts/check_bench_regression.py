@@ -20,12 +20,18 @@ real behaviour change:
   * p50/p95/p99/count of the pull/push latency histograms
     (agent.pull.latency_ticks, agent.push.latency_ticks,
     ps.pull.service_ticks, ps.push.service_ticks)
-  * bench.workloads.*[*].sim_ticks and sim_ticks_identical
-    (BENCH_parallel.json: the determinism contract itself)
+  * every numeric bench-payload leaf whose key ends in ``sim_ticks``
+    or ``sim_seconds`` (tolerance band) or equals ``oom`` /
+    ``sim_ticks_identical`` (exact) — this covers the fig6 table rows,
+    the ablation cells, the scaling sweep and BENCH_parallel's
+    determinism contract uniformly.
 
 Deliberately NOT gated: wall-clock fields (machine-dependent),
 rpc.queue_ticks (queueing order is nondeterministic at parallelism > 1;
-see DESIGN.md "Observability"), and span summaries (trace-gated).
+see DESIGN.md "Observability"), span summaries (trace-gated), and the
+schema_version-2 ``skew``/``convergence`` flight-recorder sections
+(hot-key sketch contents are accumulation-order-dependent at
+parallelism > 1) — those are schema-validated only.
 
 A tolerance band (default 5%) allows intentional cost-model tuning to
 pass while catching order-of-magnitude regressions; exact-match fields
@@ -66,7 +72,7 @@ def validate_schema(report, path, errors):
         return
     if report.get("schema") != "psgraph.run_report":
         err("bad schema marker %r", report.get("schema"))
-    if report.get("schema_version") != 1:
+    if report.get("schema_version") != 2:
         err("unsupported schema_version %r", report.get("schema_version"))
     if not isinstance(report.get("name"), str) or not report.get("name"):
         err("missing name")
@@ -94,6 +100,57 @@ def validate_schema(report, path, errors):
                 err("cluster.nodes missing or empty")
             if not isinstance(cluster.get("makespan_ticks"), int):
                 err("cluster.makespan_ticks missing")
+
+    skew = report.get("skew")
+    if not isinstance(skew, dict):
+        err("missing 'skew' section")
+    else:
+        shards = skew.get("shards")
+        if not isinstance(shards, list):
+            err("skew.shards must be an array")
+        else:
+            for shard in shards:
+                if not isinstance(shard, dict):
+                    err("skew shard is not an object")
+                    continue
+                for field in ("server", "pull_keys", "push_keys",
+                              "load_share", "topk_share"):
+                    if not isinstance(shard.get(field), (int, float)):
+                        err("skew shard missing numeric %r", field)
+                if not isinstance(shard.get("hot_keys"), list):
+                    err("skew shard missing hot_keys array")
+        if not isinstance(skew.get("partitions"), list):
+            err("skew.partitions must be an array")
+        if not isinstance(skew.get("partition_imbalance"), (int, float)):
+            err("skew.partition_imbalance must be numeric")
+
+    convergence = report.get("convergence")
+    if not isinstance(convergence, dict):
+        err("missing 'convergence' section")
+    else:
+        series = convergence.get("series")
+        if not isinstance(series, dict):
+            err("convergence.series must be an object")
+        else:
+            for sname, points in series.items():
+                if not isinstance(points, list):
+                    err("convergence series %r must be an array", sname)
+                    continue
+                last_iter = None
+                for p in points:
+                    if (not isinstance(p, list) or len(p) != 2
+                            or not isinstance(p[0], int)
+                            or not isinstance(p[1], (int, float))):
+                        err("convergence series %r points must be "
+                            "[iteration, value] pairs", sname)
+                        break
+                    if last_iter is not None and p[0] <= last_iter:
+                        err("convergence series %r iterations must "
+                            "increase", sname)
+                        break
+                    last_iter = p[0]
+        if not isinstance(convergence.get("rejected_points"), int):
+            err("convergence.rejected_points must be an integer")
 
 
 def within(baseline, current, tolerance):
@@ -156,22 +213,47 @@ def diff_reports(name, baseline, current, tolerance, errors):
             diff_value("%s: %s.%s" % (name, hist_name, q), b_hist[q],
                        c_hist.get(q), tolerance, errors)
 
-    # Parallel-sweep payload: the determinism contract.
-    b_workloads = baseline.get("bench", {}).get("workloads")
-    if isinstance(b_workloads, dict):
-        c_workloads = current.get("bench", {}).get("workloads", {})
-        for workload, b_sweep in sorted(b_workloads.items()):
-            c_sweep = c_workloads.get(workload, [])
-            for i, b_sample in enumerate(b_sweep):
-                c_sample = c_sweep[i] if i < len(c_sweep) else {}
-                label = "%s: %s[parallelism=%s]" % (
-                    name, workload, b_sample.get("parallelism"))
-                diff_value(label + ".sim_ticks_identical",
-                           b_sample.get("sim_ticks_identical"),
-                           c_sample.get("sim_ticks_identical"),
-                           tolerance, errors, exact=True)
-                diff_value(label + ".sim_ticks", b_sample.get("sim_ticks"),
-                           c_sample.get("sim_ticks"), tolerance, errors)
+    # Bench payload: walk the baseline recursively and gate every
+    # simulated leaf (sim_ticks/sim_seconds with tolerance; oom and
+    # sim_ticks_identical exactly). Wall-clock leaves never gate.
+    diff_bench_payload("%s: bench" % name, baseline.get("bench"),
+                       current.get("bench"), tolerance, errors)
+
+
+EXACT_KEYS = ("oom", "sim_ticks_identical")
+TOLERANT_SUFFIXES = ("sim_ticks", "sim_seconds")
+
+
+def gate_kind(key):
+    """'exact', 'tolerant' or None for one bench-payload key."""
+    if key in EXACT_KEYS:
+        return "exact"
+    if key.endswith(TOLERANT_SUFFIXES):
+        return "tolerant"
+    return None
+
+
+def diff_bench_payload(label, baseline, current, tolerance, errors,
+                       kind=None):
+    if isinstance(baseline, dict):
+        sub = current if isinstance(current, dict) else {}
+        for key, b_val in sorted(baseline.items()):
+            diff_bench_payload("%s.%s" % (label, key), b_val,
+                               sub.get(key), tolerance, errors,
+                               kind or gate_kind(key))
+    elif isinstance(baseline, list):
+        sub = current if isinstance(current, list) else []
+        if kind is not None and len(sub) != len(baseline):
+            fail(errors, "%s: length %d -> %d", label, len(baseline),
+                 len(sub))
+            return
+        for i, b_val in enumerate(baseline):
+            diff_bench_payload("%s[%d]" % (label, i), b_val,
+                               sub[i] if i < len(sub) else None,
+                               tolerance, errors, kind)
+    elif kind is not None and isinstance(baseline, (int, float, bool)):
+        diff_value(label, baseline, current, tolerance, errors,
+                   exact=(kind == "exact" or isinstance(baseline, bool)))
 
 
 def main():
@@ -209,6 +291,20 @@ def main():
         diff_reports(fname, baseline, current, args.tolerance, errors)
         checked += 1
         print("checked %s against %s" % (current_path, baseline_path))
+
+    # Reports without a committed baseline (e.g. the long-running scaling
+    # bench) still get schema-validated so a malformed skew/convergence
+    # section cannot ship silently.
+    if os.path.isdir(args.report_dir):
+        extras = sorted(
+            f for f in os.listdir(args.report_dir)
+            if f.startswith("BENCH_") and f.endswith(".json")
+            and f not in baselines)
+        for fname in extras:
+            path = os.path.join(args.report_dir, fname)
+            with open(path) as f:
+                validate_schema(json.load(f), path, errors)
+            print("validated %s (no baseline)" % path)
 
     if errors:
         print("\n%d regression check failure(s):" % len(errors))

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Summarize / validate a PSGraph Chrome-trace export.
+
+The flight recorder (PSGRAPH_TRACE=1 PSGRAPH_TRACE_OUT=trace.json) emits
+a Chrome Trace Event Format document whose timestamps are simulated
+clock ticks (1 tick = 1 ps). This tool
+
+  * validates the schema (--validate; exits non-zero on violations), and
+  * prints the top spans by total and by self sim-ticks per node.
+
+Usage:
+  python3 scripts/trace_summary.py trace.json
+  python3 scripts/trace_summary.py --validate trace.json
+  python3 scripts/trace_summary.py --top 20 trace.json
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_summary: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc):
+    """Checks the Chrome-trace schema the exporter promises. Returns the
+    list of X events."""
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    if not isinstance(doc, dict):
+        fail("top level must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        err("'otherData' missing")
+    else:
+        if other.get("schema") != "psgraph.trace":
+            err("otherData.schema != 'psgraph.trace'")
+        if other.get("tick_unit") != "ps":
+            err("otherData.tick_unit != 'ps'")
+        dropped = other.get("spans_dropped")
+        if not isinstance(dropped, int) or dropped < 0:
+            err("otherData.spans_dropped must be a non-negative integer")
+        elif dropped > 0:
+            print(
+                f"trace_summary: warning: {dropped} spans were dropped at "
+                "the tracer cap (set PSGRAPH_TRACE_MAX_SPANS higher for a "
+                "complete timeline)",
+                file=sys.stderr,
+            )
+
+    xs = []
+    named_pids = set()
+    span_ids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err(f"{where} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            err(f"{where}: unexpected ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                err(f"{where}: {key} must be an integer")
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            err(f"{where}: name must be a non-empty string")
+        if ph == "M":
+            if ev.get("name") != "process_name":
+                err(f"{where}: metadata event must be process_name")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("name"), str
+            ):
+                err(f"{where}: process_name args.name missing")
+            named_pids.add(ev.get("pid"))
+            continue
+        # ph == "X": a complete event stamped in integer ticks.
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, int):
+                err(f"{where}: {key} must be an integer tick count")
+            elif key == "dur" and v < 0:
+                err(f"{where}: negative dur")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            err(f"{where}: args missing")
+        else:
+            sid = args.get("span_id")
+            if not isinstance(sid, int) or sid <= 0:
+                err(f"{where}: args.span_id must be a positive integer")
+            elif sid in span_ids:
+                err(f"{where}: duplicate span_id {sid}")
+            else:
+                span_ids.add(sid)
+            if not isinstance(args.get("parent"), int):
+                err(f"{where}: args.parent must be an integer")
+            if not isinstance(args.get("node"), int):
+                err(f"{where}: args.node must be an integer")
+        xs.append(ev)
+
+    for ev in xs:
+        if ev.get("pid") not in named_pids:
+            err(f"X event pid {ev.get('pid')} has no process_name metadata")
+            break
+
+    if errors:
+        for e in errors[:20]:
+            print(f"trace_summary: FAIL: {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(
+                f"trace_summary: ... and {len(errors) - 20} more",
+                file=sys.stderr,
+            )
+        sys.exit(1)
+    return xs
+
+
+def summarize(doc, xs, top):
+    # Process (node) display names from the metadata events.
+    pname = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            pname[ev["pid"]] = ev.get("args", {}).get("name", "?")
+
+    # Self ticks = own duration minus time covered by direct children
+    # (same pid/tid, parent == span_id).
+    by_id = {ev["args"]["span_id"]: ev for ev in xs}
+    child_ticks = collections.Counter()
+    for ev in xs:
+        parent = by_id.get(ev["args"]["parent"])
+        if parent is not None:
+            child_ticks[parent["args"]["span_id"]] += ev["dur"]
+
+    per_node = collections.defaultdict(
+        lambda: collections.defaultdict(lambda: [0, 0, 0])
+    )  # node -> name -> [count, total, self]
+    for ev in xs:
+        row = per_node[ev["pid"]][ev["name"]]
+        row[0] += 1
+        row[1] += ev["dur"]
+        row[2] += max(0, ev["dur"] - child_ticks[ev["args"]["span_id"]])
+
+    total_events = len(xs)
+    print(f"{total_events} spans across {len(per_node)} processes")
+    for pid in sorted(per_node):
+        rows = per_node[pid]
+        print(f"\n== {pname.get(pid, f'pid {pid}')} (pid {pid}) ==")
+        print(f"{'span':<40} {'count':>7} {'total ticks':>16} {'self ticks':>16}")
+        ranked = sorted(rows.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        for name, (count, tot, self_t) in ranked[:top]:
+            print(f"{name:<40} {count:>7} {tot:>16} {self_t:>16}")
+        if len(ranked) > top:
+            print(f"... {len(ranked) - top} more span names")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="exported trace JSON path")
+    ap.add_argument(
+        "--validate",
+        action="store_true",
+        help="only validate the schema; print PASS/FAIL",
+    )
+    ap.add_argument(
+        "--top", type=int, default=10, help="span names per node to print"
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+
+    xs = validate(doc)
+    if args.validate:
+        print(f"trace_summary: PASS ({len(xs)} spans)")
+        return
+    summarize(doc, xs, args.top)
+
+
+if __name__ == "__main__":
+    main()

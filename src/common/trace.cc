@@ -30,7 +30,7 @@ uint64_t Tracer::Begin(const std::string& name, int32_t node,
                        int64_t begin_ticks) {
   if (!enabled()) return 0;
   std::unique_lock<std::mutex> lock(mu_);
-  if (spans_.size() >= kMaxSpans) {
+  if (spans_.size() >= max_spans_) {
     lock.unlock();
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return 0;
@@ -85,6 +85,13 @@ void Tracer::Reset() {
   spans_.clear();
   summary_.clear();
   dropped_.store(0, std::memory_order_relaxed);
+}
+
+size_t Tracer::MaxSpansFromEnv() {
+  const char* v = std::getenv("PSGRAPH_TRACE_MAX_SPANS");
+  if (v == nullptr || *v == '\0') return kMaxSpans;
+  const unsigned long long n = std::strtoull(v, nullptr, 10);
+  return n == 0 ? kMaxSpans : static_cast<size_t>(n);
 }
 
 bool Tracer::EnabledByEnv() {

@@ -37,14 +37,24 @@ struct TraceSpan {
 
 class Tracer {
  public:
-  /// Full span detail kept in memory; spans past the cap are dropped
-  /// (counted in dropped()) and excluded from summaries.
+  /// Default cap on full span detail kept in memory; spans past the cap
+  /// are dropped (counted in dropped()) and excluded from summaries.
+  /// Every Tracer initializes its cap from PSGRAPH_TRACE_MAX_SPANS when
+  /// that is set (long multi-iteration runs overflow 64k spans and would
+  /// otherwise silently truncate their exported timeline).
   static constexpr size_t kMaxSpans = 1 << 16;
+
+  Tracer() : max_spans_(MaxSpansFromEnv()) {}
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) {
     enabled_.store(on, std::memory_order_relaxed);
   }
+
+  size_t max_spans() const { return max_spans_; }
+  void set_max_spans(size_t cap) { max_spans_ = cap; }
+  /// PSGRAPH_TRACE_MAX_SPANS, or kMaxSpans when unset/zero/garbage.
+  static size_t MaxSpansFromEnv();
 
   /// Opens a span; returns its id (0 when disabled or at capacity —
   /// End() ignores id 0). The parent is the calling thread's innermost
@@ -77,6 +87,7 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
+  size_t max_spans_;
   std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;

@@ -1,0 +1,162 @@
+#include "common/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace psgraph {
+
+namespace {
+
+std::string DefaultProcessName(int32_t node) {
+  if (node < 0) return "(unbound)";
+  return "node " + std::to_string(node);
+}
+
+/// The topmost ancestor of `span` that still lives on the same node —
+/// the anchor whose track the whole same-node chain inherits. Chains can
+/// cross nodes (a PS handler nested under an executor-side RPC span);
+/// the cross-node link starts a fresh anchor in the callee's process.
+size_t AnchorOf(size_t i, const std::vector<TraceSpan>& spans,
+                const std::unordered_map<uint64_t, size_t>& by_id) {
+  size_t current = i;
+  for (;;) {
+    const TraceSpan& s = spans[current];
+    if (s.parent == 0) return current;
+    auto it = by_id.find(s.parent);
+    if (it == by_id.end()) return current;  // parent span was dropped
+    if (spans[it->second].node != s.node) return current;
+    current = it->second;
+  }
+}
+
+}  // namespace
+
+JsonValue TraceToChromeJson(const std::vector<TraceSpan>& spans,
+                            const TraceExportOptions& options) {
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+
+  // Track assignment: greedy interval packing of the per-node anchor
+  // spans in deterministic order (begin asc, longer first, id asc), then
+  // every span inherits its anchor's track.
+  std::vector<size_t> anchor(spans.size());
+  std::map<int32_t, std::vector<size_t>> anchors_by_node;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    anchor[i] = AnchorOf(i, spans, by_id);
+    if (anchor[i] == i) anchors_by_node[spans[i].node].push_back(i);
+  }
+  std::vector<int64_t> track_of(spans.size(), 0);
+  for (auto& [node, list] : anchors_by_node) {
+    std::sort(list.begin(), list.end(), [&](size_t a, size_t b) {
+      const TraceSpan& sa = spans[a];
+      const TraceSpan& sb = spans[b];
+      if (sa.begin_ticks != sb.begin_ticks) {
+        return sa.begin_ticks < sb.begin_ticks;
+      }
+      if (sa.end_ticks != sb.end_ticks) return sa.end_ticks > sb.end_ticks;
+      return sa.id < sb.id;
+    });
+    std::vector<int64_t> track_end;  // exclusive end tick per track
+    for (size_t idx : list) {
+      size_t track = track_end.size();
+      for (size_t t = 0; t < track_end.size(); ++t) {
+        if (track_end[t] <= spans[idx].begin_ticks) {
+          track = t;
+          break;
+        }
+      }
+      if (track == track_end.size()) track_end.push_back(0);
+      track_end[track] =
+          std::max(spans[idx].end_ticks, spans[idx].begin_ticks);
+      track_of[idx] = static_cast<int64_t>(track);
+    }
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    track_of[i] = track_of[anchor[i]];
+  }
+
+  // Emission order: metadata first, then X events sorted by
+  // (pid, tid, ts, longer-first, id) — fully determined by the span set.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const TraceSpan& sa = spans[a];
+    const TraceSpan& sb = spans[b];
+    if (sa.node != sb.node) return sa.node < sb.node;
+    if (track_of[a] != track_of[b]) return track_of[a] < track_of[b];
+    if (sa.begin_ticks != sb.begin_ticks) {
+      return sa.begin_ticks < sb.begin_ticks;
+    }
+    if (sa.end_ticks != sb.end_ticks) return sa.end_ticks > sb.end_ticks;
+    return sa.id < sb.id;
+  });
+
+  JsonValue events = JsonValue::Array();
+  std::function<std::string(int32_t)> name_of = options.process_name;
+  if (!name_of) name_of = DefaultProcessName;
+  for (const auto& [node, list] : anchors_by_node) {
+    (void)list;
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", "process_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", static_cast<int64_t>(node) + 1);
+    meta.Set("tid", static_cast<int64_t>(0));
+    JsonValue args = JsonValue::Object();
+    args.Set("name", name_of(node));
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  for (size_t i : order) {
+    const TraceSpan& s = spans[i];
+    JsonValue ev = JsonValue::Object();
+    ev.Set("name", s.name);
+    ev.Set("ph", "X");
+    ev.Set("pid", static_cast<int64_t>(s.node) + 1);
+    ev.Set("tid", track_of[i]);
+    ev.Set("ts", s.begin_ticks);
+    ev.Set("dur", std::max<int64_t>(0, s.end_ticks - s.begin_ticks));
+    JsonValue args = JsonValue::Object();
+    args.Set("span_id", s.id);
+    args.Set("parent", s.parent);
+    args.Set("node", static_cast<int64_t>(s.node));
+    ev.Set("args", std::move(args));
+    events.Append(std::move(ev));
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  JsonValue other = JsonValue::Object();
+  other.Set("schema", "psgraph.trace");
+  other.Set("tick_unit", "ps");
+  other.Set("spans_dropped", options.spans_dropped);
+  doc.Set("otherData", std::move(other));
+  return doc;
+}
+
+Status WriteChromeTrace(const std::vector<TraceSpan>& spans,
+                        const TraceExportOptions& options,
+                        const std::string& path) {
+  const std::string text = TraceToChromeJson(spans, options).Dump(2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != text.size() || !closed_ok) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::string TraceOutPathFromEnv() {
+  const char* v = std::getenv("PSGRAPH_TRACE_OUT");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+}  // namespace psgraph

@@ -1,0 +1,60 @@
+// Chrome-trace / Perfetto export of Tracer spans (the flight recorder's
+// timeline format).
+//
+// Any traced run can be opened in chrome://tracing or ui.perfetto.dev:
+// the exporter emits the Trace Event Format's JSON object form — a
+// "traceEvents" array of complete ("X") duration events plus metadata
+// ("M") events naming each process. Simulated nodes map to trace
+// *processes* (pid = node id + 1, so the not-node-bound pid 0 stays
+// distinct) and concurrent span chains on one node map to *tracks*
+// (tid): root spans are packed greedily onto the lowest free track and
+// descendants inherit their root's track, so overlapping work from
+// different worker threads or shards renders on separate rows while
+// nested spans stack naturally.
+//
+// Timestamps are raw simulated ticks (1 tick = 1 ps, see SimClock)
+// written as exact integers into "ts"/"dur" — the export round-trips
+// tick-exactly and is byte-identical across runs whenever the span set
+// is (events are sorted deterministically, never emitted in map or
+// thread-completion order). The viewer displays ticks as microseconds;
+// "otherData.tick_unit" records the real unit.
+
+#ifndef PSGRAPH_COMMON_TRACE_EXPORT_H_
+#define PSGRAPH_COMMON_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace psgraph {
+
+struct TraceExportOptions {
+  /// Names the trace process of a node (e.g. "executor 3", "server 1").
+  /// Defaults to "node <id>" ("(unbound)" for node -1).
+  std::function<std::string(int32_t node)> process_name;
+  /// Carried into otherData.spans_dropped so tooling can warn that the
+  /// timeline is truncated (Tracer hit its span cap).
+  uint64_t spans_dropped = 0;
+};
+
+/// Builds the Chrome-trace JSON document for `spans`.
+JsonValue TraceToChromeJson(const std::vector<TraceSpan>& spans,
+                            const TraceExportOptions& options = {});
+
+/// Serializes TraceToChromeJson(spans) to `path` (pretty-printed).
+Status WriteChromeTrace(const std::vector<TraceSpan>& spans,
+                        const TraceExportOptions& options,
+                        const std::string& path);
+
+/// The PSGRAPH_TRACE_OUT environment knob: the export path, or "" when
+/// unset (no export requested).
+std::string TraceOutPathFromEnv();
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_TRACE_EXPORT_H_

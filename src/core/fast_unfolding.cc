@@ -233,6 +233,7 @@ Result<FastUnfoldingResult> FastUnfolding(
     result.modularity = q;
     result.num_communities = coms.size();
     result.passes = pass + 1;
+    ctx.convergence().Record("fast_unfolding.modularity", pass, q);
 
     PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".vertex2com"));
     PSG_RETURN_NOT_OK(ctx.ps().DropMatrix(job + ".com2weight"));

@@ -347,6 +347,8 @@ Result<GraphSageResult> GraphSage(PsGraphContext& ctx,
     result.epochs = epoch + 1;
     result.final_train_loss =
         batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+    ctx.convergence().Record("graphsage.train_loss", epoch,
+                             result.final_train_loss);
     result.epoch_sim_seconds.push_back(ctx.cluster().clock().Makespan() -
                                        epoch_start);
   }

@@ -94,6 +94,9 @@ Result<KCoreResult> KCore(PsGraphContext& ctx,
     }
     ctx.sync().IterationBarrier();
     PSG_RETURN_NOT_OK(ctx.MaybeCheckpoint(iter));
+    // H-index frontier: how many estimates still moved this sweep.
+    ctx.convergence().Record("kcore.changed", iter,
+                             static_cast<double>(changed));
     result.iterations = iter + 1;
     if (changed == 0) break;
   }
@@ -197,6 +200,9 @@ Result<KCoreSubgraphResult> KCoreSubgraph(
     }
     ctx.sync().IterationBarrier();
     PSG_RETURN_NOT_OK(ctx.MaybeCheckpoint(round));
+    // Peeling frontier: vertices removed this round.
+    ctx.convergence().Record("kcore_subgraph.removed", round,
+                             static_cast<double>(removed));
     result.rounds = round + 1;
     if (removed == 0) break;
   }

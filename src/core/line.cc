@@ -112,6 +112,7 @@ Result<LineResult> Line(PsGraphContext& ctx,
     result.epochs = epoch + 1;
     result.final_avg_loss =
         loss_count == 0 ? 0.0 : loss_sum / static_cast<double>(loss_count);
+    ctx.convergence().Record("line.loss", epoch, result.final_avg_loss);
   }
 
   PSG_ASSIGN_OR_RETURN(result.embeddings,

@@ -105,6 +105,10 @@ Result<PageRankResult> PageRank(PsGraphContext& ctx,
     if (recovery.servers_restarted > 0 &&
         opts.recovery == ps::RecoveryMode::kConsistent) {
       iter = last_checkpoint_iter + 1;
+      // The model rolled back, so the telemetry rolls back with it: the
+      // redone iterations re-record their points.
+      ctx.convergence().Rewind("pagerank.delta_l1", iter);
+      ctx.convergence().Rewind("pagerank.active_updates", iter);
       PSG_LOG(Info) << "pagerank: rolled back to iteration " << iter
                     << " after PS recovery";
     }
@@ -152,6 +156,14 @@ Result<PageRankResult> PageRank(PsGraphContext& ctx,
     PSG_ASSIGN_OR_RETURN(
         double l1, driver_agent.CallFuncSum("pagerank.advance", args));
     result.final_delta_l1 = l1;
+
+    // Per-iteration telemetry: residual mass and how many destinations
+    // received a contribution this sweep (the delta-active set).
+    uint64_t active = 0;
+    for (const auto& u : updates) active += u.size();
+    ctx.convergence().Record("pagerank.delta_l1", iter, l1);
+    ctx.convergence().Record("pagerank.active_updates", iter,
+                             static_cast<double>(active));
 
     // Phase 3: push the new contributions into the delta vector; one
     // concurrent task per executor (index == executor id).

@@ -13,6 +13,8 @@ Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
   ctx->tracer_.set_enabled(Tracer::EnabledByEnv());
   ctx->cluster_->set_metrics(&ctx->metrics_);
   ctx->cluster_->set_tracer(&ctx->tracer_);
+  ctx->cluster_->set_skew(&ctx->skew_);
+  ctx->cluster_->set_convergence(&ctx->convergence_);
   ctx->hdfs_ = std::make_unique<storage::Hdfs>(ctx->cluster_.get());
   ctx->fabric_ = std::make_unique<net::RpcFabric>(ctx->cluster_.get());
   ctx->dataflow_ =

@@ -57,6 +57,11 @@ class PsGraphContext {
   /// globals — cannot contaminate each other's counters or run reports.
   Metrics& metrics() { return metrics_; }
   Tracer& tracer() { return tracer_; }
+  /// Flight-recorder sinks: PS key-access / partition-imbalance profile
+  /// and per-iteration algorithm telemetry (same per-context isolation
+  /// as metrics()/tracer()).
+  sim::SkewProfiler& skew() { return skew_; }
+  sim::ConvergenceLog& convergence() { return convergence_; }
   storage::Hdfs& hdfs() { return *hdfs_; }
   net::RpcFabric& fabric() { return *fabric_; }
   dataflow::DataflowContext& dataflow() { return *dataflow_; }
@@ -94,13 +99,17 @@ class PsGraphContext {
   Status MaybeCheckpoint(int64_t iteration);
 
  private:
-  explicit PsGraphContext(Options options) : options_(std::move(options)) {}
+  explicit PsGraphContext(Options options)
+      : options_(std::move(options)),
+        skew_(options_.cluster.num_servers) {}
 
   Options options_;
   // Declared before cluster_ (and destroyed after it): the cluster holds
   // raw pointers to these sinks for its whole lifetime.
   Metrics metrics_;
   Tracer tracer_;
+  sim::SkewProfiler skew_;
+  sim::ConvergenceLog convergence_;
   std::unique_ptr<sim::SimCluster> cluster_;
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<net::RpcFabric> fabric_;

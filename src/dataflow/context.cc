@@ -53,22 +53,25 @@ uint64_t ShuffleService::TotalBytes() const {
 
 void DataflowContext::ChargeCompute(int32_t partition, uint64_t ops) {
   if (!cluster_) return;
-  cluster_->clock().Advance(ExecutorOf(partition),
-                            cluster_->cost().ComputeTime(ops));
+  const double t = cluster_->cost().ComputeTime(ops);
+  cluster_->clock().Advance(ExecutorOf(partition), t);
+  cluster_->skew().RecordPartitionTicks(partition, sim::SimClock::TicksOf(t));
 }
 
 void DataflowContext::ChargeDiskWrite(int32_t partition, uint64_t bytes) {
   if (!cluster_) return;
   metrics().Add("dataflow.shuffle_bytes_written", bytes);
-  cluster_->clock().Advance(ExecutorOf(partition),
-                            cluster_->cost().DiskWriteTime(bytes));
+  const double t = cluster_->cost().DiskWriteTime(bytes);
+  cluster_->clock().Advance(ExecutorOf(partition), t);
+  cluster_->skew().RecordPartitionTicks(partition, sim::SimClock::TicksOf(t));
 }
 
 void DataflowContext::ChargeDiskRead(int32_t partition, uint64_t bytes) {
   if (!cluster_) return;
   metrics().Add("dataflow.shuffle_bytes_read", bytes);
-  cluster_->clock().Advance(ExecutorOf(partition),
-                            cluster_->cost().DiskReadTime(bytes));
+  const double t = cluster_->cost().DiskReadTime(bytes);
+  cluster_->clock().Advance(ExecutorOf(partition), t);
+  cluster_->skew().RecordPartitionTicks(partition, sim::SimClock::TicksOf(t));
 }
 
 void DataflowContext::ChargeTransfer(int32_t from_part, int32_t to_part,
@@ -81,6 +84,7 @@ void DataflowContext::ChargeTransfer(int32_t from_part, int32_t to_part,
   double t = cluster_->cost().NetworkTime(bytes);
   cluster_->clock().Advance(from, t);
   cluster_->clock().AdvanceTo(to, cluster_->clock().Now(from));
+  cluster_->skew().RecordPartitionTicks(from_part, sim::SimClock::TicksOf(t));
 }
 
 Status DataflowContext::AllocatePartitionMemory(int32_t partition,

@@ -169,6 +169,7 @@ Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
     }
     dst += cols;
   }
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/true, keys);
   metrics().Add("ps.rows_pulled", keys.size());
   metrics().Observe("ps.pull.keys_per_request", keys.size());
   metrics().Observe("ps.pull.service_ticks",
@@ -209,6 +210,7 @@ Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
     float* dst = it->second.data();
     for (uint32_t c = 0; c < cols; ++c) dst[c] += src[c];
   }
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
   metrics().Add("ps.rows_pushed", keys.size());
   metrics().Observe("ps.push.keys_per_request", keys.size());
   metrics().Observe("ps.push.service_ticks",
@@ -243,6 +245,7 @@ Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
     }
     std::memcpy(it->second.data(), src, size_t{cols} * sizeof(float));
   }
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
   metrics().Add("ps.rows_pushed", keys.size());
   metrics().Observe("ps.push.keys_per_request", keys.size());
   metrics().Observe("ps.push.service_ticks",
@@ -335,6 +338,7 @@ Status PsServer::PullNeighbors(MatrixId id,
       }
     }
   }
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/true, keys);
   metrics().Add("ps.neighbor_entries_pulled", keys.size());
   metrics().Observe("ps.pull_nbrs.service_ticks",
                     static_cast<uint64_t>(NowTicks() - t0));

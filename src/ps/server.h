@@ -166,6 +166,13 @@ class PsServer {
   Tracer& tracer() const {
     return cluster_ != nullptr ? cluster_->tracer() : Tracer::Global();
   }
+  /// Key-access profile of this shard (flight recorder). Totals are two
+  /// relaxed atomic adds per request; the hot-key sketch only runs when
+  /// key profiling is enabled (PSGRAPH_PROFILE_KEYS=1).
+  sim::SkewProfiler& skew() const {
+    return cluster_ != nullptr ? cluster_->skew()
+                               : sim::SkewProfiler::Global();
+  }
   /// Shard-clock reading for span stamps and service-time brackets; 0
   /// when there is no cluster (histograms then record 0-tick service,
   /// which still counts requests).

@@ -19,9 +19,11 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "sim/convergence.h"
 #include "sim/cost_model.h"
 #include "sim/memory_accountant.h"
 #include "sim/sim_clock.h"
+#include "sim/skew.h"
 
 namespace psgraph::sim {
 
@@ -83,6 +85,18 @@ class SimCluster {
   void set_tracer(Tracer* tracer) {
     tracer_ = tracer != nullptr ? tracer : &Tracer::Global();
   }
+  /// Flight-recorder sinks (same ownership contract as metrics/tracer):
+  /// PS shards report key accesses and the dataflow engine reports
+  /// per-partition busy ticks into skew(); algorithms record
+  /// per-iteration telemetry into convergence().
+  SkewProfiler& skew() { return *skew_; }
+  ConvergenceLog& convergence() { return *convergence_; }
+  void set_skew(SkewProfiler* skew) {
+    skew_ = skew != nullptr ? skew : &SkewProfiler::Global();
+  }
+  void set_convergence(ConvergenceLog* log) {
+    convergence_ = log != nullptr ? log : &ConvergenceLog::Global();
+  }
 
   /// Marks a node as failed. Subsequent RPCs to it return Unavailable and
   /// its memory ledger is wiped (the container is gone).
@@ -106,6 +120,8 @@ class SimCluster {
   MemoryAccountant memory_;
   Metrics* metrics_ = &Metrics::Global();
   Tracer* tracer_ = &Tracer::Global();
+  SkewProfiler* skew_ = &SkewProfiler::Global();
+  ConvergenceLog* convergence_ = &ConvergenceLog::Global();
   mutable std::mutex mu_;
   std::vector<bool> alive_;
   double restart_delay_sec_ = 30.0;

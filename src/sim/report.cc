@@ -79,6 +79,9 @@ RunReport CollectRunReport(const std::string& name, SimCluster* cluster) {
   }
   RunReport report =
       CollectRunReport(name, cluster->metrics(), cluster->tracer());
+  report.skew = cluster->skew().Snap();
+  report.convergence = cluster->convergence().Snapshot();
+  report.convergence_rejected = cluster->convergence().rejected();
   const ClusterConfig& cfg = cluster->config();
   report.has_cluster = true;
   report.num_executors = cfg.num_executors;
@@ -179,6 +182,56 @@ JsonValue RunReportToJson(const RunReport& report) {
     doc.Set("cluster", JsonValue());
   }
 
+  JsonValue skew = JsonValue::Object();
+  skew.Set("key_profiling", report.skew.key_profiling);
+  skew.Set("sample_period", report.skew.sample_period);
+  JsonValue shards = JsonValue::Array();
+  for (const auto& s : report.skew.shards) {
+    JsonValue shard = JsonValue::Object();
+    shard.Set("server", static_cast<int64_t>(s.server));
+    shard.Set("pull_keys", s.pull_keys);
+    shard.Set("push_keys", s.push_keys);
+    shard.Set("load_share", s.load_share);
+    shard.Set("topk_share", s.topk_share);
+    JsonValue hot = JsonValue::Array();
+    for (const auto& e : s.hot_keys) {
+      JsonValue entry = JsonValue::Array();
+      entry.Append(e.key);
+      entry.Append(e.count);
+      entry.Append(e.error);
+      hot.Append(std::move(entry));
+    }
+    shard.Set("hot_keys", std::move(hot));
+    shards.Append(std::move(shard));
+  }
+  skew.Set("shards", std::move(shards));
+  JsonValue partitions = JsonValue::Array();
+  for (const auto& p : report.skew.partitions) {
+    JsonValue part = JsonValue::Object();
+    part.Set("partition", static_cast<int64_t>(p.partition));
+    part.Set("busy_ticks", p.busy_ticks);
+    partitions.Append(std::move(part));
+  }
+  skew.Set("partitions", std::move(partitions));
+  skew.Set("partition_imbalance", report.skew.partition_imbalance);
+  doc.Set("skew", std::move(skew));
+
+  JsonValue convergence = JsonValue::Object();
+  JsonValue series = JsonValue::Object();
+  for (const auto& [name, points] : report.convergence) {
+    JsonValue list = JsonValue::Array();
+    for (const auto& p : points) {
+      JsonValue point = JsonValue::Array();
+      point.Append(p.iteration);
+      point.Append(p.value);
+      list.Append(std::move(point));
+    }
+    series.Set(name, std::move(list));
+  }
+  convergence.Set("series", std::move(series));
+  convergence.Set("rejected_points", report.convergence_rejected);
+  doc.Set("convergence", std::move(convergence));
+
   doc.Set("bench", report.bench);
   return doc;
 }
@@ -255,6 +308,64 @@ Status ValidateRunReportJson(const JsonValue& doc) {
           node.is_object() && role != nullptr && role->is_string() &&
               busy != nullptr && busy->is_number(),
           "every cluster node needs 'role' and 'busy_ticks'"));
+    }
+  }
+  const JsonValue* skew = doc.Find("skew");
+  PSG_RETURN_NOT_OK(
+      Expect(skew != nullptr && skew->is_object(),
+             "'skew' must be an object"));
+  {
+    const JsonValue* shards = skew->Find("shards");
+    PSG_RETURN_NOT_OK(Expect(shards != nullptr && shards->is_array(),
+                             "'skew.shards' must be an array"));
+    for (const JsonValue& shard : shards->elements()) {
+      PSG_RETURN_NOT_OK(
+          Expect(shard.is_object(), "skew shard must be an object"));
+      for (const char* field :
+           {"server", "pull_keys", "push_keys", "load_share",
+            "topk_share"}) {
+        const JsonValue* f = shard.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("skew shard needs numeric '") +
+                                     field + "'"));
+      }
+      const JsonValue* hot = shard.Find("hot_keys");
+      PSG_RETURN_NOT_OK(Expect(hot != nullptr && hot->is_array(),
+                               "skew shard needs 'hot_keys' array"));
+    }
+    const JsonValue* partitions = skew->Find("partitions");
+    PSG_RETURN_NOT_OK(
+        Expect(partitions != nullptr && partitions->is_array(),
+               "'skew.partitions' must be an array"));
+    const JsonValue* imbalance = skew->Find("partition_imbalance");
+    PSG_RETURN_NOT_OK(
+        Expect(imbalance != nullptr && imbalance->is_number(),
+               "'skew.partition_imbalance' must be numeric"));
+  }
+  const JsonValue* convergence = doc.Find("convergence");
+  PSG_RETURN_NOT_OK(Expect(convergence != nullptr &&
+                               convergence->is_object(),
+                           "'convergence' must be an object"));
+  {
+    const JsonValue* series = convergence->Find("series");
+    PSG_RETURN_NOT_OK(Expect(series != nullptr && series->is_object(),
+                             "'convergence.series' must be an object"));
+    for (const auto& [sname, points] : series->members()) {
+      PSG_RETURN_NOT_OK(Expect(points.is_array(),
+                               "convergence series '" + sname +
+                                   "' must be an array"));
+      int64_t last_iter = INT64_MIN;
+      for (const JsonValue& p : points.elements()) {
+        PSG_RETURN_NOT_OK(Expect(
+            p.is_array() && p.size() == 2 && p.at(0).is_number() &&
+                p.at(1).is_number(),
+            "convergence series '" + sname +
+                "' points must be [iteration, value] pairs"));
+        PSG_RETURN_NOT_OK(Expect(p.at(0).as_int() > last_iter,
+                                 "convergence series '" + sname +
+                                     "' iterations must increase"));
+        last_iter = p.at(0).as_int();
+      }
     }
   }
   const JsonValue* bench = doc.Find("bench");

@@ -23,6 +23,8 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "sim/cluster.h"
+#include "sim/convergence.h"
+#include "sim/skew.h"
 
 namespace psgraph::sim {
 
@@ -48,8 +50,11 @@ std::string FormatReport(const ClusterReport& report);
 
 /// The versioned JSON run-report schema. Version history:
 ///   1 — initial: counters/gauges/histograms/spans/cluster/bench.
+///   2 — flight recorder: "skew" (per-shard key-access profile +
+///       per-partition busy-tick imbalance) and "convergence"
+///       (per-iteration algorithm telemetry) sections.
 inline constexpr const char* kRunReportSchema = "psgraph.run_report";
-inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr int kRunReportSchemaVersion = 2;
 
 struct RunReport {
   std::string name;  ///< bench/run identifier ("micro", "parallel", ...)
@@ -74,6 +79,12 @@ struct RunReport {
   std::vector<NodeStat> nodes;
   int64_t makespan_ticks = 0;
   double makespan_seconds = 0.0;
+
+  /// PS hot-key / partition-imbalance profile (the "skew" section).
+  SkewProfiler::Snapshot skew;
+  /// Per-iteration algorithm telemetry (the "convergence" section).
+  std::map<std::string, ConvergenceLog::Series> convergence;
+  uint64_t convergence_rejected = 0;
 
   /// Free-form bench-specific payload, emitted under "bench".
   JsonValue bench = JsonValue::Object();

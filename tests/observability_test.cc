@@ -1,21 +1,27 @@
 // Observability layer tests: tracer span nesting and capping, JSON
 // round-trips (including int64 tick exactness), run-report schema
-// validation, and per-context metrics isolation.
+// validation, per-context metrics isolation, and the flight recorder
+// (Chrome-trace export, hot-key/skew profiling, convergence telemetry).
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/trace_export.h"
 #include "core/graph_loader.h"
 #include "core/pagerank.h"
 #include "core/psgraph_context.h"
 #include "graph/generators.h"
+#include "sim/convergence.h"
 #include "sim/report.h"
+#include "sim/skew.h"
 
 namespace psgraph {
 namespace {
@@ -259,6 +265,295 @@ TEST(ContextMetricsTest, TwoContextsDoNotCrossContaminate) {
   EXPECT_EQ((*b)->metrics().Get("rpc.calls"), 0u);
   // Traffic on a context's cluster never lands in the global registry.
   EXPECT_EQ(Metrics::Global().Get("rpc.calls"), global_before);
+}
+
+TEST(TracerTest, MaxSpansIsConfigurable) {
+  Tracer t;
+  EXPECT_EQ(t.max_spans(), Tracer::kMaxSpans);  // env unset in tests
+  t.set_enabled(true);
+  t.set_max_spans(3);
+  for (int i = 0; i < 5; ++i) {
+    uint64_t id = t.Begin("s", 0, i);
+    t.End(id, i + 1);
+  }
+  EXPECT_EQ(t.Snapshot().size(), 3u);
+  EXPECT_EQ(t.dropped(), 2u);
+
+  ::setenv("PSGRAPH_TRACE_MAX_SPANS", "12345", 1);
+  EXPECT_EQ(Tracer::MaxSpansFromEnv(), 12345u);
+  Tracer from_env;
+  EXPECT_EQ(from_env.max_spans(), 12345u);
+  ::setenv("PSGRAPH_TRACE_MAX_SPANS", "0", 1);
+  EXPECT_EQ(Tracer::MaxSpansFromEnv(), Tracer::kMaxSpans);
+  ::unsetenv("PSGRAPH_TRACE_MAX_SPANS");
+}
+
+TEST(TraceExportTest, ChromeJsonRoundTripsTickExact) {
+  // Ticks beyond 2^53 must survive dump + parse bit-exactly — the whole
+  // point of the int64-aware JSON layer.
+  const int64_t base = (int64_t{1} << 55) + 7;
+  Tracer t;
+  t.set_enabled(true);
+  uint64_t outer = t.Begin("stage", 0, base);
+  uint64_t inner = t.Begin("rpc", 0, base + 10);
+  t.End(inner, base + 40);
+  t.End(outer, base + 100);
+  uint64_t server = t.Begin("ps.pull", 2, base + 15);
+  t.End(server, base + 35);
+
+  TraceExportOptions options;
+  options.spans_dropped = 4;
+  options.process_name = [](int32_t node) {
+    return "proc " + std::to_string(node);
+  };
+  JsonValue doc = TraceToChromeJson(t.Snapshot(), options);
+  auto parsed = JsonValue::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const JsonValue* other = parsed->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Find("schema")->as_string(), "psgraph.trace");
+  EXPECT_EQ(other->Find("tick_unit")->as_string(), "ps");
+  EXPECT_EQ(other->Find("spans_dropped")->as_int(), 4);
+
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<uint64_t, const JsonValue*> by_span;
+  int metadata = 0;
+  for (const JsonValue& ev : events->elements()) {
+    if (ev.Find("ph")->as_string() == "M") {
+      EXPECT_EQ(ev.Find("name")->as_string(), "process_name");
+      ++metadata;
+      continue;
+    }
+    EXPECT_EQ(ev.Find("ph")->as_string(), "X");
+    by_span[static_cast<uint64_t>(
+        ev.Find("args")->Find("span_id")->as_int())] = &ev;
+  }
+  EXPECT_EQ(metadata, 2);  // nodes 0 and 2
+  ASSERT_EQ(by_span.size(), 3u);
+
+  const JsonValue* ev_outer = by_span[outer];
+  EXPECT_EQ(ev_outer->Find("name")->as_string(), "stage");
+  EXPECT_EQ(ev_outer->Find("ts")->as_int(), base);
+  EXPECT_EQ(ev_outer->Find("dur")->as_int(), 100);
+  EXPECT_EQ(ev_outer->Find("pid")->as_int(), 1);  // node 0 -> pid 1
+  const JsonValue* ev_inner = by_span[inner];
+  EXPECT_EQ(ev_inner->Find("args")->Find("parent")->as_int(),
+            static_cast<int64_t>(outer));
+  // Same node + nested: the child rides its anchor's track.
+  EXPECT_EQ(ev_inner->Find("tid")->as_int(),
+            ev_outer->Find("tid")->as_int());
+  const JsonValue* ev_server = by_span[server];
+  EXPECT_EQ(ev_server->Find("pid")->as_int(), 3);  // node 2 -> pid 3
+  EXPECT_EQ(ev_server->Find("ts")->as_int(), base + 15);
+
+  // The export is a pure function of the span set: re-exporting must be
+  // byte-identical (the determinism contract behind trace baselines).
+  EXPECT_EQ(doc.Dump(2), TraceToChromeJson(t.Snapshot(), options).Dump(2));
+}
+
+TEST(TraceExportTest, OverlappingRootsGetDistinctTracks) {
+  // Two spans on one node that overlap in sim time cannot share a track
+  // (Chrome/Perfetto would render them corrupted).
+  std::vector<TraceSpan> spans;
+  spans.push_back({1, 0, "a", 0, 100, 200});
+  spans.push_back({2, 0, "b", 0, 150, 250});  // overlaps a
+  spans.push_back({3, 0, "c", 0, 200, 300});  // reuses a's track
+  JsonValue doc = TraceToChromeJson(spans, {});
+  std::map<std::string, int64_t> tid_of;
+  for (const JsonValue& ev : doc.Find("traceEvents")->elements()) {
+    if (ev.Find("ph")->as_string() != "X") continue;
+    tid_of[ev.Find("name")->as_string()] = ev.Find("tid")->as_int();
+  }
+  ASSERT_EQ(tid_of.size(), 3u);
+  EXPECT_NE(tid_of["a"], tid_of["b"]);
+  EXPECT_EQ(tid_of["a"], tid_of["c"]);
+}
+
+TEST(SpaceSavingTest, FindsHeavyHittersOnZipfStream) {
+  // Deterministic Zipf-ish stream over 10k keys: key k appears
+  // ~ 200000 / (k+1) times, far more than total/capacity for small k.
+  sim::SpaceSavingCounter counter(64);
+  std::vector<uint64_t> truth(32, 0);
+  uint64_t total = 0;
+  // Interleave: rounds of "every key whose frequency quota allows".
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t key = 0; key < 10000; ++key) {
+      if (round % (key + 1) != 0) continue;
+      counter.Offer(key);
+      ++total;
+      if (key < truth.size()) ++truth[key];
+    }
+  }
+  EXPECT_EQ(counter.total(), total);
+  auto top = counter.TopK(8);
+  ASSERT_EQ(top.size(), 8u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    // The stream is dominated by the smallest keys: the top-8 must be
+    // exactly keys 0..7 (ordering within equal counts is by key).
+    EXPECT_LT(top[i].key, 8u) << "rank " << i;
+    // Space-saving overestimates by at most the recorded error.
+    EXPECT_GE(top[i].count, truth[top[i].key]);
+    EXPECT_LE(top[i].count - top[i].error, truth[top[i].key]);
+    // And the error of any entry is bounded by total/capacity.
+    EXPECT_LE(top[i].error, total / 64);
+  }
+  counter.Reset();
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_TRUE(counter.TopK(8).empty());
+}
+
+TEST(SkewProfilerTest, TracksShardTotalsAndHotKeys) {
+  sim::SkewProfiler profiler(2);
+  EXPECT_FALSE(profiler.key_profiling_enabled());
+  // Totals count even with key profiling off...
+  profiler.RecordKeyAccess(0, /*is_pull=*/true, {1, 2, 3});
+  profiler.set_key_profiling(true);
+  // ...but the hot-key sketch only fills while it is on.
+  for (int i = 0; i < 10; ++i) {
+    profiler.RecordKeyAccess(0, /*is_pull=*/true, {7, 7, 9});
+  }
+  profiler.RecordKeyAccess(1, /*is_pull=*/false, {5});
+
+  auto snap = profiler.Snap();
+  EXPECT_TRUE(snap.key_profiling);
+  ASSERT_EQ(snap.shards.size(), 2u);
+  EXPECT_EQ(snap.shards[0].server, 0);
+  EXPECT_EQ(snap.shards[0].pull_keys, 33u);  // 3 + 10*3
+  EXPECT_EQ(snap.shards[0].push_keys, 0u);
+  EXPECT_EQ(snap.shards[1].push_keys, 1u);
+  EXPECT_NEAR(snap.shards[0].load_share, 33.0 / 34.0, 1e-12);
+  ASSERT_FALSE(snap.shards[0].hot_keys.empty());
+  EXPECT_EQ(snap.shards[0].hot_keys[0].key, 7u);
+  EXPECT_EQ(snap.shards[0].hot_keys[0].count, 20u);
+
+  profiler.RecordPartitionTicks(0, 100);
+  profiler.RecordPartitionTicks(1, 300);
+  profiler.RecordPartitionTicks(0, 100);
+  snap = profiler.Snap();
+  ASSERT_EQ(snap.partitions.size(), 2u);
+  EXPECT_EQ(snap.partitions[0].busy_ticks, 200);
+  EXPECT_EQ(snap.partitions[1].busy_ticks, 300);
+  EXPECT_NEAR(snap.partition_imbalance, 300.0 / 250.0, 1e-12);
+
+  profiler.Reset();
+  snap = profiler.Snap();
+  EXPECT_TRUE(snap.partitions.empty());
+  for (const auto& s : snap.shards) {
+    EXPECT_EQ(s.pull_keys + s.push_keys, 0u);
+  }
+}
+
+TEST(ConvergenceLogTest, EnforcesMonotonicIterations) {
+  sim::ConvergenceLog log;
+  EXPECT_TRUE(log.Record("pr.delta", 0, 1.0));
+  EXPECT_TRUE(log.Record("pr.delta", 1, 0.5));
+  EXPECT_FALSE(log.Record("pr.delta", 1, 0.4));  // duplicate iteration
+  EXPECT_FALSE(log.Record("pr.delta", 0, 0.4));  // goes backwards
+  EXPECT_TRUE(log.Record("other", 0, 9.0));      // independent series
+  EXPECT_EQ(log.rejected(), 2u);
+
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  ASSERT_EQ(snap["pr.delta"].size(), 2u);
+  EXPECT_EQ(snap["pr.delta"][1].iteration, 1);
+  EXPECT_EQ(snap["pr.delta"][1].value, 0.5);
+}
+
+TEST(ConvergenceLogTest, RewindSupportsRecoveryRollback) {
+  sim::ConvergenceLog log;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Record("s", i, 1.0 / (i + 1)));
+  }
+  // Consistent recovery rolls back to iteration 2: truncate, re-record.
+  log.Rewind("s", 2);
+  EXPECT_EQ(log.Snapshot()["s"].size(), 2u);
+  EXPECT_TRUE(log.Record("s", 2, 0.25));
+  EXPECT_TRUE(log.Record("s", 3, 0.2));
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap["s"].size(), 4u);
+  EXPECT_EQ(snap["s"][2].value, 0.25);
+  EXPECT_EQ(log.rejected(), 0u);
+}
+
+TEST(ConvergenceLogTest, MergePrefixesAndExtends) {
+  sim::ConvergenceLog cell;
+  ASSERT_TRUE(cell.Record("loss", 0, 3.0));
+  ASSERT_TRUE(cell.Record("loss", 1, 2.0));
+  sim::ConvergenceLog total;
+  total.Merge(cell, "run_a/");
+  auto snap = total.Snapshot();
+  ASSERT_EQ(snap.count("run_a/loss"), 1u);
+  EXPECT_EQ(snap["run_a/loss"].size(), 2u);
+  // Merging the same series again appends nothing (no monotonic
+  // extension), rather than corrupting the curve.
+  total.Merge(cell, "run_a/");
+  EXPECT_EQ(total.Snapshot()["run_a/loss"].size(), 2u);
+}
+
+// End-to-end flight recorder: a real PageRank run must produce skew +
+// convergence sections that validate, and twice the same run (fresh
+// contexts, parallelism-independent tick math) must serialize those
+// sections byte-identically.
+TEST(FlightRecorderTest, RunReportSectionsAreDeterministic) {
+  auto run_report_json = [] {
+    core::PsGraphContext::Options opts;
+    opts.cluster.num_executors = 2;
+    opts.cluster.num_servers = 2;
+    opts.cluster.executor_mem_bytes = 64ull << 20;
+    opts.cluster.server_mem_bytes = 64ull << 20;
+    auto ctx = core::PsGraphContext::Create(opts);
+    EXPECT_TRUE(ctx.ok());
+    (*ctx)->skew().set_key_profiling(true);
+    graph::EdgeList edges = graph::GenerateErdosRenyi(300, 1500, 23);
+    auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/fr.bin");
+    EXPECT_TRUE(ds.ok());
+    core::PageRankOptions po;
+    po.max_iterations = 4;
+    EXPECT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+    sim::RunReport report =
+        sim::CollectRunReport("flight", &(*ctx)->cluster());
+    return sim::RunReportToJson(report);
+  };
+
+  JsonValue doc = run_report_json();
+  Status valid = sim::ValidateRunReportJson(doc);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+
+  // Convergence: one point per PageRank iteration, iterations 0..3.
+  const JsonValue* series = doc.Find("convergence")->Find("series");
+  const JsonValue* delta = series->Find("pagerank.delta_l1");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->size(), 4u);
+  EXPECT_EQ(delta->at(0).at(0).as_int(), 0);
+  ASSERT_NE(series->Find("pagerank.active_updates"), nullptr);
+  EXPECT_EQ(doc.Find("convergence")->Find("rejected_points")->as_int(), 0);
+
+  // Skew: both PS shards saw pulls, the profile knows it was enabled,
+  // and the dataflow engine attributed partition ticks.
+  const JsonValue* skew = doc.Find("skew");
+  EXPECT_TRUE(skew->Find("key_profiling")->as_bool());
+  ASSERT_EQ(skew->Find("shards")->size(), 2u);
+  uint64_t pulls = 0;
+  double share = 0.0;
+  for (const JsonValue& shard : skew->Find("shards")->elements()) {
+    pulls += static_cast<uint64_t>(shard.Find("pull_keys")->as_int());
+    share += shard.Find("load_share")->as_double();
+    EXPECT_FALSE(shard.Find("hot_keys")->elements().empty());
+  }
+  EXPECT_GT(pulls, 0u);
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  EXPECT_FALSE(skew->Find("partitions")->elements().empty());
+  EXPECT_GE(skew->Find("partition_imbalance")->as_double(), 1.0);
+
+  // Determinism: the simulated sections of two identical runs must not
+  // differ by a single byte (wall-clock gauges excluded by construction
+  // — skew/convergence carry only sim-derived quantities).
+  JsonValue doc2 = run_report_json();
+  EXPECT_EQ(doc.Find("skew")->Dump(2), doc2.Find("skew")->Dump(2));
+  EXPECT_EQ(doc.Find("convergence")->Dump(2),
+            doc2.Find("convergence")->Dump(2));
 }
 
 }  // namespace
