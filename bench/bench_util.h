@@ -120,10 +120,13 @@ class BenchReport {
     }
     report_.convergence = convergence_acc_;
     // Keep the raw spans of the captured cluster for Write()'s optional
-    // Chrome-trace export (the report itself only carries summaries).
+    // Chrome-trace export (the report itself only carries summaries),
+    // plus the journal events so the export can mark kills/restores as
+    // instant events on the timeline.
     if (cluster != nullptr) {
       trace_spans_ = cluster->tracer().Snapshot();
       trace_dropped_ = cluster->tracer().dropped();
+      trace_events_ = cluster->events().Snapshot();
       trace_config_ = cluster->config();
       trace_has_cluster_ = true;
     }
@@ -153,6 +156,11 @@ class BenchReport {
     if (trace_path.empty()) return;
     TraceExportOptions options;
     options.spans_dropped = trace_dropped_;
+    options.instants.reserve(trace_events_.size());
+    for (const sim::JournalEvent& e : trace_events_) {
+      options.instants.push_back(
+          {sim::JournalEventTypeName(e.type), e.node, e.ticks});
+    }
     if (trace_has_cluster_) {
       const sim::ClusterConfig config = trace_config_;
       options.process_name = [config](int32_t node) -> std::string {
@@ -185,6 +193,7 @@ class BenchReport {
   sim::RunReport report_;
   std::map<std::string, sim::ConvergenceLog::Series> convergence_acc_;
   std::vector<TraceSpan> trace_spans_;
+  std::vector<sim::JournalEvent> trace_events_;
   uint64_t trace_dropped_ = 0;
   sim::ClusterConfig trace_config_;
   bool trace_has_cluster_ = false;

@@ -23,15 +23,18 @@ real behaviour change:
   * every numeric bench-payload leaf whose key ends in ``sim_ticks``
     or ``sim_seconds`` (tolerance band) or equals ``oom`` /
     ``sim_ticks_identical`` (exact) — this covers the fig6 table rows,
-    the ablation cells, the scaling sweep and BENCH_parallel's
-    determinism contract uniformly.
+    the ablation cells, the scaling sweep, BENCH_parallel's
+    determinism contract, and BENCH_table2_failure's
+    ``time_to_recovery_sim_ticks`` uniformly.
 
 Deliberately NOT gated: wall-clock fields (machine-dependent),
 rpc.queue_ticks (queueing order is nondeterministic at parallelism > 1;
-see DESIGN.md "Observability"), span summaries (trace-gated), and the
+see DESIGN.md "Observability"), span summaries (trace-gated), the
 schema_version-2 ``skew``/``convergence`` flight-recorder sections
 (hot-key sketch contents are accumulation-order-dependent at
-parallelism > 1) — those are schema-validated only.
+parallelism > 1), and the schema_version-3 ``rpc``/``events`` sections
+(their deterministic aggregates surface per-cell in the bench payload
+where the suffix rules gate them) — those are schema-validated only.
 
 A tolerance band (default 5%) allows intentional cost-model tuning to
 pass while catching order-of-magnitude regressions; exact-match fields
@@ -72,7 +75,7 @@ def validate_schema(report, path, errors):
         return
     if report.get("schema") != "psgraph.run_report":
         err("bad schema marker %r", report.get("schema"))
-    if report.get("schema_version") != 2:
+    if report.get("schema_version") != 3:
         err("unsupported schema_version %r", report.get("schema_version"))
     if not isinstance(report.get("name"), str) or not report.get("name"):
         err("missing name")
@@ -98,6 +101,15 @@ def validate_schema(report, path, errors):
             nodes = cluster.get("nodes")
             if not isinstance(nodes, list) or not nodes:
                 err("cluster.nodes missing or empty")
+            else:
+                for node in nodes:
+                    if not isinstance(node, dict):
+                        err("cluster node is not an object")
+                        continue
+                    for field in ("mem_usage_bytes", "mem_peak_bytes",
+                                  "mem_budget_bytes"):
+                        if not isinstance(node.get(field), int):
+                            err("cluster node missing integer %r", field)
             if not isinstance(cluster.get("makespan_ticks"), int):
                 err("cluster.makespan_ticks missing")
 
@@ -151,6 +163,63 @@ def validate_schema(report, path, errors):
                     last_iter = p[0]
         if not isinstance(convergence.get("rejected_points"), int):
             err("convergence.rejected_points must be an integer")
+
+    rpc = report.get("rpc")
+    if not isinstance(rpc, dict):
+        err("missing 'rpc' section")
+    else:
+        methods = rpc.get("methods")
+        if not isinstance(methods, list):
+            err("rpc.methods must be an array")
+        else:
+            for entry in methods:
+                if not isinstance(entry, dict):
+                    err("rpc method entry is not an object")
+                    continue
+                if (not isinstance(entry.get("method"), str)
+                        or not entry.get("method")):
+                    err("rpc entry missing 'method' string")
+                for field in ("node", "calls", "request_bytes",
+                              "response_bytes", "callee_busy_ticks",
+                              "caller_wait_ticks", "errors_unavailable",
+                              "errors_handler"):
+                    if not isinstance(entry.get(field), int):
+                        err("rpc entry missing integer %r", field)
+
+    events = report.get("events")
+    if not isinstance(events, dict):
+        err("missing 'events' section")
+    else:
+        counts = events.get("counts")
+        if not isinstance(counts, dict):
+            err("events.counts must be an object")
+        else:
+            for etype, count in counts.items():
+                if not isinstance(count, int):
+                    err("events.counts[%r] must be an integer", etype)
+        failures = events.get("failures")
+        if not isinstance(failures, list):
+            err("events.failures must be an array")
+        else:
+            for ev in failures:
+                if not isinstance(ev, dict):
+                    err("failure event is not an object")
+                    continue
+                if (not isinstance(ev.get("type"), str)
+                        or not ev.get("type")):
+                    err("failure event missing 'type' string")
+                for field in ("node", "iteration", "ticks", "value"):
+                    if not isinstance(ev.get(field), int):
+                        err("failure event missing integer %r", field)
+        recovery = events.get("recovery")
+        if not isinstance(recovery, dict):
+            err("events.recovery must be an object")
+        else:
+            for field in ("episodes", "total_ticks", "max_ticks"):
+                if not isinstance(recovery.get(field), int):
+                    err("events.recovery.%s must be an integer" % field)
+        if not isinstance(events.get("dropped"), int):
+            err("events.dropped must be an integer")
 
 
 def within(baseline, current, tolerance):

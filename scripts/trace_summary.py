@@ -5,12 +5,19 @@ The flight recorder (PSGRAPH_TRACE=1 PSGRAPH_TRACE_OUT=trace.json) emits
 a Chrome Trace Event Format document whose timestamps are simulated
 clock ticks (1 tick = 1 ps). This tool
 
-  * validates the schema (--validate; exits non-zero on violations), and
-  * prints the top spans by total and by self sim-ticks per node.
+  * validates the schema (--validate; exits non-zero on violations) —
+    including every "s"/"f" flow pair (each must connect an existing
+    client-side span to an existing server-side span on a different
+    process) and every "i" instant marker,
+  * prints the top spans by total and by self sim-ticks per node, and
+  * prints the control-plane event timeline (--events): the journal's
+    instant markers (node kills/restarts, checkpoint saves/restores,
+    recovery windows) in tick order.
 
 Usage:
   python3 scripts/trace_summary.py trace.json
   python3 scripts/trace_summary.py --validate trace.json
+  python3 scripts/trace_summary.py --events trace.json
   python3 scripts/trace_summary.py --top 20 trace.json
 """
 
@@ -26,8 +33,8 @@ def fail(msg):
 
 
 def validate(doc):
-    """Checks the Chrome-trace schema the exporter promises. Returns the
-    list of X events."""
+    """Checks the Chrome-trace schema the exporter promises. Returns
+    (X events, instant events, flow pair count)."""
     errors = []
 
     def err(msg):
@@ -58,6 +65,9 @@ def validate(doc):
             )
 
     xs = []
+    instants = []
+    flow_starts = {}
+    flow_finishes = {}
     named_pids = set()
     span_ids = set()
     for i, ev in enumerate(events):
@@ -66,7 +76,7 @@ def validate(doc):
             err(f"{where} is not an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "M"):
+        if ph not in ("X", "M", "s", "f", "i"):
             err(f"{where}: unexpected ph {ph!r}")
             continue
         for key in ("pid", "tid"):
@@ -83,6 +93,35 @@ def validate(doc):
             ):
                 err(f"{where}: process_name args.name missing")
             named_pids.add(ev.get("pid"))
+            continue
+        if ph == "i":
+            # An instant marker (control-plane journal entry).
+            if not isinstance(ev.get("ts"), int):
+                err(f"{where}: ts must be an integer tick count")
+            if ev.get("s") != "p":
+                err(f"{where}: instant must be process-scoped (s == 'p')")
+            instants.append(ev)
+            continue
+        if ph in ("s", "f"):
+            # One side of a cross-node flow arrow.
+            if not isinstance(ev.get("ts"), int):
+                err(f"{where}: ts must be an integer tick count")
+            if not isinstance(ev.get("id"), int):
+                err(f"{where}: flow event needs an integer id")
+                continue
+            if ph == "f" and ev.get("bp") != "e":
+                err(f"{where}: flow finish must carry bp == 'e'")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("span_id"), int
+            ) or not isinstance(args.get("parent"), int):
+                err(f"{where}: flow args need span_id and parent")
+                continue
+            side = flow_starts if ph == "s" else flow_finishes
+            if ev["id"] in side:
+                err(f"{where}: duplicate flow {ph!r} id {ev['id']}")
+                continue
+            side[ev["id"]] = ev
             continue
         # ph == "X": a complete event stamped in integer ticks.
         for key in ("ts", "dur"):
@@ -112,6 +151,45 @@ def validate(doc):
         if ev.get("pid") not in named_pids:
             err(f"X event pid {ev.get('pid')} has no process_name metadata")
             break
+    for ev in instants:
+        if ev.get("pid") not in named_pids:
+            err(
+                f"instant pid {ev.get('pid')} has no process_name metadata"
+            )
+            break
+
+    # Every flow must be a complete s/f pair connecting two existing X
+    # spans (the client-side parent and the server-side child) that live
+    # on different processes.
+    by_span = {
+        ev["args"]["span_id"]: ev
+        for ev in xs
+        if isinstance(ev.get("args"), dict)
+        and isinstance(ev["args"].get("span_id"), int)
+    }
+    for fid in sorted(set(flow_starts) | set(flow_finishes)):
+        start = flow_starts.get(fid)
+        finish = flow_finishes.get(fid)
+        if start is None or finish is None:
+            err(f"flow id {fid}: missing {'start' if start is None else 'finish'} half")
+            continue
+        child = by_span.get(start["args"]["span_id"])
+        parent = by_span.get(start["args"]["parent"])
+        if start["args"] != finish["args"]:
+            err(f"flow id {fid}: start/finish args disagree")
+            continue
+        if child is None or parent is None:
+            err(f"flow id {fid}: references a span missing from the trace")
+            continue
+        if start["pid"] != parent["pid"] or finish["pid"] != child["pid"]:
+            err(f"flow id {fid}: pid does not match the linked span's pid")
+        if parent["pid"] == child["pid"]:
+            err(f"flow id {fid}: connects spans on the same process")
+        if finish["ts"] != child["ts"]:
+            err(f"flow id {fid}: finish ts must equal the child span's ts")
+        if not (parent["ts"] <= start["ts"]
+                <= parent["ts"] + parent["dur"]):
+            err(f"flow id {fid}: start ts outside the parent span")
 
     if errors:
         for e in errors[:20]:
@@ -122,7 +200,7 @@ def validate(doc):
                 file=sys.stderr,
             )
         sys.exit(1)
-    return xs
+    return xs, instants, len(flow_starts)
 
 
 def summarize(doc, xs, top):
@@ -163,6 +241,25 @@ def summarize(doc, xs, top):
             print(f"... {len(ranked) - top} more span names")
 
 
+def print_events(doc, instants):
+    """Renders the control-plane journal timeline: every instant marker
+    in tick order, prefixed with the process it fired on."""
+    pname = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            pname[ev["pid"]] = ev.get("args", {}).get("name", "?")
+    if not instants:
+        print("no control-plane events in this trace")
+        return
+    print(f"{len(instants)} control-plane event(s):")
+    print(f"{'ticks':>16}  {'process':<14} event")
+    for ev in sorted(
+        instants, key=lambda e: (e["ts"], e["pid"], e["name"])
+    ):
+        where = pname.get(ev["pid"], f"pid {ev['pid']}")
+        print(f"{ev['ts']:>16}  {where:<14} {ev['name']}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="exported trace JSON path")
@@ -170,6 +267,11 @@ def main():
         "--validate",
         action="store_true",
         help="only validate the schema; print PASS/FAIL",
+    )
+    ap.add_argument(
+        "--events",
+        action="store_true",
+        help="print the control-plane event timeline",
     )
     ap.add_argument(
         "--top", type=int, default=10, help="span names per node to print"
@@ -182,9 +284,15 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(str(e))
 
-    xs = validate(doc)
+    xs, instants, flows = validate(doc)
     if args.validate:
-        print(f"trace_summary: PASS ({len(xs)} spans)")
+        print(
+            f"trace_summary: PASS ({len(xs)} spans, {flows} flows, "
+            f"{len(instants)} instants)"
+        )
+        return
+    if args.events:
+        print_events(doc, instants)
         return
     summarize(doc, xs, args.top)
 

@@ -28,6 +28,13 @@ uint64_t CurrentParent(const Tracer* tracer) {
 
 uint64_t Tracer::Begin(const std::string& name, int32_t node,
                        int64_t begin_ticks) {
+  return Begin(name, node, begin_ticks, /*parent=*/0);
+}
+
+uint64_t Tracer::CurrentSpanId() const { return CurrentParent(this); }
+
+uint64_t Tracer::Begin(const std::string& name, int32_t node,
+                       int64_t begin_ticks, uint64_t parent) {
   if (!enabled()) return 0;
   std::unique_lock<std::mutex> lock(mu_);
   if (spans_.size() >= max_spans_) {
@@ -37,7 +44,7 @@ uint64_t Tracer::Begin(const std::string& name, int32_t node,
   }
   TraceSpan span;
   span.id = spans_.size() + 1;
-  span.parent = CurrentParent(this);
+  span.parent = parent != 0 ? parent : CurrentParent(this);
   span.name = name;
   span.node = node;
   span.begin_ticks = begin_ticks;

@@ -61,6 +61,19 @@ class Tracer {
   /// open span on this tracer.
   uint64_t Begin(const std::string& name, int32_t node,
                  int64_t begin_ticks);
+  /// Begin() with an explicit parent span id — causal propagation across
+  /// threads: the RPC fabric captures the caller's open span and passes
+  /// it here so a handler span dispatched on a pool thread still links
+  /// to the agent-side span (and across the node boundary in the
+  /// exported trace). `parent` 0 falls back to the thread-local chain,
+  /// which keeps the strictly sequential path byte-identical.
+  uint64_t Begin(const std::string& name, int32_t node,
+                 int64_t begin_ticks, uint64_t parent);
+
+  /// The calling thread's innermost open span on this tracer (0 when
+  /// none) — what a subsequent Begin() on this thread would use as its
+  /// parent. Capture it before handing work to another thread.
+  uint64_t CurrentSpanId() const;
   /// Closes the span and folds it into the per-name summary.
   void End(uint64_t id, int64_t end_ticks);
 
@@ -104,6 +117,14 @@ class ScopedSpan {
       : tracer_(tracer), end_fn_(std::move(end_fn)) {
     if (tracer_ != nullptr && tracer_->enabled()) {
       id_ = tracer_->Begin(name, node, begin_ticks);
+    }
+  }
+  /// Variant with an explicit parent span id (see Tracer::Begin).
+  ScopedSpan(Tracer* tracer, const std::string& name, int32_t node,
+             int64_t begin_ticks, uint64_t parent, EndFn end_fn)
+      : tracer_(tracer), end_fn_(std::move(end_fn)) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      id_ = tracer_->Begin(name, node, begin_ticks, parent);
     }
   }
   ~ScopedSpan() {

@@ -98,8 +98,18 @@ JsonValue TraceToChromeJson(const std::vector<TraceSpan>& spans,
   JsonValue events = JsonValue::Array();
   std::function<std::string(int32_t)> name_of = options.process_name;
   if (!name_of) name_of = DefaultProcessName;
+  // One process_name record per pid that appears anywhere in the trace —
+  // spans or instant markers (a killed node may carry only the latter).
+  std::map<int32_t, bool> trace_nodes;
   for (const auto& [node, list] : anchors_by_node) {
     (void)list;
+    trace_nodes[node] = true;
+  }
+  for (const TraceInstant& inst : options.instants) {
+    trace_nodes[inst.node] = true;
+  }
+  for (const auto& [node, unused] : trace_nodes) {
+    (void)unused;
     JsonValue meta = JsonValue::Object();
     meta.Set("name", "process_name");
     meta.Set("ph", "M");
@@ -124,6 +134,78 @@ JsonValue TraceToChromeJson(const std::vector<TraceSpan>& spans,
     args.Set("parent", s.parent);
     args.Set("node", static_cast<int64_t>(s.node));
     ev.Set("args", std::move(args));
+    events.Append(std::move(ev));
+  }
+
+  // Flow arrows for cross-node parent links: an "s" (start) on the
+  // parent span's track and an "f" (finish, bp:"e") on the child's,
+  // matched by id = child span id. The start timestamp is clamped into
+  // the parent's interval — Perfetto binds a flow point to the slice
+  // enclosing it, and the child's begin can lie past the parent's end
+  // (the agent span closes when the response lands, but clock skew from
+  // other planned calls can push a callee's dispatch later).
+  std::vector<size_t> flow_children;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (s.parent == 0) continue;
+    auto it = by_id.find(s.parent);
+    if (it == by_id.end()) continue;  // parent span was dropped
+    if (spans[it->second].node == s.node) continue;
+    flow_children.push_back(i);
+  }
+  std::sort(flow_children.begin(), flow_children.end(),
+            [&](size_t a, size_t b) { return spans[a].id < spans[b].id; });
+  for (size_t i : flow_children) {
+    const TraceSpan& child = spans[i];
+    const size_t pi = by_id.at(child.parent);
+    const TraceSpan& parent = spans[pi];
+    const int64_t start_ts = std::max(
+        parent.begin_ticks, std::min(child.begin_ticks, parent.end_ticks));
+    JsonValue args = JsonValue::Object();
+    args.Set("span_id", child.id);
+    args.Set("parent", child.parent);
+    JsonValue start = JsonValue::Object();
+    start.Set("name", child.name);
+    start.Set("ph", "s");
+    start.Set("id", child.id);
+    start.Set("pid", static_cast<int64_t>(parent.node) + 1);
+    start.Set("tid", track_of[pi]);
+    start.Set("ts", start_ts);
+    start.Set("args", args);
+    events.Append(std::move(start));
+    JsonValue finish = JsonValue::Object();
+    finish.Set("name", child.name);
+    finish.Set("ph", "f");
+    finish.Set("bp", "e");
+    finish.Set("id", child.id);
+    finish.Set("pid", static_cast<int64_t>(child.node) + 1);
+    finish.Set("tid", track_of[i]);
+    finish.Set("ts", child.begin_ticks);
+    finish.Set("args", std::move(args));
+    events.Append(std::move(finish));
+  }
+
+  // Instant markers (control-plane journal entries), process-scoped so
+  // they draw across every track of the affected node.
+  std::vector<size_t> inst_order(options.instants.size());
+  for (size_t i = 0; i < inst_order.size(); ++i) inst_order[i] = i;
+  std::sort(inst_order.begin(), inst_order.end(), [&](size_t a, size_t b) {
+    const TraceInstant& ia = options.instants[a];
+    const TraceInstant& ib = options.instants[b];
+    if (ia.node != ib.node) return ia.node < ib.node;
+    if (ia.ticks != ib.ticks) return ia.ticks < ib.ticks;
+    if (ia.name != ib.name) return ia.name < ib.name;
+    return a < b;
+  });
+  for (size_t i : inst_order) {
+    const TraceInstant& inst = options.instants[i];
+    JsonValue ev = JsonValue::Object();
+    ev.Set("name", inst.name);
+    ev.Set("ph", "i");
+    ev.Set("s", "p");
+    ev.Set("pid", static_cast<int64_t>(inst.node) + 1);
+    ev.Set("tid", static_cast<int64_t>(0));
+    ev.Set("ts", inst.ticks);
     events.Append(std::move(ev));
   }
 

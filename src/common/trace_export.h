@@ -18,6 +18,14 @@
 // is (events are sorted deterministically, never emitted in map or
 // thread-completion order). The viewer displays ticks as microseconds;
 // "otherData.tick_unit" records the real unit.
+//
+// Cross-node causality renders as Perfetto *flow* events: a span whose
+// parent lives on a different node (the server-side RPC dispatch span
+// parented under the caller's agent span) gets an "s"/"f" arrow pair so
+// the viewer draws the request crossing the node boundary. Control-plane
+// journal entries (node kills, checkpoint restores, ...) can be passed
+// in as TraceInstant records and render as "i" instant markers on the
+// affected node's process.
 
 #ifndef PSGRAPH_COMMON_TRACE_EXPORT_H_
 #define PSGRAPH_COMMON_TRACE_EXPORT_H_
@@ -33,6 +41,15 @@
 
 namespace psgraph {
 
+/// A point-in-time marker on a node's timeline (rendered as a Perfetto
+/// "i" instant event). Benches convert control-plane journal entries
+/// into these; common/ stays free of sim/ dependencies.
+struct TraceInstant {
+  std::string name;
+  int32_t node = -1;  ///< -1 renders on the not-node-bound pid 0
+  int64_t ticks = 0;
+};
+
 struct TraceExportOptions {
   /// Names the trace process of a node (e.g. "executor 3", "server 1").
   /// Defaults to "node <id>" ("(unbound)" for node -1).
@@ -40,6 +57,8 @@ struct TraceExportOptions {
   /// Carried into otherData.spans_dropped so tooling can warn that the
   /// timeline is truncated (Tracer hit its span cap).
   uint64_t spans_dropped = 0;
+  /// Instant markers to interleave with the span timeline.
+  std::vector<TraceInstant> instants;
 };
 
 /// Builds the Chrome-trace JSON document for `spans`.

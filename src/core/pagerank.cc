@@ -106,9 +106,13 @@ Result<PageRankResult> PageRank(PsGraphContext& ctx,
         opts.recovery == ps::RecoveryMode::kConsistent) {
       iter = last_checkpoint_iter + 1;
       // The model rolled back, so the telemetry rolls back with it: the
-      // redone iterations re-record their points.
+      // redone iterations re-record their points. The journal keeps the
+      // rollback target (value = iter) so tooling can cross-check the
+      // rewound convergence series against the recovery timeline.
       ctx.convergence().Rewind("pagerank.delta_l1", iter);
       ctx.convergence().Rewind("pagerank.active_updates", iter);
+      ctx.events().Record(sim::JournalEventType::kRollback, /*node=*/-1,
+                          ctx.cluster().clock().MakespanTicks(), iter);
       PSG_LOG(Info) << "pagerank: rolled back to iteration " << iter
                     << " after PS recovery";
     }

@@ -15,6 +15,8 @@ Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
   ctx->cluster_->set_tracer(&ctx->tracer_);
   ctx->cluster_->set_skew(&ctx->skew_);
   ctx->cluster_->set_convergence(&ctx->convergence_);
+  ctx->cluster_->set_rpc_telemetry(&ctx->rpc_telemetry_);
+  ctx->cluster_->set_events(&ctx->events_);
   ctx->hdfs_ = std::make_unique<storage::Hdfs>(ctx->cluster_.get());
   ctx->fabric_ = std::make_unique<net::RpcFabric>(ctx->cluster_.get());
   ctx->dataflow_ =
@@ -35,7 +37,19 @@ Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
 
 Result<PsGraphContext::RecoveryReport> PsGraphContext::HandleFailures(
     int64_t iteration, ps::RecoveryMode mode) {
+  events_.set_iteration(iteration);
   failures_.Tick(*cluster_, iteration);
+  // Bracket the whole repair (server restore + executor revival) as one
+  // recovery episode in the journal; end - begin is the run's
+  // time-to-recovery at this iteration.
+  int64_t dead_nodes = 0;
+  for (sim::NodeId n = 0; n < cluster_->config().num_nodes(); ++n) {
+    if (!cluster_->IsAlive(n)) ++dead_nodes;
+  }
+  if (dead_nodes > 0) {
+    events_.Record(sim::JournalEventType::kRecoveryBegin, /*node=*/-1,
+                   cluster_->clock().MakespanTicks(), dead_nodes);
+  }
   RecoveryReport report;
   // Server failures: master detects and repairs (checkpoint restore).
   PSG_ASSIGN_OR_RETURN(report.servers_restarted,
@@ -54,6 +68,10 @@ Result<PsGraphContext::RecoveryReport> PsGraphContext::HandleFailures(
                     << " restarted; lineage will reload its partitions";
     }
   }
+  if (dead_nodes > 0) {
+    events_.Record(sim::JournalEventType::kRecoveryEnd, /*node=*/-1,
+                   cluster_->clock().MakespanTicks(), report.total());
+  }
   return report;
 }
 
@@ -63,6 +81,7 @@ Status PsGraphContext::MaybeCheckpoint(int64_t iteration) {
       iteration % options_.checkpoint_interval != 0) {
     return Status::OK();
   }
+  events_.set_iteration(iteration);
   return master_->CheckpointAll();
 }
 

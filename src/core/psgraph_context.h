@@ -15,6 +15,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/rpc_telemetry.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "dataflow/context.h"
@@ -24,6 +25,7 @@
 #include "ps/master.h"
 #include "ps/sync.h"
 #include "sim/cluster.h"
+#include "sim/event_journal.h"
 #include "sim/failure_injector.h"
 #include "storage/hdfs.h"
 
@@ -62,6 +64,10 @@ class PsGraphContext {
   /// as metrics()/tracer()).
   sim::SkewProfiler& skew() { return skew_; }
   sim::ConvergenceLog& convergence() { return convergence_; }
+  /// Wire-level RPC telemetry and the control-plane event journal (same
+  /// per-context isolation as metrics()/tracer()).
+  RpcTelemetry& rpc_telemetry() { return rpc_telemetry_; }
+  sim::EventJournal& events() { return events_; }
   storage::Hdfs& hdfs() { return *hdfs_; }
   net::RpcFabric& fabric() { return *fabric_; }
   dataflow::DataflowContext& dataflow() { return *dataflow_; }
@@ -110,6 +116,8 @@ class PsGraphContext {
   Tracer tracer_;
   sim::SkewProfiler skew_;
   sim::ConvergenceLog convergence_;
+  RpcTelemetry rpc_telemetry_;
+  sim::EventJournal events_;
   std::unique_ptr<sim::SimCluster> cluster_;
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<net::RpcFabric> fabric_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/rpc_telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "sim/sim_clock.h"
@@ -73,6 +74,15 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
   Metrics& metrics =
       cluster_ != nullptr ? cluster_->metrics() : Metrics::Global();
   Tracer& tracer = cluster_ != nullptr ? cluster_->tracer() : Tracer::Global();
+  RpcTelemetry& telemetry = cluster_ != nullptr ? cluster_->rpc_telemetry()
+                                                : RpcTelemetry::Global();
+  // The caller's innermost open span (e.g. "agent.pull"), captured on
+  // the calling thread so handler spans dispatched on pool threads still
+  // parent to it — the cross-node causal link the trace exporter renders
+  // as a Perfetto flow event. At parallelism 1 the dispatch runs on this
+  // same thread and the explicit parent equals the thread-local one, so
+  // the exported trace stays byte-identical.
+  const uint64_t caller_span = tracer.CurrentSpanId();
   const int64_t latency_ticks =
       cluster_ != nullptr
           ? sim::SimClock::TicksOf(cluster_->cost().config().network_latency_sec)
@@ -86,6 +96,7 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
   auto plan_call = [&](const ParallelCall& call, int64_t* arrival)
       -> Result<std::shared_ptr<RpcEndpoint>> {
     if (cluster_ != nullptr && !cluster_->IsAlive(call.to)) {
+      telemetry.RecordError(call.method, call.to, /*unavailable=*/true);
       return Status::Unavailable("rpc: node " + std::to_string(call.to) +
                                  " is down");
     }
@@ -96,11 +107,13 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
       if (it != endpoints_.end()) endpoint = it->second;
     }
     if (!endpoint) {
+      telemetry.RecordError(call.method, call.to, /*unavailable=*/true);
       return Status::Unavailable("rpc: node " + std::to_string(call.to) +
                                  " has no endpoint bound");
     }
     metrics.Add("rpc.calls", 1);
     metrics.Add("rpc.bytes_sent", call.request.size());
+    telemetry.RecordCall(call.method, call.to, call.request.size());
     if (timed) {
       send_cursor += WireTicks(cluster_->cost(), call.request.size());
       *arrival = t0 + send_cursor + latency_ticks;
@@ -126,11 +139,18 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
           call.to, WireTicks(cluster_->cost(), call.request.size()));
     }
     ScopedSpan span(&tracer, "rpc." + call.method, call.to, busy_before,
-                    [&]() -> int64_t {
+                    caller_span, [&]() -> int64_t {
                       return timed ? cluster_->clock().NowTicks(call.to) : 0;
                     });
     auto response = endpoint.DispatchUnlocked(call.method, call.request.data());
-    if (!response.ok()) return response.status();
+    if (!response.ok()) {
+      // The callee still burned the busy time it accrued before failing
+      // (request deserialization + partial handler compute).
+      telemetry.RecordError(
+          call.method, call.to, /*unavailable=*/false,
+          timed ? cluster_->clock().NowTicks(call.to) - busy_before : 0);
+      return response.status();
+    }
     metrics.Add("rpc.bytes_received", response->size());
     if (timed) {
       // A server's clock accumulates pure *busy* time (handler compute
@@ -152,6 +172,11 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
           static_cast<uint64_t>(
               std::max<int64_t>(0, busy_before - arrival_ticks)));
     }
+    // Caller wait = send serialization + latency + service + latency,
+    // all deterministic per call (queueing excluded, like service time).
+    telemetry.RecordResponse(
+        call.method, call.to, response->size(), *service_out,
+        timed ? arrival_ticks + *service_out + latency_ticks - t0 : 0);
     *response_out = std::move(*response).TakeData();
     return Status::OK();
   };
@@ -160,44 +185,42 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
   std::vector<int64_t> arrival(n, 0);
   std::vector<int64_t> service(n, 0);
 
+  // Plan sequentially (send order is part of the model), stopping at the
+  // first plan failure; then dispatch every planned call to completion —
+  // sequentially or overlapped on the global pool — and return the first
+  // handler error in call order, else the plan error. Both modes run the
+  // same plan/execute schedule, so per-callee charges and telemetry
+  // aggregates are identical at any parallelism even on error paths.
+  std::vector<std::shared_ptr<RpcEndpoint>> endpoints;
+  endpoints.reserve(n);
+  Status plan_error = Status::OK();
+  for (size_t k = 0; k < n; ++k) {
+    auto endpoint = plan_call(calls[k], &arrival[k]);
+    if (!endpoint.ok()) {
+      plan_error = endpoint.status();
+      break;
+    }
+    endpoints.push_back(std::move(*endpoint));
+  }
+  const size_t launched = endpoints.size();
+  std::vector<Status> statuses(launched, Status::OK());
   const size_t parallelism = GlobalParallelism();
-  if (parallelism <= 1 || n <= 1) {
-    // Strictly sequential reference path: calls after a failed one are
-    // never planned or started.
-    for (size_t k = 0; k < n; ++k) {
-      PSG_ASSIGN_OR_RETURN(auto endpoint, plan_call(calls[k], &arrival[k]));
-      Status st = execute_call(calls[k], *endpoint, arrival[k],
-                               &responses[k], &service[k]);
-      if (!st.ok()) return st;
+  if (parallelism <= 1 || launched <= 1) {
+    for (size_t k = 0; k < launched; ++k) {
+      statuses[k] = execute_call(calls[k], *endpoints[k], arrival[k],
+                                 &responses[k], &service[k]);
     }
   } else {
-    // Plan sequentially (send order is part of the model), then overlap
-    // the dispatches on the global pool. On failure, return the first
-    // error in call order: every launched call still runs to completion
-    // so no endpoint is left mid-dispatch.
-    std::vector<std::shared_ptr<RpcEndpoint>> endpoints;
-    endpoints.reserve(n);
-    Status plan_error = Status::OK();
-    for (size_t k = 0; k < n; ++k) {
-      auto endpoint = plan_call(calls[k], &arrival[k]);
-      if (!endpoint.ok()) {
-        plan_error = endpoint.status();
-        break;
-      }
-      endpoints.push_back(std::move(*endpoint));
-    }
-    const size_t launched = endpoints.size();
-    std::vector<Status> statuses(launched, Status::OK());
     GlobalThreadPool().ParallelForBounded(
         launched, parallelism - 1, [&](size_t k) {
           statuses[k] = execute_call(calls[k], *endpoints[k], arrival[k],
                                      &responses[k], &service[k]);
         });
-    for (size_t k = 0; k < launched; ++k) {
-      if (!statuses[k].ok()) return statuses[k];
-    }
-    if (!plan_error.ok()) return plan_error;
   }
+  for (size_t k = 0; k < launched; ++k) {
+    if (!statuses[k].ok()) return statuses[k];
+  }
+  if (!plan_error.ok()) return plan_error;
 
   if (timed) {
     // Completion of the slowest call; evaluated in call order after all

@@ -91,12 +91,20 @@ class RpcFabric {
   /// Fan-out: issues all calls concurrently (a PS agent's per-server
   /// requests overlap on the wire). The caller's clock advances to the
   /// completion of the *slowest* call instead of the sum; each callee is
-  /// charged its own busy time. Fails fast on the first error in call
-  /// order. At parallelism > 1 the handlers run concurrently on the
-  /// global pool (still serialized per endpoint); on a handler error the
-  /// other *already launched* calls run to completion, whereas the
-  /// strictly sequential mode never starts calls after a failed one —
-  /// the only divergence between the modes, and only on error paths.
+  /// charged its own busy time. Error semantics are identical at every
+  /// parallelism level: calls are planned in order until the first plan
+  /// failure (dead/unbound callee), every planned call is dispatched to
+  /// completion, and the first handler error in call order — else the
+  /// plan error — is returned. At parallelism > 1 the dispatches run
+  /// concurrently on the global pool (still serialized per endpoint), so
+  /// per-callee charges and telemetry aggregates match the sequential
+  /// mode even on error paths.
+  ///
+  /// Telemetry: every call is metered into the cluster's RpcTelemetry
+  /// sink (per-(method, callee) calls/bytes/busy/wait/error counters),
+  /// and the caller's open trace span id rides with the request so the
+  /// server-side "rpc.<method>" span links across the node boundary
+  /// even when it runs on a pool thread.
   Result<std::vector<std::vector<uint8_t>>> CallParallel(
       sim::NodeId from, std::vector<ParallelCall> calls);
 

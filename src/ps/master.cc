@@ -1,6 +1,8 @@
 #include "ps/master.h"
 
 #include "common/logging.h"
+#include "sim/cluster.h"
+#include "sim/event_journal.h"
 
 namespace psgraph::ps {
 
@@ -42,6 +44,12 @@ Status PsMaster::RestartAndRestore(int32_t s) {
 
 Result<int32_t> PsMaster::CheckAndRecover(RecoveryMode mode) {
   std::vector<int32_t> dead = FindDeadServers();
+  // Journal the health-check verdict (paper §III-B: the master monitors
+  // server liveness); value = number of dead servers found.
+  sim::SimCluster& cluster = *ctx_->cluster();
+  cluster.events().Record(sim::JournalEventType::kHealthCheck, /*node=*/-1,
+                          cluster.clock().MakespanTicks(),
+                          static_cast<int64_t>(dead.size()));
   if (dead.empty()) return 0;
   for (int32_t s : dead) {
     PSG_RETURN_NOT_OK(RestartAndRestore(s));

@@ -432,8 +432,15 @@ Status PsServer::Checkpoint(const std::string& prefix) {
     }
   }
   metrics().Add("ps.checkpoint_bytes", buf.size());
-  return hdfs_->Write(prefix + "/server_" + std::to_string(server_index_),
-                      buf, node_);
+  const uint64_t bytes = buf.size();
+  Status st = hdfs_->Write(
+      prefix + "/server_" + std::to_string(server_index_), buf, node_);
+  if (st.ok() && cluster_ != nullptr) {
+    cluster_->events().Record(sim::JournalEventType::kCheckpointSave,
+                              node_, NowTicks(),
+                              static_cast<int64_t>(bytes));
+  }
+  return st;
 }
 
 Status PsServer::Restore(const std::string& prefix) {
@@ -501,6 +508,11 @@ Status PsServer::Restore(const std::string& prefix) {
       shard.charged_bytes += bytes_c;
       shard.csr = std::move(csr);
     }
+  }
+  if (cluster_ != nullptr) {
+    cluster_->events().Record(sim::JournalEventType::kCheckpointRestore,
+                              node_, NowTicks(),
+                              static_cast<int64_t>(bytes.size()));
   }
   return Status::OK();
 }

@@ -48,13 +48,20 @@ class SyncController {
     }
     // Account the idle time every executor spends waiting for the
     // straggler — the cost ASP avoids.
-    double barrier = 0.0;
+    int64_t barrier_ticks = 0;
     for (int32_t n : executors) {
-      barrier = std::max(barrier, cluster_->clock().Now(n));
+      barrier_ticks =
+          std::max(barrier_ticks, cluster_->clock().NowTicks(n));
     }
+    int64_t wait_ticks = 0;
     for (int32_t n : executors) {
-      total_wait_ += barrier - cluster_->clock().Now(n);
+      wait_ticks += barrier_ticks - cluster_->clock().NowTicks(n);
     }
+    total_wait_ += sim::SimClock::SecondsOf(wait_ticks);
+    // Journal the barrier: when the superstep fence fell and what it
+    // cost in aggregate executor idle time.
+    cluster_->events().Record(sim::JournalEventType::kBarrierEntry,
+                              /*node=*/-1, barrier_ticks, wait_ticks);
     return cluster_->clock().Barrier(executors);
   }
 

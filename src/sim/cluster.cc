@@ -38,6 +38,10 @@ void SimCluster::KillNode(NodeId node) {
     alive_[node] = false;
   }
   memory_.ReleaseAll(node);
+  // Stamped with the cluster frontier: the failure is observed at the
+  // point the slowest node has reached.
+  events_->Record(JournalEventType::kNodeKilled, node,
+                  clock_.MakespanTicks());
 }
 
 void SimCluster::ReviveNode(NodeId node) {
@@ -49,6 +53,8 @@ void SimCluster::ReviveNode(NodeId node) {
   // A restarted container starts at least at the cluster's current frontier:
   // it was relaunched after the failure was observed.
   clock_.AdvanceTo(node, clock_.Makespan());
+  events_->Record(JournalEventType::kNodeRestarted, node,
+                  clock_.NowTicks(node));
 }
 
 bool SimCluster::IsAlive(NodeId node) const {

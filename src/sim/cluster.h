@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rpc_telemetry.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "sim/convergence.h"
 #include "sim/cost_model.h"
+#include "sim/event_journal.h"
 #include "sim/memory_accountant.h"
 #include "sim/sim_clock.h"
 #include "sim/skew.h"
@@ -97,6 +99,19 @@ class SimCluster {
   void set_convergence(ConvergenceLog* log) {
     convergence_ = log != nullptr ? log : &ConvergenceLog::Global();
   }
+  /// Wire-level RPC telemetry (per-(method, callee) counters recorded by
+  /// the fabric) and the control-plane event journal (kill/restart,
+  /// health checks, checkpoints, barriers, recovery episodes). Same
+  /// ownership contract as the other sinks.
+  RpcTelemetry& rpc_telemetry() { return *rpc_telemetry_; }
+  EventJournal& events() { return *events_; }
+  void set_rpc_telemetry(RpcTelemetry* telemetry) {
+    rpc_telemetry_ =
+        telemetry != nullptr ? telemetry : &RpcTelemetry::Global();
+  }
+  void set_events(EventJournal* journal) {
+    events_ = journal != nullptr ? journal : &EventJournal::Global();
+  }
 
   /// Marks a node as failed. Subsequent RPCs to it return Unavailable and
   /// its memory ledger is wiped (the container is gone).
@@ -122,6 +137,8 @@ class SimCluster {
   Tracer* tracer_ = &Tracer::Global();
   SkewProfiler* skew_ = &SkewProfiler::Global();
   ConvergenceLog* convergence_ = &ConvergenceLog::Global();
+  RpcTelemetry* rpc_telemetry_ = &RpcTelemetry::Global();
+  EventJournal* events_ = &EventJournal::Global();
   mutable std::mutex mu_;
   std::vector<bool> alive_;
   double restart_delay_sec_ = 30.0;

@@ -34,6 +34,10 @@ class FailureInjector {
   /// fires any due failures against `cluster`. Returns the nodes killed
   /// this call.
   std::vector<NodeId> Tick(SimCluster& cluster, int64_t iteration) {
+    // Stamp the journal's iteration context so the node_killed events
+    // recorded by KillNode (and everything after them this iteration)
+    // carry the iteration the failure fired at.
+    cluster.events().set_iteration(iteration);
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<NodeId> killed;
     for (auto& f : failures_) {

@@ -82,6 +82,14 @@ RunReport CollectRunReport(const std::string& name, SimCluster* cluster) {
   report.skew = cluster->skew().Snap();
   report.convergence = cluster->convergence().Snapshot();
   report.convergence_rejected = cluster->convergence().rejected();
+  report.rpc = cluster->rpc_telemetry().Snapshot();
+  const std::vector<JournalEvent> events = cluster->events().Snapshot();
+  report.event_counts = cluster->events().Counts();
+  for (const JournalEvent& e : events) {
+    if (EventJournal::IsFailureEvent(e)) report.failure_events.push_back(e);
+  }
+  report.recovery = EventJournal::SummarizeRecovery(events);
+  report.events_dropped = cluster->events().dropped();
   const ClusterConfig& cfg = cluster->config();
   report.has_cluster = true;
   report.num_executors = cfg.num_executors;
@@ -94,6 +102,9 @@ RunReport CollectRunReport(const std::string& name, SimCluster* cluster) {
                                      : "driver";
     stat.busy_ticks = cluster->clock().NowTicks(n);
     stat.busy_seconds = SimClock::SecondsOf(stat.busy_ticks);
+    stat.mem_usage_bytes = cluster->memory().Usage(n);
+    stat.mem_peak_bytes = cluster->memory().Peak(n);
+    stat.mem_budget_bytes = cluster->memory().Budget(n);
     report.nodes.push_back(std::move(stat));
     report.makespan_ticks =
         std::max(report.makespan_ticks, report.nodes.back().busy_ticks);
@@ -174,6 +185,9 @@ JsonValue RunReportToJson(const RunReport& report) {
       node.Set("role", n.role);
       node.Set("busy_ticks", n.busy_ticks);
       node.Set("busy_seconds", n.busy_seconds);
+      node.Set("mem_usage_bytes", n.mem_usage_bytes);
+      node.Set("mem_peak_bytes", n.mem_peak_bytes);
+      node.Set("mem_budget_bytes", n.mem_budget_bytes);
       nodes.Append(std::move(node));
     }
     cluster.Set("nodes", std::move(nodes));
@@ -231,6 +245,49 @@ JsonValue RunReportToJson(const RunReport& report) {
   convergence.Set("series", std::move(series));
   convergence.Set("rejected_points", report.convergence_rejected);
   doc.Set("convergence", std::move(convergence));
+
+  JsonValue rpc = JsonValue::Object();
+  JsonValue methods = JsonValue::Array();
+  for (const auto& m : report.rpc) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("method", m.method);
+    entry.Set("node", static_cast<int64_t>(m.node));
+    entry.Set("calls", m.calls);
+    entry.Set("request_bytes", m.request_bytes);
+    entry.Set("response_bytes", m.response_bytes);
+    entry.Set("callee_busy_ticks", m.callee_busy_ticks);
+    entry.Set("caller_wait_ticks", m.caller_wait_ticks);
+    entry.Set("errors_unavailable", m.errors_unavailable);
+    entry.Set("errors_handler", m.errors_handler);
+    methods.Append(std::move(entry));
+  }
+  rpc.Set("methods", std::move(methods));
+  doc.Set("rpc", std::move(rpc));
+
+  JsonValue events = JsonValue::Object();
+  JsonValue counts = JsonValue::Object();
+  for (const auto& [type, count] : report.event_counts) {
+    counts.Set(type, count);
+  }
+  events.Set("counts", std::move(counts));
+  JsonValue failures = JsonValue::Array();
+  for (const JournalEvent& e : report.failure_events) {
+    JsonValue ev = JsonValue::Object();
+    ev.Set("type", JournalEventTypeName(e.type));
+    ev.Set("node", static_cast<int64_t>(e.node));
+    ev.Set("iteration", e.iteration);
+    ev.Set("ticks", e.ticks);
+    ev.Set("value", e.value);
+    failures.Append(std::move(ev));
+  }
+  events.Set("failures", std::move(failures));
+  JsonValue recovery = JsonValue::Object();
+  recovery.Set("episodes", report.recovery.episodes);
+  recovery.Set("total_ticks", report.recovery.total_ticks);
+  recovery.Set("max_ticks", report.recovery.max_ticks);
+  events.Set("recovery", std::move(recovery));
+  events.Set("dropped", report.events_dropped);
+  doc.Set("events", std::move(events));
 
   doc.Set("bench", report.bench);
   return doc;
@@ -308,6 +365,14 @@ Status ValidateRunReportJson(const JsonValue& doc) {
           node.is_object() && role != nullptr && role->is_string() &&
               busy != nullptr && busy->is_number(),
           "every cluster node needs 'role' and 'busy_ticks'"));
+      for (const char* field :
+           {"mem_usage_bytes", "mem_peak_bytes", "mem_budget_bytes"}) {
+        const JsonValue* f = node.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("every cluster node needs "
+                                             "numeric '") +
+                                     field + "'"));
+      }
     }
   }
   const JsonValue* skew = doc.Find("skew");
@@ -367,6 +432,74 @@ Status ValidateRunReportJson(const JsonValue& doc) {
         last_iter = p.at(0).as_int();
       }
     }
+  }
+  const JsonValue* rpc = doc.Find("rpc");
+  PSG_RETURN_NOT_OK(Expect(rpc != nullptr && rpc->is_object(),
+                           "'rpc' must be an object"));
+  {
+    const JsonValue* methods = rpc->Find("methods");
+    PSG_RETURN_NOT_OK(Expect(methods != nullptr && methods->is_array(),
+                             "'rpc.methods' must be an array"));
+    for (const JsonValue& m : methods->elements()) {
+      PSG_RETURN_NOT_OK(
+          Expect(m.is_object(), "rpc method entry must be an object"));
+      const JsonValue* method = m.Find("method");
+      PSG_RETURN_NOT_OK(Expect(method != nullptr && method->is_string() &&
+                                   !method->as_string().empty(),
+                               "rpc entry needs a non-empty 'method'"));
+      for (const char* field :
+           {"node", "calls", "request_bytes", "response_bytes",
+            "callee_busy_ticks", "caller_wait_ticks", "errors_unavailable",
+            "errors_handler"}) {
+        const JsonValue* f = m.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("rpc entry needs numeric '") +
+                                     field + "'"));
+      }
+    }
+  }
+  const JsonValue* events = doc.Find("events");
+  PSG_RETURN_NOT_OK(Expect(events != nullptr && events->is_object(),
+                           "'events' must be an object"));
+  {
+    const JsonValue* counts = events->Find("counts");
+    PSG_RETURN_NOT_OK(Expect(counts != nullptr && counts->is_object(),
+                             "'events.counts' must be an object"));
+    for (const auto& [type, count] : counts->members()) {
+      PSG_RETURN_NOT_OK(Expect(count.is_number(),
+                               "events count '" + type +
+                                   "' must be numeric"));
+    }
+    const JsonValue* failures = events->Find("failures");
+    PSG_RETURN_NOT_OK(Expect(failures != nullptr && failures->is_array(),
+                             "'events.failures' must be an array"));
+    for (const JsonValue& ev : failures->elements()) {
+      PSG_RETURN_NOT_OK(
+          Expect(ev.is_object(), "failure event must be an object"));
+      const JsonValue* type = ev.Find("type");
+      PSG_RETURN_NOT_OK(Expect(type != nullptr && type->is_string() &&
+                                   !type->as_string().empty(),
+                               "failure event needs a 'type' string"));
+      for (const char* field : {"node", "iteration", "ticks", "value"}) {
+        const JsonValue* f = ev.Find(field);
+        PSG_RETURN_NOT_OK(
+            Expect(f != nullptr && f->is_number(),
+                   std::string("failure event needs numeric '") + field +
+                       "'"));
+      }
+    }
+    const JsonValue* recovery = events->Find("recovery");
+    PSG_RETURN_NOT_OK(Expect(recovery != nullptr && recovery->is_object(),
+                             "'events.recovery' must be an object"));
+    for (const char* field : {"episodes", "total_ticks", "max_ticks"}) {
+      const JsonValue* f = recovery->Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               std::string("'events.recovery.") + field +
+                                   "' must be numeric"));
+    }
+    const JsonValue* dropped = events->Find("dropped");
+    PSG_RETURN_NOT_OK(Expect(dropped != nullptr && dropped->is_number(),
+                             "'events.dropped' must be numeric"));
   }
   const JsonValue* bench = doc.Find("bench");
   PSG_RETURN_NOT_OK(Expect(bench != nullptr,

@@ -21,9 +21,11 @@
 
 #include "common/json.h"
 #include "common/metrics.h"
+#include "common/rpc_telemetry.h"
 #include "common/trace.h"
 #include "sim/cluster.h"
 #include "sim/convergence.h"
+#include "sim/event_journal.h"
 #include "sim/skew.h"
 
 namespace psgraph::sim {
@@ -53,8 +55,13 @@ std::string FormatReport(const ClusterReport& report);
 ///   2 — flight recorder: "skew" (per-shard key-access profile +
 ///       per-partition busy-tick imbalance) and "convergence"
 ///       (per-iteration algorithm telemetry) sections.
+///   3 — wire-level telemetry: "rpc" (per-(method, callee) call/byte/
+///       busy/wait/error counters) and "events" (control-plane journal:
+///       per-type counts, failure timeline, recovery summary) sections;
+///       per-node mem_usage_bytes/mem_peak_bytes/mem_budget_bytes in
+///       cluster.nodes.
 inline constexpr const char* kRunReportSchema = "psgraph.run_report";
-inline constexpr int kRunReportSchemaVersion = 2;
+inline constexpr int kRunReportSchemaVersion = 3;
 
 struct RunReport {
   std::string name;  ///< bench/run identifier ("micro", "parallel", ...)
@@ -72,6 +79,11 @@ struct RunReport {
     std::string role;  // "executor" | "server" | "driver"
     int64_t busy_ticks = 0;
     double busy_seconds = 0.0;
+    /// Per-node memory ledger at capture time (schema v3): memory skew
+    /// is visible alongside key skew, not just the cluster-wide peak.
+    uint64_t mem_usage_bytes = 0;
+    uint64_t mem_peak_bytes = 0;
+    uint64_t mem_budget_bytes = 0;
   };
   bool has_cluster = false;
   int32_t num_executors = 0;
@@ -85,6 +97,17 @@ struct RunReport {
   /// Per-iteration algorithm telemetry (the "convergence" section).
   std::map<std::string, ConvergenceLog::Series> convergence;
   uint64_t convergence_rejected = 0;
+
+  /// Wire-level RPC telemetry (the "rpc" section, schema v3): one entry
+  /// per (method, callee node), in deterministic order.
+  std::vector<RpcTelemetry::MethodStat> rpc;
+  /// Control-plane journal (the "events" section, schema v3): per-type
+  /// counts, the failure-path events only (empty for clean runs), and
+  /// the derived recovery summary.
+  std::map<std::string, uint64_t> event_counts;
+  std::vector<JournalEvent> failure_events;
+  EventJournal::RecoverySummary recovery;
+  uint64_t events_dropped = 0;
 
   /// Free-form bench-specific payload, emitted under "bench".
   JsonValue bench = JsonValue::Object();

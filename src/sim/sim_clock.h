@@ -96,11 +96,15 @@ class SimClock {
   }
 
   /// Max simulated time over all nodes.
-  double Makespan() const {
+  double Makespan() const { return SecondsOf(MakespanTicks()); }
+
+  /// Tick-exact makespan, for stamps that must difference without
+  /// floating-point rounding (the event journal's recovery episodes).
+  int64_t MakespanTicks() const {
     std::lock_guard<std::mutex> lock(mu_);
     int64_t t = 0;
     for (int64_t v : ticks_) t = std::max(t, v);
-    return SecondsOf(t);
+    return t;
   }
 
   void Reset() {

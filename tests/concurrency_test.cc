@@ -165,6 +165,108 @@ TEST(ConcurrencyTest, CallParallelClockTotalsMatchSequential) {
   EXPECT_GT(seq_ticks.front(), 0);
 }
 
+// Error-path parity: a fan-out containing a handler failure and an
+// unavailable callee must leave bit-identical telemetry aggregates and
+// per-node clocks at parallelism 1 and 8 — the plan-all/execute-all
+// schedule is the same in both modes, so a failure cannot change what
+// the callees were charged or what the wire counters saw.
+TEST(ConcurrencyTest, CallParallelErrorPathsMatchSequential) {
+  struct Outcome {
+    std::vector<RpcTelemetry::MethodStat> telemetry;
+    std::vector<int64_t> ticks;
+    std::string status;
+  };
+  auto run = [&](size_t parallelism) -> Outcome {
+    ParallelismGuard guard(parallelism);
+    sim::ClusterConfig cfg;
+    cfg.num_executors = 2;
+    cfg.num_servers = 2;
+    cfg.executor_mem_bytes = 64ull << 20;
+    cfg.server_mem_bytes = 64ull << 20;
+    sim::SimCluster cluster(cfg);
+    RpcTelemetry telemetry;
+    cluster.set_rpc_telemetry(&telemetry);
+    net::RpcFabric fabric(&cluster);
+    auto ok_endpoint = std::make_shared<net::RpcEndpoint>();
+    ok_endpoint->Register(
+        "work",
+        [&cluster](const std::vector<uint8_t>&) -> Result<ByteBuffer> {
+          cluster.clock().Advance(2, 0.020);
+          ByteBuffer out;
+          out.Write<uint32_t>(1);
+          return out;
+        });
+    fabric.Bind(2, ok_endpoint);  // server 0
+    auto bad_endpoint = std::make_shared<net::RpcEndpoint>();
+    bad_endpoint->Register(
+        "work",
+        [&cluster](const std::vector<uint8_t>&) -> Result<ByteBuffer> {
+          cluster.clock().Advance(3, 0.005);  // burns time, then fails
+          return Status::Internal("handler boom");
+        });
+    fabric.Bind(3, bad_endpoint);  // server 1
+    // Node 4 (the driver) is alive but has no endpoint bound.
+
+    ByteBuffer req;
+    req.Write<uint64_t>(42);
+    std::vector<net::RpcFabric::ParallelCall> calls;
+    calls.push_back({2, "work", req});
+    calls.push_back({3, "work", req});  // handler error
+    calls.push_back({2, "work", req});
+    calls.push_back({4, "work", req});  // plan error: unbound
+    calls.push_back({3, "work", req});  // never planned
+    Outcome out;
+    out.status = fabric.CallParallel(0, std::move(calls))
+                     .status()
+                     .ToString();
+    out.telemetry = telemetry.Snapshot();
+    for (int32_t n = 0; n < cluster.config().num_nodes(); ++n) {
+      out.ticks.push_back(cluster.clock().NowTicks(n));
+    }
+    return out;
+  };
+
+  Outcome seq = run(1);
+  Outcome par = run(8);
+
+  // The first handler error in call order wins over the plan error.
+  EXPECT_NE(seq.status.find("handler boom"), std::string::npos)
+      << seq.status;
+  EXPECT_EQ(seq.status, par.status);
+  ASSERT_EQ(seq.ticks, par.ticks);
+
+  ASSERT_EQ(seq.telemetry.size(), 3u);  // ("work",2) ("work",3) ("work",4)
+  ASSERT_EQ(par.telemetry.size(), 3u);
+  for (size_t i = 0; i < seq.telemetry.size(); ++i) {
+    const auto& a = seq.telemetry[i];
+    const auto& b = par.telemetry[i];
+    EXPECT_EQ(a.method, b.method);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.calls, b.calls);
+    EXPECT_EQ(a.request_bytes, b.request_bytes);
+    EXPECT_EQ(a.response_bytes, b.response_bytes);
+    EXPECT_EQ(a.callee_busy_ticks, b.callee_busy_ticks);
+    EXPECT_EQ(a.caller_wait_ticks, b.caller_wait_ticks);
+    EXPECT_EQ(a.errors_unavailable, b.errors_unavailable);
+    EXPECT_EQ(a.errors_handler, b.errors_handler);
+  }
+  // Both planned calls to server 0 were dispatched despite the failure.
+  EXPECT_EQ(seq.telemetry[0].node, 2);
+  EXPECT_EQ(seq.telemetry[0].calls, 2u);
+  EXPECT_EQ(seq.telemetry[0].response_bytes, 8u);  // 2 * sizeof(uint32)
+  EXPECT_GT(seq.telemetry[0].callee_busy_ticks, 0);
+  // The failing handler's burned busy time is attributed to it.
+  EXPECT_EQ(seq.telemetry[1].node, 3);
+  EXPECT_EQ(seq.telemetry[1].calls, 1u);
+  EXPECT_EQ(seq.telemetry[1].errors_handler, 1u);
+  EXPECT_GT(seq.telemetry[1].callee_busy_ticks, 0);
+  // The unbound callee shows as unavailable; the call after it was
+  // never planned, so only one error is recorded for node 3.
+  EXPECT_EQ(seq.telemetry[2].node, 4);
+  EXPECT_EQ(seq.telemetry[2].calls, 0u);
+  EXPECT_EQ(seq.telemetry[2].errors_unavailable, 1u);
+}
+
 // Many real threads hammer one PS matrix through different agents.
 // PushAdd of a constant is order-independent in float, so the final
 // value is exact: num_workers * rounds additions of 1.0f per key.

@@ -9,6 +9,7 @@
 #include "core/pagerank.h"
 #include "core/psgraph_context.h"
 #include "graph/generators.h"
+#include "sim/event_journal.h"
 
 namespace psgraph::core {
 namespace {
@@ -97,6 +98,80 @@ TEST(FailureTest, PageRankConsistentRecoveryPreservesResult) {
     EXPECT_NEAR(failed_ranks[v], clean_ranks[v], 1e-6) << "vertex " << v;
   }
   EXPECT_GT(failed_time, clean_time);
+}
+
+// The control-plane journal must tell the full recovery story: one kill
+// event at the scheduled iteration, a matching recovery begin/end pair
+// bracketing it in sim time, and a rollback record whose target agrees
+// with the rewound convergence series.
+TEST(FailureTest, JournalRecordsKillRecoveryAndRollback) {
+  auto ctx_or = PsGraphContext::Create(SmallOptions());
+  PSG_CHECK_OK(ctx_or.status());
+  auto& ctx = **ctx_or;
+  auto ds = StageAndLoadEdges(ctx, TestGraph(), "in/journal.bin");
+  PSG_CHECK_OK(ds.status());
+  // Kill server 1 (node 4) at iteration 5; checkpoints land at 3, 6, 9.
+  ctx.failures().ScheduleKill(4, 5);
+  PageRankOptions opts;
+  opts.max_iterations = 10;
+  PSG_CHECK_OK(PageRank(ctx, *ds, 0, opts).status());
+
+  const std::vector<sim::JournalEvent> events = ctx.events().Snapshot();
+  std::vector<sim::JournalEvent> kills, begins, ends, rollbacks;
+  int health_failures = 0;
+  for (const sim::JournalEvent& e : events) {
+    switch (e.type) {
+      case sim::JournalEventType::kNodeKilled:
+        kills.push_back(e);
+        break;
+      case sim::JournalEventType::kRecoveryBegin:
+        begins.push_back(e);
+        break;
+      case sim::JournalEventType::kRecoveryEnd:
+        ends.push_back(e);
+        break;
+      case sim::JournalEventType::kRollback:
+        rollbacks.push_back(e);
+        break;
+      case sim::JournalEventType::kHealthCheck:
+        if (e.value > 0) ++health_failures;
+        break;
+      default:
+        break;
+    }
+  }
+
+  ASSERT_EQ(kills.size(), 1u);
+  EXPECT_EQ(kills[0].node, 4);
+  EXPECT_EQ(kills[0].iteration, 5);
+  EXPECT_EQ(health_failures, 1);  // exactly one check saw the dead server
+
+  ASSERT_EQ(begins.size(), 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(begins[0].iteration, 5);
+  EXPECT_EQ(begins[0].value, 1);  // one dead node entering recovery
+  EXPECT_GT(ends[0].ticks, begins[0].ticks)
+      << "checkpoint restore must cost simulated time";
+  auto recovery = sim::EventJournal::SummarizeRecovery(events);
+  EXPECT_EQ(recovery.episodes, 1u);
+  EXPECT_EQ(recovery.total_ticks, ends[0].ticks - begins[0].ticks);
+
+  // Consistent recovery rolled back to last_checkpoint + 1 = 4, and the
+  // convergence log was rewound to the same spot: iterations 0..9 with
+  // no monotonicity violations despite iterations 4..5 being redone.
+  ASSERT_EQ(rollbacks.size(), 1u);
+  EXPECT_EQ(rollbacks[0].value, 4);
+  auto series = ctx.convergence().Snapshot();
+  ASSERT_EQ(series.count("pagerank.delta_l1"), 1u);
+  const auto& points = series["pagerank.delta_l1"];
+  ASSERT_EQ(points.size(), 10u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].iteration, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(ctx.convergence().rejected(), 0u);
+
+  // Checkpoint restores show up against the restarted server node.
+  ASSERT_EQ(ctx.events().Counts().count("checkpoint_restore"), 1u);
 }
 
 TEST(FailureTest, ExecutorFailureReloadsViaLineage) {

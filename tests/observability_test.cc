@@ -13,6 +13,7 @@
 
 #include "common/json.h"
 #include "common/metrics.h"
+#include "common/rpc_telemetry.h"
 #include "common/trace.h"
 #include "common/trace_export.h"
 #include "core/graph_loader.h"
@@ -20,6 +21,7 @@
 #include "core/psgraph_context.h"
 #include "graph/generators.h"
 #include "sim/convergence.h"
+#include "sim/event_journal.h"
 #include "sim/report.h"
 #include "sim/skew.h"
 
@@ -200,8 +202,76 @@ TEST(RunReportTest, ValidatorRejectsBrokenDocuments) {
     bad.Set("histograms", JsonValue::Array());
     EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
   }
+  {
+    JsonValue bad = good;
+    bad.Set("rpc", JsonValue::Array());  // must be an object
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
+  {
+    JsonValue bad = good;
+    JsonValue events = JsonValue::Object();
+    events.Set("counts", JsonValue::Object());
+    events.Set("failures", JsonValue::Array());
+    // missing recovery + dropped
+    bad.Set("events", std::move(events));
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
   EXPECT_FALSE(sim::ValidateRunReportJson(JsonValue(3)).ok());
   EXPECT_FALSE(sim::ValidateRunReportJson(JsonValue::Object()).ok());
+}
+
+// Schema v3: a clean run's report carries real RPC aggregates, per-node
+// memory gauges, and an events section whose failure timeline is empty.
+TEST(RunReportTest, V3RpcAndEventsSectionsFromCleanRun) {
+  core::PsGraphContext::Options opts;
+  opts.cluster.num_executors = 2;
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 64ull << 20;
+  opts.cluster.server_mem_bytes = 64ull << 20;
+  auto ctx = core::PsGraphContext::Create(opts);
+  ASSERT_TRUE(ctx.ok());
+  graph::EdgeList edges = graph::GenerateErdosRenyi(200, 1000, 29);
+  auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/v3.bin");
+  ASSERT_TRUE(ds.ok());
+  core::PageRankOptions po;
+  po.max_iterations = 3;
+  ASSERT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+
+  sim::RunReport report = sim::CollectRunReport("v3", &(*ctx)->cluster());
+  ASSERT_FALSE(report.rpc.empty());
+  uint64_t calls = 0;
+  for (const auto& m : report.rpc) {
+    calls += m.calls;
+    EXPECT_FALSE(m.method.empty());
+    EXPECT_EQ(m.errors_unavailable + m.errors_handler, 0u);
+  }
+  EXPECT_EQ(calls, report.counters["rpc.calls"]);
+  // Sorted by (method, callee node).
+  for (size_t i = 1; i < report.rpc.size(); ++i) {
+    EXPECT_LE(std::make_pair(report.rpc[i - 1].method,
+                             report.rpc[i - 1].node),
+              std::make_pair(report.rpc[i].method, report.rpc[i].node));
+  }
+  EXPECT_TRUE(report.failure_events.empty());
+  EXPECT_EQ(report.recovery.episodes, 0u);
+  EXPECT_GT(report.event_counts["barrier_entry"], 0u);
+  bool server_mem_seen = false;
+  for (const auto& n : report.nodes) {
+    EXPECT_GT(n.mem_budget_bytes, 0u);
+    if (n.role == "server" && n.mem_peak_bytes > 0) server_mem_seen = true;
+  }
+  EXPECT_TRUE(server_mem_seen) << "PS rows must show up in a server ledger";
+
+  auto parsed = JsonValue::Parse(sim::RunReportToJson(report).Dump(2));
+  ASSERT_TRUE(parsed.ok());
+  Status valid = sim::ValidateRunReportJson(*parsed);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  const JsonValue* rpc = parsed->Find("rpc");
+  EXPECT_FALSE(rpc->Find("methods")->elements().empty());
+  const JsonValue* events = parsed->Find("events");
+  EXPECT_TRUE(events->Find("failures")->elements().empty());
+  EXPECT_EQ(events->Find("dropped")->as_int(), 0);
+  EXPECT_EQ(events->Find("recovery")->Find("episodes")->as_int(), 0);
 }
 
 TEST(RunReportTest, CollectFromClusterAddsNodeStats) {
@@ -369,6 +439,156 @@ TEST(TraceExportTest, OverlappingRootsGetDistinctTracks) {
   ASSERT_EQ(tid_of.size(), 3u);
   EXPECT_NE(tid_of["a"], tid_of["b"]);
   EXPECT_EQ(tid_of["a"], tid_of["c"]);
+}
+
+TEST(RpcTelemetryTest, AccumulatesPerMethodAndCallee) {
+  RpcTelemetry t;
+  t.RecordCall("pull", 3, 100);
+  t.RecordCall("pull", 3, 50);
+  t.RecordResponse("pull", 3, 200, /*busy_ticks=*/40, /*wait_ticks=*/60);
+  t.RecordResponse("pull", 3, 100, /*busy_ticks=*/10, /*wait_ticks=*/20);
+  t.RecordCall("push", 2, 10);
+  t.RecordError("push", 2, /*unavailable=*/false, /*busy_ticks=*/5);
+  t.RecordError("pull", 4, /*unavailable=*/true);
+
+  auto snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Deterministic (method, node) order.
+  EXPECT_EQ(snap[0].method, "pull");
+  EXPECT_EQ(snap[0].node, 3);
+  EXPECT_EQ(snap[0].calls, 2u);
+  EXPECT_EQ(snap[0].request_bytes, 150u);
+  EXPECT_EQ(snap[0].response_bytes, 300u);
+  EXPECT_EQ(snap[0].callee_busy_ticks, 50);
+  EXPECT_EQ(snap[0].caller_wait_ticks, 80);
+  EXPECT_EQ(snap[0].errors_unavailable, 0u);
+  EXPECT_EQ(snap[1].method, "pull");
+  EXPECT_EQ(snap[1].node, 4);
+  EXPECT_EQ(snap[1].calls, 0u);  // never planned successfully
+  EXPECT_EQ(snap[1].errors_unavailable, 1u);
+  EXPECT_EQ(snap[2].method, "push");
+  EXPECT_EQ(snap[2].node, 2);
+  EXPECT_EQ(snap[2].errors_handler, 1u);
+  EXPECT_EQ(snap[2].callee_busy_ticks, 5);  // burned before failing
+
+  t.Reset();
+  EXPECT_TRUE(t.Snapshot().empty());
+}
+
+TEST(EventJournalTest, RecordsStampsAndSummarizesRecovery) {
+  sim::EventJournal j;
+  j.set_iteration(2);
+  j.Record(sim::JournalEventType::kNodeKilled, 4, 100);
+  j.Record(sim::JournalEventType::kRecoveryBegin, -1, 100, 1);
+  j.Record(sim::JournalEventType::kCheckpointRestore, 4, 150, 4096);
+  j.Record(sim::JournalEventType::kRecoveryEnd, -1, 180, 1);
+  j.set_iteration(3);
+  j.Record(sim::JournalEventType::kBarrierEntry, -1, 200, 7);
+
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].type, sim::JournalEventType::kNodeKilled);
+  EXPECT_EQ(events[0].node, 4);
+  EXPECT_EQ(events[0].iteration, 2);  // stamped from the set context
+  EXPECT_EQ(events[0].ticks, 100);
+  EXPECT_EQ(events[4].iteration, 3);
+
+  auto counts = j.Counts();
+  EXPECT_EQ(counts["node_killed"], 1u);
+  EXPECT_EQ(counts["barrier_entry"], 1u);
+
+  auto recovery = sim::EventJournal::SummarizeRecovery(events);
+  EXPECT_EQ(recovery.episodes, 1u);
+  EXPECT_EQ(recovery.total_ticks, 80);
+  EXPECT_EQ(recovery.max_ticks, 80);
+
+  EXPECT_TRUE(sim::EventJournal::IsFailureEvent(events[0]));
+  EXPECT_FALSE(sim::EventJournal::IsFailureEvent(events[4]));
+  // Health checks are failures only when they saw dead servers.
+  sim::JournalEvent healthy{sim::JournalEventType::kHealthCheck, -1, 0, 0,
+                            0};
+  sim::JournalEvent dead{sim::JournalEventType::kHealthCheck, -1, 0, 0, 2};
+  EXPECT_FALSE(sim::EventJournal::IsFailureEvent(healthy));
+  EXPECT_TRUE(sim::EventJournal::IsFailureEvent(dead));
+}
+
+TEST(EventJournalTest, CapsEventsAndCountsDropped) {
+  sim::EventJournal j;
+  for (size_t i = 0; i < sim::EventJournal::kMaxEvents + 7; ++i) {
+    j.Record(sim::JournalEventType::kBarrierEntry, -1,
+             static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(j.Snapshot().size(), sim::EventJournal::kMaxEvents);
+  EXPECT_EQ(j.dropped(), 7u);
+  j.Reset();
+  EXPECT_TRUE(j.Snapshot().empty());
+  EXPECT_EQ(j.dropped(), 0u);
+}
+
+TEST(TraceExportTest, EmitsFlowAndInstantEvents) {
+  std::vector<TraceSpan> spans;
+  spans.push_back({1, 0, "agent.pull", 0, 100, 300});
+  spans.push_back({2, 1, "rpc.pull", 2, 150, 250});  // cross-node child
+  spans.push_back({3, 1, "compute", 0, 120, 140});   // same-node child
+  TraceExportOptions options;
+  // An instant on a node with no spans at all (a killed node).
+  options.instants.push_back({"node_killed", 5, 400});
+  options.instants.push_back({"checkpoint_restore", 2, 420});
+  JsonValue doc = TraceToChromeJson(spans, options);
+
+  const JsonValue* starts = nullptr;
+  const JsonValue* finishes = nullptr;
+  std::vector<const JsonValue*> instants;
+  int metadata = 0;
+  for (const JsonValue& ev : doc.Find("traceEvents")->elements()) {
+    const std::string& ph = ev.Find("ph")->as_string();
+    if (ph == "M") ++metadata;
+    if (ph == "s") starts = &ev;
+    if (ph == "f") finishes = &ev;
+    if (ph == "i") instants.push_back(&ev);
+  }
+  // pids: node 0, node 2, and the instant-only node 5 all get metadata.
+  EXPECT_EQ(metadata, 3);
+
+  // Exactly one flow pair: the same-node child gets no arrow.
+  ASSERT_NE(starts, nullptr);
+  ASSERT_NE(finishes, nullptr);
+  EXPECT_EQ(starts->Find("id")->as_int(), 2);
+  EXPECT_EQ(finishes->Find("id")->as_int(), 2);
+  EXPECT_EQ(starts->Find("pid")->as_int(), 1);    // parent on node 0
+  EXPECT_EQ(finishes->Find("pid")->as_int(), 3);  // child on node 2
+  EXPECT_EQ(starts->Find("ts")->as_int(), 150);   // inside the parent
+  EXPECT_EQ(finishes->Find("ts")->as_int(), 150);
+  EXPECT_EQ(finishes->Find("bp")->as_string(), "e");
+  EXPECT_EQ(starts->Find("args")->Find("parent")->as_int(), 1);
+
+  ASSERT_EQ(instants.size(), 2u);
+  EXPECT_EQ(instants[0]->Find("name")->as_string(), "checkpoint_restore");
+  EXPECT_EQ(instants[0]->Find("pid")->as_int(), 3);
+  EXPECT_EQ(instants[0]->Find("s")->as_string(), "p");
+  EXPECT_EQ(instants[1]->Find("name")->as_string(), "node_killed");
+  EXPECT_EQ(instants[1]->Find("pid")->as_int(), 6);
+  EXPECT_EQ(instants[1]->Find("ts")->as_int(), 400);
+
+  // Still a pure function of its inputs.
+  EXPECT_EQ(doc.Dump(2), TraceToChromeJson(spans, options).Dump(2));
+}
+
+TEST(TraceExportTest, FlowStartClampsIntoParentInterval) {
+  // The child's begin can lie past the parent's end (clock skew across
+  // planned calls); the start arrow must stay inside the parent slice.
+  std::vector<TraceSpan> spans;
+  spans.push_back({1, 0, "agent.push", 0, 100, 200});
+  spans.push_back({2, 1, "rpc.push", 3, 260, 280});
+  JsonValue doc = TraceToChromeJson(spans, {});
+  for (const JsonValue& ev : doc.Find("traceEvents")->elements()) {
+    if (ev.Find("ph")->as_string() == "s") {
+      EXPECT_EQ(ev.Find("ts")->as_int(), 200);
+    }
+    if (ev.Find("ph")->as_string() == "f") {
+      EXPECT_EQ(ev.Find("ts")->as_int(), 260);
+    }
+  }
 }
 
 TEST(SpaceSavingTest, FindsHeavyHittersOnZipfStream) {
@@ -554,6 +774,8 @@ TEST(FlightRecorderTest, RunReportSectionsAreDeterministic) {
   EXPECT_EQ(doc.Find("skew")->Dump(2), doc2.Find("skew")->Dump(2));
   EXPECT_EQ(doc.Find("convergence")->Dump(2),
             doc2.Find("convergence")->Dump(2));
+  EXPECT_EQ(doc.Find("rpc")->Dump(2), doc2.Find("rpc")->Dump(2));
+  EXPECT_EQ(doc.Find("events")->Dump(2), doc2.Find("events")->Dump(2));
 }
 
 }  // namespace
