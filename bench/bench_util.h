@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.h"
 #include "common/trace_export.h"
 #include "sim/report.h"
 
@@ -23,10 +24,9 @@ namespace psgraph::bench {
 
 /// Environment-variable override with default (benches stay fast by
 /// default but can be scaled up: PSG_SCALE_DENOM=1000 runs 10x bigger).
+/// Validating wrapper — garbage values abort with a message.
 inline uint64_t EnvU64(const char* name, uint64_t def) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return def;
-  return std::strtoull(v, nullptr, 10);
+  return psgraph::EnvU64(name, def);
 }
 
 inline std::string FormatDuration(double seconds) {

@@ -17,9 +17,10 @@ so at parallelism 1 they are bit-identical run-to-run and any drift is a
 real behaviour change:
 
   * cluster.makespan_ticks and each per-node busy_ticks
-  * p50/p95/p99/count of the pull/push latency histograms
+  * p50/p95/p99/p999/count of the pull/push/serving latency histograms
     (agent.pull.latency_ticks, agent.push.latency_ticks,
-    ps.pull.service_ticks, ps.push.service_ticks)
+    ps.pull.service_ticks, ps.push.service_ticks,
+    serving.request.latency_ticks)
   * every numeric bench-payload leaf whose key ends in ``sim_ticks``
     or ``sim_seconds`` (tolerance band) or equals ``oom`` /
     ``sim_ticks_identical`` (exact) — this covers the fig6 table rows,
@@ -35,6 +36,9 @@ schema_version-2 ``skew``/``convergence`` flight-recorder sections
 parallelism > 1), and the schema_version-3 ``rpc``/``events`` sections
 (their deterministic aggregates surface per-cell in the bench payload
 where the suffix rules gate them) — those are schema-validated only.
+The schema_version-4 ``serving`` section's latency histogram gates via
+GATED_HISTOGRAMS; its counters gate through the bench payload's
+suffix rules like every other sim-derived quantity.
 
 A tolerance band (default 5%) allows intentional cost-model tuning to
 pass while catching order-of-magnitude regressions; exact-match fields
@@ -52,11 +56,18 @@ GATED_HISTOGRAMS = [
     "agent.push.latency_ticks",
     "ps.pull.service_ticks",
     "ps.push.service_ticks",
+    "serving.request.latency_ticks",
 ]
-GATED_QUANTILES = ["p50", "p95", "p99"]
+GATED_QUANTILES = ["p50", "p95", "p99", "p999"]
 
 HIST_NUMERIC_FIELDS = [
-    "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+    "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "p999",
+]
+
+SERVING_NUMERIC_FIELDS = [
+    "requests_completed", "requests_failed", "torn_reads", "lookup_keys",
+    "infer_nodes", "cache_hits", "cache_misses", "cache_hit_rate",
+    "batches", "mean_batch_occupancy", "swaps", "snapshots_published",
 ]
 
 
@@ -75,7 +86,7 @@ def validate_schema(report, path, errors):
         return
     if report.get("schema") != "psgraph.run_report":
         err("bad schema marker %r", report.get("schema"))
-    if report.get("schema_version") != 3:
+    if report.get("schema_version") != 4:
         err("unsupported schema_version %r", report.get("schema_version"))
     if not isinstance(report.get("name"), str) or not report.get("name"):
         err("missing name")
@@ -220,6 +231,21 @@ def validate_schema(report, path, errors):
                     err("events.recovery.%s must be an integer" % field)
         if not isinstance(events.get("dropped"), int):
             err("events.dropped must be an integer")
+
+    serving = report.get("serving")
+    if not isinstance(serving, dict):
+        err("missing 'serving' section")
+    else:
+        for field in SERVING_NUMERIC_FIELDS:
+            if not isinstance(serving.get(field), (int, float)):
+                err("serving.%s must be numeric" % field)
+        latency = serving.get("latency_ticks")
+        if not isinstance(latency, dict):
+            err("serving.latency_ticks must be an object")
+        else:
+            for field in ("count", "p50", "p99", "p999"):
+                if not isinstance(latency.get(field), (int, float)):
+                    err("serving.latency_ticks.%s must be numeric" % field)
 
 
 def within(baseline, current, tolerance):

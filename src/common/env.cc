@@ -1,0 +1,64 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace psgraph {
+
+namespace {
+
+[[noreturn]] void Die(const char* name, const char* value,
+                      const std::string& why) {
+  std::fprintf(stderr, "psgraph: invalid %s='%s': %s\n", name, value,
+               why.c_str());
+  std::abort();
+}
+
+std::string Lower(const char* v) {
+  std::string out;
+  for (const char* p = v; *p != '\0'; ++p) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t EnvU64(const char* name, uint64_t def, uint64_t min_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  if (!std::isdigit(static_cast<unsigned char>(*v))) {
+    Die(name, v, "expected a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (errno == ERANGE) Die(name, v, "out of range for uint64");
+  if (end == v || *end != '\0') {
+    Die(name, v, "expected a non-negative integer");
+  }
+  if (n < min_value) {
+    Die(name, v,
+        "must be >= " + std::to_string(min_value));
+  }
+  return static_cast<uint64_t>(n);
+}
+
+bool EnvFlag(const char* name, bool def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  const std::string s = Lower(v);
+  if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+  if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+  Die(name, v, "expected a boolean (0/1/true/false/on/off/yes/no)");
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::string(v);
+}
+
+}  // namespace psgraph

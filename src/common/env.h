@@ -1,0 +1,30 @@
+// Unified parsing of PSGRAPH_* environment knobs.
+//
+// Every knob in the tree goes through these helpers so a typo'd value
+// fails loudly at startup instead of strtoull-ing to 0 and silently
+// changing behaviour. Unset (or empty) variables always mean "use the
+// default"; anything else must parse cleanly and respect the declared
+// minimum or the process aborts with a message naming the variable.
+
+#ifndef PSGRAPH_COMMON_ENV_H_
+#define PSGRAPH_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace psgraph {
+
+/// Unsigned integer knob. Unset/empty -> `def`. Garbage (non-digits,
+/// trailing junk, overflow) or a value below `min_value` aborts.
+uint64_t EnvU64(const char* name, uint64_t def, uint64_t min_value = 0);
+
+/// Boolean knob. Unset/empty -> `def`. Accepts 0/1/true/false/on/off/
+/// yes/no (case-insensitive); anything else aborts.
+bool EnvFlag(const char* name, bool def);
+
+/// String knob. Unset -> `def` (empty values pass through as empty).
+std::string EnvString(const char* name, const std::string& def = "");
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_ENV_H_

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/env.h"
+
 namespace psgraph {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -128,10 +130,9 @@ void ThreadPool::WorkerLoop() {
 namespace {
 
 size_t DefaultParallelism() {
-  if (const char* env = std::getenv("PSGRAPH_THREADS")) {
-    long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<size_t>(v);
-  }
+  // 0 (or unset) means "auto": use the machine's hardware concurrency.
+  const uint64_t v = EnvU64("PSGRAPH_THREADS", 0);
+  if (v >= 1) return static_cast<size_t>(v);
   size_t hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/env.h"
+
 namespace psgraph {
 
 namespace {
@@ -95,16 +97,12 @@ void Tracer::Reset() {
 }
 
 size_t Tracer::MaxSpansFromEnv() {
-  const char* v = std::getenv("PSGRAPH_TRACE_MAX_SPANS");
-  if (v == nullptr || *v == '\0') return kMaxSpans;
-  const unsigned long long n = std::strtoull(v, nullptr, 10);
+  // 0 (or unset) keeps the built-in cap.
+  const uint64_t n = EnvU64("PSGRAPH_TRACE_MAX_SPANS", 0);
   return n == 0 ? kMaxSpans : static_cast<size_t>(n);
 }
 
-bool Tracer::EnabledByEnv() {
-  const char* v = std::getenv("PSGRAPH_TRACE");
-  return v != nullptr && *v != '\0' && std::string(v) != "0";
-}
+bool Tracer::EnabledByEnv() { return EnvFlag("PSGRAPH_TRACE", false); }
 
 Tracer& Tracer::Global() {
   static Tracer* instance = [] {

@@ -6,6 +6,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/env.h"
+
 namespace psgraph {
 
 namespace {
@@ -237,8 +239,7 @@ Status WriteChromeTrace(const std::vector<TraceSpan>& spans,
 }
 
 std::string TraceOutPathFromEnv() {
-  const char* v = std::getenv("PSGRAPH_TRACE_OUT");
-  return v == nullptr ? std::string() : std::string(v);
+  return EnvString("PSGRAPH_TRACE_OUT");
 }
 
 }  // namespace psgraph

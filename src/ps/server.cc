@@ -443,6 +443,66 @@ Status PsServer::Checkpoint(const std::string& prefix) {
   return st;
 }
 
+Status PsServer::ExportMatrix(MatrixId id, ByteBuffer* out) {
+  auto it = shards_.find(id);
+  if (it == shards_.end()) {
+    return Status::NotFound("export: no matrix " + std::to_string(id) +
+                            " on server " + std::to_string(server_index_));
+  }
+  const MatrixShard& shard = it->second;
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.export", node_, t0,
+                  [this] { return NowTicks(); });
+
+  out->Write<uint32_t>(shard.col_begin);
+  out->Write<uint32_t>(shard.slice_cols);
+
+  std::vector<uint64_t> keys;
+  keys.reserve(shard.rows.size());
+  for (const auto& [key, row] : shard.rows) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  out->Write<uint64_t>(keys.size());
+  for (uint64_t key : keys) {
+    out->Write<uint64_t>(key);
+    out->WriteVector(shard.rows.at(key));
+  }
+
+  if (shard.csr.has_value()) {
+    const CsrStore& csr = *shard.csr;
+    out->Write<uint64_t>(csr.keys.size());
+    for (size_t i = 0; i < csr.keys.size(); ++i) {
+      out->Write<uint64_t>(csr.keys[i]);
+      const uint64_t begin = csr.offsets[i];
+      const uint64_t end = csr.offsets[i + 1];
+      out->Write<uint64_t>(end - begin);
+      for (uint64_t j = begin; j < end; ++j) {
+        out->Write<uint64_t>(csr.neighbors[j]);
+      }
+      const uint64_t nw = csr.weights.empty() ? 0 : end - begin;
+      out->Write<uint64_t>(nw);
+      for (uint64_t j = begin; j < begin + nw; ++j) {
+        out->Write<float>(csr.weights[j]);
+      }
+    }
+  } else {
+    keys.clear();
+    keys.reserve(shard.neighbors.size());
+    for (const auto& [key, entry] : shard.neighbors) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    out->Write<uint64_t>(keys.size());
+    for (uint64_t key : keys) {
+      const NeighborEntry& entry = shard.neighbors.at(key);
+      out->Write<uint64_t>(key);
+      out->WriteVector(entry.neighbors);
+      out->WriteVector(entry.weights);
+    }
+  }
+
+  ChargeCompute(out->size());
+  metrics().Add("ps.export_bytes", out->size());
+  return Status::OK();
+}
+
 Status PsServer::Restore(const std::string& prefix) {
   if (hdfs_ == nullptr) {
     return Status::FailedPrecondition("server has no HDFS attached");

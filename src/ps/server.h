@@ -146,6 +146,13 @@ class PsServer {
   /// Replaces all state from a checkpoint written by Checkpoint().
   Status Restore(const std::string& prefix);
 
+  /// Serializes this server's partition of matrix `id` for snapshot
+  /// export (serving/snapshot.h): column-slice bounds, rows sorted by
+  /// key, then adjacency entries sorted by key (read from the frozen CSR
+  /// when present). Sorting makes the bytes a function of shard *state*,
+  /// not hash-map iteration order. Charged as a full scan of the shard.
+  Status ExportMatrix(MatrixId id, ByteBuffer* out);
+
   /// Accessor for psFuncs.
   Result<MatrixShard*> GetShard(MatrixId id);
 

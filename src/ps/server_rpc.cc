@@ -134,6 +134,17 @@ void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
       });
 
   endpoint->Register(
+      "ps.export",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        PSG_RETURN_NOT_OK(reader.Read(&id));
+        ByteBuffer resp;
+        PSG_RETURN_NOT_OK(ExportMatrix(id, &resp));
+        return resp;
+      });
+
+  endpoint->Register(
       "ps.restore",
       [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
         ByteReader reader(req.data(), req.size());

@@ -1,0 +1,77 @@
+#include "serving/load_gen.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "sim/sim_clock.h"
+
+namespace psgraph::serving {
+
+namespace {
+
+double ZetaStatic(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  zetan_ = ZetaStatic(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - ZetaStatic(2, theta_) / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::vector<ServingRequest> GenerateLoad(const LoadGenOptions& options) {
+  Rng arrivals_rng(Hash64(options.seed) ^ 0x61727269);  // arrival stream
+  Rng keys_rng(Hash64(options.seed) ^ 0x6b657973);      // key stream
+  ZipfianGenerator zipf(options.key_space, options.zipf_theta);
+
+  std::vector<ServingRequest> requests;
+  requests.reserve(options.num_requests);
+  double t = options.start_sec;
+  const uint64_t keys_per_request =
+      options.keys_per_request == 0 ? 1 : options.keys_per_request;
+  for (uint64_t i = 0; i < options.num_requests; ++i) {
+    // Poisson inter-arrival: exponential with mean 1/rate.
+    const double u = arrivals_rng.NextDouble();
+    t += -std::log(1.0 - u) / options.rate_per_sec;
+
+    ServingRequest request;
+    request.arrival_ticks = sim::SimClock::TicksOf(t);
+    request.type = keys_rng.NextDouble() < options.infer_fraction
+                       ? RequestType::kInfer
+                       : RequestType::kLookup;
+    request.keys.reserve(keys_per_request);
+    for (uint64_t k = 0; k < keys_per_request; ++k) {
+      uint64_t key;
+      if (options.zipfian) {
+        // Scramble the rank so popular keys spread across shards.
+        key = Hash64(zipf.Next(keys_rng)) % options.key_space;
+      } else {
+        key = keys_rng.NextBounded(options.key_space);
+      }
+      request.keys.push_back(key);
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace psgraph::serving

@@ -1,0 +1,54 @@
+// Deterministic open-loop request generator for the serving bench.
+//
+// Arrivals are a Poisson process at `rate_per_sec` on the simulated
+// clock (the generator never looks at wall time, so runs are
+// reproducible bit-for-bit from the seed). Key popularity is either
+// uniform or Zipfian; the Zipfian generator is the Gray et al. rejection
+// form used by YCSB, with the rank scrambled through Hash64 so the hot
+// keys spread across shards instead of clustering on one.
+
+#ifndef PSGRAPH_SERVING_LOAD_GEN_H_
+#define PSGRAPH_SERVING_LOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "serving/router.h"
+
+namespace psgraph::serving {
+
+/// Zipfian ranks in [0, n) with parameter theta in (0, 1); rank 0 is the
+/// most popular. Precomputes the harmonic normalizer once (O(n)).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+struct LoadGenOptions {
+  uint64_t num_requests = 10000;
+  double rate_per_sec = 5000.0;  ///< open-loop arrival rate
+  bool zipfian = true;
+  double zipf_theta = 0.99;
+  uint64_t key_space = 1;
+  uint64_t keys_per_request = 1;
+  double infer_fraction = 0.0;  ///< share of requests that are Infer
+  uint64_t seed = 1;
+  double start_sec = 0.0;  ///< arrival time of the first request window
+};
+
+/// The full arrival-stamped request schedule, sorted by arrival time.
+std::vector<ServingRequest> GenerateLoad(const LoadGenOptions& options);
+
+}  // namespace psgraph::serving
+
+#endif  // PSGRAPH_SERVING_LOAD_GEN_H_

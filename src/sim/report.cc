@@ -61,6 +61,47 @@ std::string FormatReport(const ClusterReport& report) {
   return buf;
 }
 
+namespace {
+
+uint64_t CounterOr0(const std::map<std::string, uint64_t>& counters,
+                    const char* name) {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+/// The "serving" section is a pure rollup of the serving.* metrics, so
+/// every collection path (with or without a cluster) reports it.
+void FillServingStats(RunReport* report) {
+  RunReport::ServingStats& s = report->serving;
+  s.requests_completed =
+      CounterOr0(report->counters, "serving.requests_completed");
+  s.requests_failed = CounterOr0(report->counters, "serving.requests_failed");
+  s.torn_reads = CounterOr0(report->counters, "serving.torn_reads");
+  s.lookup_keys = CounterOr0(report->counters, "serving.lookup_keys");
+  s.infer_nodes = CounterOr0(report->counters, "serving.infer_nodes");
+  s.cache_hits = CounterOr0(report->counters, "serving.cache_hits");
+  s.cache_misses = CounterOr0(report->counters, "serving.cache_misses");
+  const uint64_t probes = s.cache_hits + s.cache_misses;
+  s.cache_hit_rate =
+      probes == 0 ? 0.0
+                  : static_cast<double>(s.cache_hits) /
+                        static_cast<double>(probes);
+  s.batches = CounterOr0(report->counters, "serving.batches");
+  s.swaps = CounterOr0(report->counters, "serving.swaps");
+  s.snapshots_published =
+      CounterOr0(report->counters, "serving.snapshots_published");
+  auto occupancy = report->histograms.find("serving.batch.occupancy");
+  if (occupancy != report->histograms.end()) {
+    s.mean_batch_occupancy = occupancy->second.mean();
+  }
+  auto latency = report->histograms.find("serving.request.latency_ticks");
+  if (latency != report->histograms.end()) {
+    s.latency = latency->second;
+  }
+}
+
+}  // namespace
+
 RunReport CollectRunReport(const std::string& name, Metrics& metrics,
                            Tracer& tracer) {
   RunReport report;
@@ -70,6 +111,7 @@ RunReport CollectRunReport(const std::string& name, Metrics& metrics,
   report.histograms = metrics.HistogramSnapshots();
   report.spans = tracer.Summary();
   report.spans_dropped = tracer.dropped();
+  FillServingStats(&report);
   return report;
 }
 
@@ -125,6 +167,7 @@ JsonValue HistogramToJson(const HistogramSnapshot& h) {
   obj.Set("p50", h.Quantile(0.50));
   obj.Set("p95", h.Quantile(0.95));
   obj.Set("p99", h.Quantile(0.99));
+  obj.Set("p999", h.Quantile(0.999));
   // Sparse [bucket_index, count] pairs: enough to rebuild the full
   // distribution, without 400 zeros per histogram.
   JsonValue buckets = JsonValue::Array();
@@ -289,6 +332,22 @@ JsonValue RunReportToJson(const RunReport& report) {
   events.Set("dropped", report.events_dropped);
   doc.Set("events", std::move(events));
 
+  JsonValue serving = JsonValue::Object();
+  serving.Set("requests_completed", report.serving.requests_completed);
+  serving.Set("requests_failed", report.serving.requests_failed);
+  serving.Set("torn_reads", report.serving.torn_reads);
+  serving.Set("lookup_keys", report.serving.lookup_keys);
+  serving.Set("infer_nodes", report.serving.infer_nodes);
+  serving.Set("cache_hits", report.serving.cache_hits);
+  serving.Set("cache_misses", report.serving.cache_misses);
+  serving.Set("cache_hit_rate", report.serving.cache_hit_rate);
+  serving.Set("batches", report.serving.batches);
+  serving.Set("mean_batch_occupancy", report.serving.mean_batch_occupancy);
+  serving.Set("swaps", report.serving.swaps);
+  serving.Set("snapshots_published", report.serving.snapshots_published);
+  serving.Set("latency_ticks", HistogramToJson(report.serving.latency));
+  doc.Set("serving", std::move(serving));
+
   doc.Set("bench", report.bench);
   return doc;
 }
@@ -330,7 +389,7 @@ Status ValidateRunReportJson(const JsonValue& doc) {
     PSG_RETURN_NOT_OK(
         Expect(h.is_object(), "histogram '" + hname + "' must be object"));
     for (const char* field : {"count", "sum", "min", "max", "mean", "p50",
-                              "p95", "p99"}) {
+                              "p95", "p99", "p999"}) {
       const JsonValue* f = h.Find(field);
       PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
                                "histogram '" + hname + "' needs numeric '" +
@@ -500,6 +559,30 @@ Status ValidateRunReportJson(const JsonValue& doc) {
     const JsonValue* dropped = events->Find("dropped");
     PSG_RETURN_NOT_OK(Expect(dropped != nullptr && dropped->is_number(),
                              "'events.dropped' must be numeric"));
+  }
+  const JsonValue* serving = doc.Find("serving");
+  PSG_RETURN_NOT_OK(Expect(serving != nullptr && serving->is_object(),
+                           "'serving' must be an object"));
+  {
+    for (const char* field :
+         {"requests_completed", "requests_failed", "torn_reads",
+          "lookup_keys", "infer_nodes", "cache_hits", "cache_misses",
+          "cache_hit_rate", "batches", "mean_batch_occupancy", "swaps",
+          "snapshots_published"}) {
+      const JsonValue* f = serving->Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               std::string("'serving.") + field +
+                                   "' must be numeric"));
+    }
+    const JsonValue* latency = serving->Find("latency_ticks");
+    PSG_RETURN_NOT_OK(Expect(latency != nullptr && latency->is_object(),
+                             "'serving.latency_ticks' must be an object"));
+    for (const char* field : {"count", "p50", "p99", "p999"}) {
+      const JsonValue* f = latency->Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               std::string("'serving.latency_ticks.") +
+                                   field + "' must be numeric"));
+    }
   }
   const JsonValue* bench = doc.Find("bench");
   PSG_RETURN_NOT_OK(Expect(bench != nullptr,

@@ -60,8 +60,13 @@ std::string FormatReport(const ClusterReport& report);
 ///       per-type counts, failure timeline, recovery summary) sections;
 ///       per-node mem_usage_bytes/mem_peak_bytes/mem_budget_bytes in
 ///       cluster.nodes.
+///   4 — online serving: "serving" section (request/cache/batch/swap
+///       counters with hit rate and mean batch occupancy, plus the
+///       request-latency histogram) and a p999 quantile on every
+///       histogram (tail latency is the serving SLO, p99 is too coarse
+///       for it).
 inline constexpr const char* kRunReportSchema = "psgraph.run_report";
-inline constexpr int kRunReportSchemaVersion = 3;
+inline constexpr int kRunReportSchemaVersion = 4;
 
 struct RunReport {
   std::string name;  ///< bench/run identifier ("micro", "parallel", ...)
@@ -108,6 +113,27 @@ struct RunReport {
   std::vector<JournalEvent> failure_events;
   EventJournal::RecoverySummary recovery;
   uint64_t events_dropped = 0;
+
+  /// Online-serving rollup (the "serving" section, schema v4), derived
+  /// from the "serving.*" metrics so any run that touched the serving
+  /// tier reports it; all-zero for runs that never served a request.
+  struct ServingStats {
+    uint64_t requests_completed = 0;
+    uint64_t requests_failed = 0;
+    uint64_t torn_reads = 0;
+    uint64_t lookup_keys = 0;
+    uint64_t infer_nodes = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    double cache_hit_rate = 0.0;  ///< hits / (hits + misses), 0 if idle
+    uint64_t batches = 0;
+    double mean_batch_occupancy = 0.0;  ///< requests per flushed batch
+    uint64_t swaps = 0;
+    uint64_t snapshots_published = 0;
+    /// serving.request.latency_ticks (simulated arrival→completion).
+    HistogramSnapshot latency;
+  };
+  ServingStats serving;
 
   /// Free-form bench-specific payload, emitted under "bench".
   JsonValue bench = JsonValue::Object();

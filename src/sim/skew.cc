@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/env.h"
+
 namespace psgraph::sim {
 
 void SpaceSavingCounter::Offer(uint64_t key, uint64_t weight) {
@@ -56,15 +58,11 @@ SkewProfiler::SkewProfiler(int32_t num_servers) {
 }
 
 bool SkewProfiler::KeyProfilingByEnv() {
-  const char* v = std::getenv("PSGRAPH_PROFILE_KEYS");
-  return v != nullptr && *v != '\0' && std::string(v) != "0";
+  return EnvFlag("PSGRAPH_PROFILE_KEYS", false);
 }
 
 uint64_t SkewProfiler::SamplePeriodFromEnv() {
-  const char* v = std::getenv("PSGRAPH_PROFILE_KEYS_SAMPLE");
-  if (v == nullptr || *v == '\0') return 1;
-  uint64_t n = std::strtoull(v, nullptr, 10);
-  return n == 0 ? 1 : n;
+  return EnvU64("PSGRAPH_PROFILE_KEYS_SAMPLE", 1, /*min_value=*/1);
 }
 
 SkewProfiler::Shard& SkewProfiler::shard(int32_t server) {

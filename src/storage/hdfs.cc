@@ -49,11 +49,13 @@ Result<uint64_t> Hdfs::FileSize(const std::string& path) const {
   return static_cast<uint64_t>(it->second.size());
 }
 
-Status Hdfs::Delete(const std::string& path) {
+Status Hdfs::Delete(const std::string& path, sim::NodeId node) {
+  ChargeMetadataOp(node, path.size());
   std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(path) == 0) {
     return Status::NotFound("hdfs: no such file: " + path);
   }
+  metrics().Add("hdfs.files_deleted", 1);
   return Status::OK();
 }
 
@@ -68,13 +70,21 @@ Status Hdfs::Rename(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
-std::vector<std::string> Hdfs::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<std::string> Hdfs::List(const std::string& prefix,
+                                    sim::NodeId node) const {
   std::vector<std::string> out;
-  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->first);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.push_back(it->first);
+    }
   }
+  uint64_t listing_bytes = prefix.size();
+  for (const std::string& p : out) listing_bytes += p.size();
+  ChargeMetadataOp(node, listing_bytes);
+  metrics().Add("hdfs.lists", 1);
+  metrics().Add("hdfs.files_listed", out.size());
   return out;
 }
 
@@ -85,13 +95,21 @@ uint64_t Hdfs::TotalBytes() const {
   return total;
 }
 
-void Hdfs::ChargeIo(sim::NodeId node, uint64_t bytes, bool write) {
+void Hdfs::ChargeIo(sim::NodeId node, uint64_t bytes, bool write) const {
   if (cluster_ == nullptr || node < 0) return;
   const auto& cost = cluster_->cost();
   double t = write ? cost.DiskWriteTime(bytes) : cost.DiskReadTime(bytes);
   // HDFS is remote storage: the transfer also crosses the network.
   t += cost.NetworkTime(bytes);
   cluster_->clock().Advance(node, t);
+}
+
+void Hdfs::ChargeMetadataOp(sim::NodeId node, uint64_t bytes) const {
+  if (cluster_ == nullptr || node < 0) return;
+  const auto& cost = cluster_->cost();
+  // One namenode seek plus a round-trip carrying the path/listing text.
+  cluster_->clock().Advance(node, cost.DiskReadTime(0) +
+                                      cost.NetworkTime(bytes));
 }
 
 }  // namespace psgraph::storage

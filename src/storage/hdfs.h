@@ -46,16 +46,25 @@ class Hdfs {
 
   bool Exists(const std::string& path) const;
   Result<uint64_t> FileSize(const std::string& path) const;
-  Status Delete(const std::string& path);
+  /// Removes `path`. Charged as one metadata round-trip (disk seek +
+  /// network latency) on `node`'s clock; counted in
+  /// "hdfs.files_deleted".
+  Status Delete(const std::string& path, sim::NodeId node = -1);
   /// Atomic rename; fails with NotFound if `from` does not exist.
   Status Rename(const std::string& from, const std::string& to);
-  /// All paths with the given prefix, sorted.
-  std::vector<std::string> List(const std::string& prefix) const;
+  /// All paths with the given prefix, sorted. Charged as one metadata
+  /// round-trip plus the transfer of the returned path names; counted in
+  /// "hdfs.lists" / "hdfs.files_listed".
+  std::vector<std::string> List(const std::string& prefix,
+                                sim::NodeId node = -1) const;
   /// Total stored bytes (capacity checks in tests).
   uint64_t TotalBytes() const;
 
  private:
-  void ChargeIo(sim::NodeId node, uint64_t bytes, bool write);
+  void ChargeIo(sim::NodeId node, uint64_t bytes, bool write) const;
+  /// Namenode metadata operation: one disk seek plus a small network
+  /// round-trip carrying `bytes` of path/listing payload.
+  void ChargeMetadataOp(sim::NodeId node, uint64_t bytes) const;
   /// Counter sink: the owning cluster's metrics, or the process-wide
   /// registry for clusterless test instances.
   Metrics& metrics() const {

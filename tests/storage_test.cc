@@ -1,0 +1,146 @@
+// Tests for the storage layer's metadata operations (List/Delete cost
+// charging + metrics) and the common env-knob parsing helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.h"
+#include "sim/cluster.h"
+#include "storage/hdfs.h"
+
+namespace psgraph {
+namespace {
+
+sim::ClusterConfig Config2x2() {
+  sim::ClusterConfig cfg;
+  cfg.num_executors = 2;
+  cfg.num_servers = 2;
+  cfg.executor_mem_bytes = 1 << 20;
+  cfg.server_mem_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST(HdfsMetadataTest, ListChargesTimeAndCountsMetrics) {
+  sim::SimCluster cluster(Config2x2());
+  storage::Hdfs hdfs(&cluster);
+  ASSERT_TRUE(hdfs.WriteString("dir/a", "1", -1).ok());
+  ASSERT_TRUE(hdfs.WriteString("dir/b", "2", -1).ok());
+  ASSERT_TRUE(hdfs.WriteString("other/c", "3", -1).ok());
+
+  const double before = cluster.clock().Now(0);
+  EXPECT_EQ(hdfs.List("dir/", 0).size(), 2u);
+  EXPECT_GT(cluster.clock().Now(0), before)
+      << "a listing is a namenode round-trip, not free";
+  EXPECT_EQ(cluster.metrics().Get("hdfs.lists"), 1u);
+  EXPECT_EQ(cluster.metrics().Get("hdfs.files_listed"), 2u);
+
+  // Node -1 (no charge target) still works and still counts.
+  EXPECT_EQ(hdfs.List("other/", -1).size(), 1u);
+  EXPECT_EQ(cluster.metrics().Get("hdfs.lists"), 2u);
+}
+
+TEST(HdfsMetadataTest, DeleteChargesTimeAndCountsOnlySuccesses) {
+  sim::SimCluster cluster(Config2x2());
+  storage::Hdfs hdfs(&cluster);
+  ASSERT_TRUE(hdfs.WriteString("dir/a", "1", -1).ok());
+
+  const double before = cluster.clock().Now(1);
+  ASSERT_TRUE(hdfs.Delete("dir/a", 1).ok());
+  EXPECT_GT(cluster.clock().Now(1), before);
+  EXPECT_EQ(cluster.metrics().Get("hdfs.files_deleted"), 1u);
+
+  // A failed delete charges the metadata round-trip but does not count
+  // a deleted file.
+  const double before_missing = cluster.clock().Now(1);
+  EXPECT_TRUE(hdfs.Delete("dir/a", 1).IsNotFound());
+  EXPECT_GT(cluster.clock().Now(1), before_missing);
+  EXPECT_EQ(cluster.metrics().Get("hdfs.files_deleted"), 1u);
+}
+
+TEST(HdfsMetadataTest, ListCostScalesWithListingSize) {
+  sim::SimCluster cluster(Config2x2());
+  storage::Hdfs hdfs(&cluster);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(hdfs.WriteString(
+                        "big/file_with_a_reasonably_long_name_" +
+                            std::to_string(i),
+                        "x", -1)
+                    .ok());
+  }
+  ASSERT_TRUE(hdfs.WriteString("small/one", "x", -1).ok());
+
+  const double t0 = cluster.clock().Now(0);
+  hdfs.List("small/", 0);
+  const double small_cost = cluster.clock().Now(0) - t0;
+  const double t1 = cluster.clock().Now(0);
+  hdfs.List("big/", 0);
+  const double big_cost = cluster.clock().Now(0) - t1;
+  EXPECT_GT(big_cost, small_cost)
+      << "listing 200 paths must cost more than listing one";
+}
+
+TEST(EnvTest, U64ParsesAndDefaults) {
+  unsetenv("PSG_TEST_U64");
+  EXPECT_EQ(EnvU64("PSG_TEST_U64", 7), 7u);
+  setenv("PSG_TEST_U64", "", 1);
+  EXPECT_EQ(EnvU64("PSG_TEST_U64", 7), 7u) << "empty string means unset";
+  setenv("PSG_TEST_U64", "42", 1);
+  EXPECT_EQ(EnvU64("PSG_TEST_U64", 7), 42u);
+  setenv("PSG_TEST_U64", "0", 1);
+  EXPECT_EQ(EnvU64("PSG_TEST_U64", 7), 0u);
+  unsetenv("PSG_TEST_U64");
+}
+
+TEST(EnvTest, FlagParsesAllSpellings) {
+  unsetenv("PSG_TEST_FLAG");
+  EXPECT_TRUE(EnvFlag("PSG_TEST_FLAG", true));
+  EXPECT_FALSE(EnvFlag("PSG_TEST_FLAG", false));
+  for (const char* yes : {"1", "true", "TRUE", "on", "Yes"}) {
+    setenv("PSG_TEST_FLAG", yes, 1);
+    EXPECT_TRUE(EnvFlag("PSG_TEST_FLAG", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "Off", "NO"}) {
+    setenv("PSG_TEST_FLAG", no, 1);
+    EXPECT_FALSE(EnvFlag("PSG_TEST_FLAG", true)) << no;
+  }
+  unsetenv("PSG_TEST_FLAG");
+}
+
+TEST(EnvTest, StringPassesThrough) {
+  unsetenv("PSG_TEST_STR");
+  EXPECT_EQ(EnvString("PSG_TEST_STR", "fallback"), "fallback");
+  EXPECT_EQ(EnvString("PSG_TEST_STR"), "");
+  setenv("PSG_TEST_STR", "a/path.json", 1);
+  EXPECT_EQ(EnvString("PSG_TEST_STR", "fallback"), "a/path.json");
+  unsetenv("PSG_TEST_STR");
+}
+
+using EnvDeathTest = ::testing::Test;
+
+TEST(EnvDeathTest, GarbageU64DiesLoudly) {
+  setenv("PSG_TEST_BAD", "fast", 1);
+  EXPECT_DEATH(EnvU64("PSG_TEST_BAD", 1),
+               "invalid PSG_TEST_BAD='fast'");
+  setenv("PSG_TEST_BAD", "12abc", 1);
+  EXPECT_DEATH(EnvU64("PSG_TEST_BAD", 1), "non-negative integer");
+  setenv("PSG_TEST_BAD", "-3", 1);
+  EXPECT_DEATH(EnvU64("PSG_TEST_BAD", 1), "non-negative integer");
+  unsetenv("PSG_TEST_BAD");
+}
+
+TEST(EnvDeathTest, BelowMinimumDiesLoudly) {
+  setenv("PSG_TEST_MIN", "0", 1);
+  EXPECT_DEATH(EnvU64("PSG_TEST_MIN", 4, /*min_value=*/1),
+               "must be >= 1");
+  unsetenv("PSG_TEST_MIN");
+}
+
+TEST(EnvDeathTest, GarbageFlagDiesLoudly) {
+  setenv("PSG_TEST_BADFLAG", "maybe", 1);
+  EXPECT_DEATH(EnvFlag("PSG_TEST_BADFLAG", false), "expected a boolean");
+  unsetenv("PSG_TEST_BADFLAG");
+}
+
+}  // namespace
+}  // namespace psgraph
