@@ -78,11 +78,50 @@ void Run() {
       FormatBytes((double)(*ctx)->metrics().Get("rpc.bytes_received"))
           .c_str());
 
+  // Wire-format accounting: the agent meters every pull/push payload it
+  // encodes against the fixed-width v1 framing of the same batch, so the
+  // ratio is the exact shrink the varint/delta format bought on this
+  // workload. The _bytes entries gate against the committed baseline.
+  Metrics& m = (*ctx)->metrics();
+  auto ratio = [](uint64_t encoded, uint64_t raw) {
+    return raw == 0 ? 1.0
+                    : static_cast<double>(encoded) /
+                          static_cast<double>(raw);
+  };
+  const uint64_t pull_req = m.Get("wire.pull.req_bytes");
+  const uint64_t pull_req_raw = m.Get("wire.pull.req_raw_bytes");
+  const uint64_t pull_resp = m.Get("wire.pull.resp_bytes");
+  const uint64_t pull_resp_raw = m.Get("wire.pull.resp_raw_bytes");
+  // LINE's gradient traffic rides the line.adjust / dot.partial psFunc
+  // broadcasts, metered under wire.func by the encode sites.
+  const uint64_t func_req = m.Get("wire.func.req_bytes");
+  const uint64_t func_req_raw = m.Get("wire.func.req_raw_bytes");
+  std::printf(
+      "  wire: pull req %s (%.2fx of raw), pull resp %s (%.2fx), "
+      "psfunc req %s (%.2fx)\n",
+      FormatBytes((double)pull_req).c_str(), ratio(pull_req, pull_req_raw),
+      FormatBytes((double)pull_resp).c_str(),
+      ratio(pull_resp, pull_resp_raw),
+      FormatBytes((double)func_req).c_str(),
+      ratio(func_req, func_req_raw));
+
   BenchReport report("line_embedding");
   report.Set("embedding_dim", JsonValue(dim));
   report.Set("epochs", JsonValue(epochs));
   report.Set("final_avg_loss", JsonValue(result->final_avg_loss));
   report.Set("per_epoch_sim_seconds", JsonValue(per_epoch));
+  report.Set("wire_pull_request_bytes", JsonValue(pull_req));
+  report.Set("wire_pull_request_raw_bytes", JsonValue(pull_req_raw));
+  report.Set("wire_pull_request_ratio",
+             JsonValue(ratio(pull_req, pull_req_raw)));
+  report.Set("wire_pull_response_bytes", JsonValue(pull_resp));
+  report.Set("wire_pull_response_raw_bytes", JsonValue(pull_resp_raw));
+  report.Set("wire_pull_response_ratio",
+             JsonValue(ratio(pull_resp, pull_resp_raw)));
+  report.Set("wire_func_request_bytes", JsonValue(func_req));
+  report.Set("wire_func_request_raw_bytes", JsonValue(func_req_raw));
+  report.Set("wire_func_request_ratio",
+             JsonValue(ratio(func_req, func_req_raw)));
   report.Capture(&(*ctx)->cluster());
   report.Write();
 }

@@ -5,12 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "bench/bench_util.h"
 #include "common/byte_buffer.h"
+#include "common/flat_hash.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/rpc_telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "common/varint.h"
+#include "common/wire.h"
 #include "dataflow/dataset.h"
 #include "graph/generators.h"
 #include "minitorch/ops.h"
@@ -142,6 +149,80 @@ void BM_MinitorchMatmulBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_MinitorchMatmulBackward)->Arg(64)->Arg(512);
 
+// Row-store kernel: upsert + probe + erase-half over the same key
+// stream, once against the open-addressing FlatHashMap and once against
+// std::unordered_map. The PS shard hot path is exactly this mix.
+template <typename Map>
+void HashMapKernel(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::vector<uint64_t> keys(n);
+  Rng rng(11);
+  for (auto& k : keys) k = rng.NextBounded(1ull << 40);
+  for (auto _ : state) {
+    Map map;
+    for (size_t i = 0; i < n; ++i) {
+      map[keys[i]] = static_cast<float>(i);
+    }
+    size_t found = 0;
+    for (size_t i = 0; i < n; ++i) {
+      found += map.find(keys[i]) != map.end() ? 1 : 0;
+    }
+    for (size_t i = 0; i < n; i += 2) map.erase(keys[i]);
+    benchmark::DoNotOptimize(found);
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_FlatHashUpsertFindErase(benchmark::State& state) {
+  HashMapKernel<FlatHashMap<float>>(state);
+}
+BENCHMARK(BM_FlatHashUpsertFindErase)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_UnorderedMapUpsertFindErase(benchmark::State& state) {
+  HashMapKernel<std::unordered_map<uint64_t, float>>(state);
+}
+BENCHMARK(BM_UnorderedMapUpsertFindErase)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::vector<uint64_t> values(n);
+  Rng rng(13);
+  for (auto& v : values) v = rng.NextBounded(1ull << 35);
+  for (auto _ : state) {
+    ByteBuffer buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    ByteReader reader(buf);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      PSG_CHECK_OK(GetVarint64(&reader, &v));
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VarintEncodeDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DeltaListRoundTrip(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::vector<uint64_t> keys(n);
+  Rng rng(17);
+  for (auto& k : keys) k = rng.NextBounded(1 << 20);
+  std::sort(keys.begin(), keys.end());
+  for (auto _ : state) {
+    ByteBuffer buf;
+    PutDeltaList(&buf, keys);
+    ByteReader reader(buf);
+    std::vector<uint64_t> back;
+    PSG_CHECK_OK(GetDeltaList(&reader, &back));
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(uint64_t));
+}
+BENCHMARK(BM_DeltaListRoundTrip)->Arg(1 << 12)->Arg(1 << 16);
+
 void BM_RmatGenerate(benchmark::State& state) {
   graph::RmatParams params;
   params.scale = 16;
@@ -168,9 +249,11 @@ void EmitMicroReport() {
   // report holds exactly the workload below.
   Metrics metrics;
   Tracer tracer;
+  RpcTelemetry telemetry;
   tracer.set_enabled(Tracer::EnabledByEnv());
   fx.cluster->set_metrics(&metrics);
   fx.cluster->set_tracer(&tracer);
+  fx.cluster->set_rpc_telemetry(&telemetry);
 
   const size_t kKeys = 4096;
   const int kRounds = 32;
@@ -184,9 +267,74 @@ void EmitMicroReport() {
     PSG_CHECK_OK(rows.status());
   }
 
+  // One extra timed round for per-op simulated costs: at parallelism 1
+  // the clock deltas are exact, reproducible numbers.
+  const sim::NodeId agent_node = fx.cluster->config().executor(0);
+  const int64_t push_t0 = fx.cluster->clock().NowTicks(agent_node);
+  PSG_CHECK_OK(fx.agent->PushAdd(fx.meta, keys, vals));
+  const int64_t push_ticks =
+      fx.cluster->clock().NowTicks(agent_node) - push_t0;
+  const int64_t pull_t0 = fx.cluster->clock().NowTicks(agent_node);
+  {
+    auto rows = fx.agent->PullRows(fx.meta, keys);
+    PSG_CHECK_OK(rows.status());
+  }
+  const int64_t pull_ticks =
+      fx.cluster->clock().NowTicks(agent_node) - pull_t0;
+
+  // Kernel table: every entry carries {value, unit} — "bytes" entries
+  // are pure functions of the wire format (gated exactly by
+  // scripts/check_bench_regression.py), "ticks" entries derive from the
+  // deterministic simulated clock (gated within the tolerance band).
+  auto kernel = [](JsonValue value, const char* unit) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("value", std::move(value));
+    entry.Set("unit", unit);
+    return entry;
+  };
+  JsonValue kernels = JsonValue::Object();
+  {
+    // Key-batch framing: delta-varint list vs the v1 fixed layout
+    // (8-byte count + 8 bytes per key) for one sorted pull batch.
+    std::vector<uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    kernels.Set("keys_fixed64_bytes",
+                kernel(JsonValue(static_cast<uint64_t>(
+                           8 + sorted.size() * sizeof(uint64_t))),
+                       "bytes"));
+    kernels.Set("keys_delta_varint_bytes",
+                kernel(JsonValue(static_cast<uint64_t>(DeltaListSize(
+                           sorted.data(), sorted.size()))),
+                       "bytes"));
+  }
+  uint64_t pull_req_bytes = 0, pull_resp_bytes = 0;
+  uint64_t push_req_bytes = 0, push_resp_bytes = 0;
+  for (const RpcTelemetry::MethodStat& stat : telemetry.Snapshot()) {
+    if (stat.method == "ps.pull") {
+      pull_req_bytes += stat.request_bytes;
+      pull_resp_bytes += stat.response_bytes;
+    } else if (stat.method == "ps.push_add") {
+      push_req_bytes += stat.request_bytes;
+      push_resp_bytes += stat.response_bytes;
+    }
+  }
+  kernels.Set("pull_request_bytes",
+              kernel(JsonValue(pull_req_bytes), "bytes"));
+  kernels.Set("pull_response_bytes",
+              kernel(JsonValue(pull_resp_bytes), "bytes"));
+  kernels.Set("push_request_bytes",
+              kernel(JsonValue(push_req_bytes), "bytes"));
+  kernels.Set("push_response_bytes",
+              kernel(JsonValue(push_resp_bytes), "bytes"));
+  kernels.Set("pull_roundtrip_ticks",
+              kernel(JsonValue(pull_ticks), "ticks"));
+  kernels.Set("push_roundtrip_ticks",
+              kernel(JsonValue(push_ticks), "ticks"));
+
   bench::BenchReport report("micro");
   report.Set("rounds", JsonValue(kRounds));
   report.Set("keys_per_round", JsonValue((uint64_t)kKeys));
+  report.Set("kernels", std::move(kernels));
   report.Capture(fx.cluster.get());
   report.Write();
   SetGlobalParallelism(0);  // restore the env/hardware default

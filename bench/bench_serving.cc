@@ -125,15 +125,36 @@ void Run() {
   snap.root = kRoot;
   snap.num_shards = c.num_executors();
   snap.keep_versions = 2;
+  // Serving tolerates lossy rows (the manifest carries the exact error
+  // bound); fp16 halves the blob bytes every preload has to move.
+  snap.quant = "fp16";
   snap.matrices = {{"serve.emb", false},
                    {"serve.adj", false},
                    {"serve.w1", true}};
   serving::SnapshotPublisher publisher(&c.ps(), snap);
   auto v1 = publisher.Publish();
   PSG_CHECK_OK(v1.status());
+  uint64_t blob_bytes = 0;
+  for (const serving::SnapshotShardInfo& s : v1->shards) {
+    blob_bytes += s.bytes;
+  }
+  double quant_max_err = 0.0;
+  for (const serving::SnapshotMatrixInfo& m : v1->matrices) {
+    quant_max_err = std::max(quant_max_err, m.quant_max_abs_error);
+  }
+  const double blob_ratio =
+      v1->raw_bytes == 0 ? 1.0
+                         : static_cast<double>(blob_bytes) /
+                               static_cast<double>(v1->raw_bytes);
   std::printf("published snapshot v%lld (%d shards, key space %llu)\n",
               (long long)v1->version, v1->num_shards,
               (unsigned long long)v1->key_space);
+  std::printf(
+      "  blobs %s, %.2fx of raw fp32 layout %s (quant=%s, "
+      "max abs err %.3g)\n",
+      FormatBytes((double)blob_bytes).c_str(), blob_ratio,
+      FormatBytes((double)v1->raw_bytes).c_str(),
+      QuantModeName(v1->quant), quant_max_err);
 
   // --- bring up the serving tier (shards take over executor nodes) ---
   std::vector<std::unique_ptr<serving::ServingShard>> shards;
@@ -253,6 +274,11 @@ void Run() {
   report.Set("latency_p50_sim_ticks", JsonValue(quantile(0.50)));
   report.Set("latency_p99_sim_ticks", JsonValue(quantile(0.99)));
   report.Set("latency_p999_sim_ticks", JsonValue(quantile(0.999)));
+  report.Set("snapshot_quant", JsonValue(QuantModeName(v1->quant)));
+  report.Set("snapshot_blob_bytes", JsonValue(blob_bytes));
+  report.Set("snapshot_raw_bytes", JsonValue(v1->raw_bytes));
+  report.Set("snapshot_blob_ratio", JsonValue(blob_ratio));
+  report.Set("snapshot_quant_max_abs_error", JsonValue(quant_max_err));
   report.Capture(&c.cluster());
   report.Write();
 }

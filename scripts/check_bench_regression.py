@@ -27,6 +27,15 @@ real behaviour change:
     the ablation cells, the scaling sweep, BENCH_parallel's
     determinism contract, and BENCH_table2_failure's
     ``time_to_recovery_sim_ticks`` uniformly.
+  * every numeric bench-payload leaf whose key ends in ``_bytes``
+    (tolerance band): wire payload and snapshot blob sizes are pure
+    functions of the format and the deterministic workload, so a drift
+    is a wire-format or workload change.
+  * kernel-table entries — any bench-payload object of the form
+    ``{"value": N, "unit": "ticks"|"bytes"}`` (BENCH_micro's
+    ``kernels`` section). Entries without a valid ``unit`` label fail
+    schema validation; ``bytes`` entries diff exactly, ``ticks``
+    entries within the band.
 
 Deliberately NOT gated: wall-clock fields (machine-dependent),
 rpc.queue_ticks (queueing order is nondeterministic at parallelism > 1;
@@ -232,6 +241,25 @@ def validate_schema(report, path, errors):
         if not isinstance(events.get("dropped"), int):
             err("events.dropped must be an integer")
 
+    # Kernel tables: every entry in a bench-payload "kernels" object
+    # must be {"value": <number>, "unit": "ticks"|"bytes"} — an
+    # unlabeled measurement cannot be gated and is rejected outright.
+    bench = report.get("bench")
+    if isinstance(bench, dict) and "kernels" in bench:
+        kernels = bench["kernels"]
+        if not isinstance(kernels, dict):
+            err("bench.kernels must be an object")
+        else:
+            for kname, entry in kernels.items():
+                if not isinstance(entry, dict):
+                    err("bench.kernels[%r] is not an object", kname)
+                    continue
+                if not isinstance(entry.get("value"), (int, float)):
+                    err("bench.kernels[%r] missing numeric 'value'", kname)
+                if entry.get("unit") not in ("ticks", "bytes"):
+                    err("bench.kernels[%r] has no 'ticks'/'bytes' unit "
+                        "label (got %r)", kname, entry.get("unit"))
+
     serving = report.get("serving")
     if not isinstance(serving, dict):
         err("missing 'serving' section")
@@ -316,7 +344,7 @@ def diff_reports(name, baseline, current, tolerance, errors):
 
 
 EXACT_KEYS = ("oom", "sim_ticks_identical")
-TOLERANT_SUFFIXES = ("sim_ticks", "sim_seconds")
+TOLERANT_SUFFIXES = ("sim_ticks", "sim_seconds", "_bytes")
 
 
 def gate_kind(key):
@@ -330,6 +358,18 @@ def gate_kind(key):
 
 def diff_bench_payload(label, baseline, current, tolerance, errors,
                        kind=None):
+    if (isinstance(baseline, dict) and "unit" in baseline
+            and "value" in baseline):
+        # Kernel entry: the unit decides the gate — byte counts are
+        # exact functions of the wire format, tick counts get the band.
+        sub = current if isinstance(current, dict) else {}
+        if sub.get("unit") != baseline["unit"]:
+            fail(errors, "%s: unit %r -> %r", label, baseline["unit"],
+                 sub.get("unit"))
+        diff_value("%s.value" % label, baseline["value"],
+                   sub.get("value"), tolerance, errors,
+                   exact=(baseline["unit"] == "bytes"))
+        return
     if isinstance(baseline, dict):
         sub = current if isinstance(current, dict) else {}
         for key, b_val in sorted(baseline.items()):

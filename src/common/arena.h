@@ -1,0 +1,141 @@
+// Arena: reset-per-request bump allocator for hot-path scratch.
+//
+// PS batch handlers and serving shards decode every request into
+// short-lived vectors (key lists, value blocks, gather segments); with
+// the general-purpose heap each request pays malloc/free per vector.
+// An Arena hands out pointer-bump allocations from one block and
+// releases everything at once in Reset() — after warm-up a request does
+// zero heap calls. Reset keeps the largest block, so steady-state
+// capacity is retained across requests.
+//
+// ArenaVector<T> is std::vector with an arena-backed allocator; it keeps
+// vector semantics (growth, iteration, span conversion) while discarded
+// growth generations simply stay in the arena until Reset.
+//
+// Not thread-safe by design: each consumer owns its arena and resets it
+// under whatever serialization it already has (e.g. the RPC endpoint's
+// serial mutex).
+
+#ifndef PSGRAPH_COMMON_ARENA_H_
+#define PSGRAPH_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace psgraph {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t min_block_bytes = kDefaultBlockBytes)
+      : min_block_bytes_(min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    if (blocks_.empty() || aligned + bytes > blocks_.back().size) {
+      NewBlock(bytes + align);
+      aligned = (offset_ + (align - 1)) & ~(align - 1);
+    }
+    offset_ = aligned + bytes;
+    allocated_ += bytes;
+    return blocks_.back().data.get() + aligned;
+  }
+
+  /// Releases every allocation. Keeps only the largest block so the
+  /// steady state is one block and zero heap traffic per request.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      size_t largest = 0;
+      for (size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[largest].size) largest = i;
+      }
+      Block keep = std::move(blocks_[largest]);
+      blocks_.clear();
+      blocks_.push_back(std::move(keep));
+    }
+    offset_ = 0;
+    allocated_ = 0;
+  }
+
+  /// Total bytes handed out since the last Reset.
+  size_t bytes_allocated() const { return allocated_; }
+  /// Total block capacity currently held.
+  size_t bytes_capacity() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void NewBlock(size_t at_least) {
+    size_t size = min_block_bytes_;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    Block b;
+    b.data = std::make_unique<uint8_t[]>(size);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    offset_ = 0;
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t offset_ = 0;     ///< bump cursor within blocks_.back()
+  size_t allocated_ = 0;  ///< bytes handed out since Reset
+};
+
+/// std-compatible allocator over an Arena. Deallocate is a no-op; memory
+/// comes back at Arena::Reset. The arena must outlive every container
+/// using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}  // reclaimed wholesale at Reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// Convenience: an empty ArenaVector bound to `arena`.
+template <typename T>
+ArenaVector<T> MakeArenaVector(Arena* arena) {
+  return ArenaVector<T>(ArenaAllocator<T>(arena));
+}
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_ARENA_H_

@@ -2,8 +2,10 @@
 // boundary (RPC payloads, shuffle blocks, checkpoints).
 //
 // Fixed-width little-endian primitives plus length-prefixed strings and
-// PODvectors. Reads are bounds-checked and return Status on truncation so a
-// corrupted checkpoint never crashes the process.
+// POD vectors. Reads are bounds-checked and fail loudly: a truncated or
+// corrupt buffer returns a Status naming the byte offset where decoding
+// stopped (aligning with the common/env.h fail-loud convention), never
+// garbage and never a crash.
 
 #ifndef PSGRAPH_COMMON_BYTE_BUFFER_H_
 #define PSGRAPH_COMMON_BYTE_BUFFER_H_
@@ -45,9 +47,10 @@ class ByteBuffer {
     std::memcpy(data_.data() + off, s.data(), s.size());
   }
 
-  /// Writes a length-prefixed vector of trivially copyable elements.
-  template <typename T>
-  void WriteVector(const std::vector<T>& v) {
+  /// Writes a length-prefixed vector of trivially copyable elements
+  /// (any allocator — arena-backed scratch vectors serialize the same).
+  template <typename T, typename Alloc>
+  void WriteVector(const std::vector<T, Alloc>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     Write<uint64_t>(v.size());
     size_t bytes = v.size() * sizeof(T);
@@ -81,7 +84,7 @@ class ByteReader {
   Status Read(T* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (remaining() < sizeof(T)) {
-      return Status::OutOfRange("ByteReader: truncated primitive");
+      return Truncated("primitive", sizeof(T));
     }
     std::memcpy(out, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -89,23 +92,42 @@ class ByteReader {
   }
 
   Status ReadString(std::string* out) {
+    const size_t start = pos_;
     uint64_t n = 0;
     PSG_RETURN_NOT_OK(Read(&n));
     if (remaining() < n) {
-      return Status::OutOfRange("ByteReader: truncated string");
+      pos_ = start;
+      return Truncated("string body", n);
     }
     out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return Status::OK();
   }
 
-  template <typename T>
-  Status ReadVector(std::vector<T>* out) {
+  /// Copies `n` raw bytes into `dst`.
+  Status ReadRaw(void* dst, size_t n) {
+    if (remaining() < n) {
+      return Truncated("raw bytes", n);
+    }
+    if (n > 0) std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T, typename Alloc>
+  Status ReadVector(std::vector<T, Alloc>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const size_t start = pos_;
     uint64_t n = 0;
     PSG_RETURN_NOT_OK(Read(&n));
-    if (remaining() < n * sizeof(T)) {
-      return Status::OutOfRange("ByteReader: truncated vector");
+    // Divide instead of multiplying: `n * sizeof(T)` could wrap for a
+    // corrupt length and sail past the bounds check.
+    if (n > remaining() / sizeof(T)) {
+      pos_ = start;
+      return Status::OutOfRange(
+          "ByteReader: vector of " + std::to_string(n) + " x " +
+          std::to_string(sizeof(T)) + "B at offset " + std::to_string(start) +
+          " exceeds remaining " + std::to_string(size_ - pos_) + " bytes");
     }
     out->resize(n);
     if (n > 0) std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
@@ -114,6 +136,13 @@ class ByteReader {
   }
 
  private:
+  Status Truncated(const char* what, uint64_t need) const {
+    return Status::OutOfRange(
+        "ByteReader: truncated " + std::string(what) + " at offset " +
+        std::to_string(pos_) + ": need " + std::to_string(need) +
+        " bytes, have " + std::to_string(remaining()));
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;

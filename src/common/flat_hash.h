@@ -1,0 +1,347 @@
+// FlatHashMap: open-addressing hash map for the PS hot path.
+//
+// The PS spends most of a pull/push batch looking up uint64 keys; the
+// node-based std::unordered_map pays a pointer chase plus an allocation
+// per entry. This table follows the ehash idiom (see SNIPPETS.md): one
+// flat power-of-two directory, metadata packed separately from the
+// entries so a probe scans a cache line of 64 one-byte tags before
+// touching any entry, robin-hood probing, and tombstone-free deletion
+// by backward shift — lookups never degrade after heavy erase traffic.
+//
+// Layout per slot: a one-byte probe distance (0 = empty, d+1 = occupied
+// at distance d from its home bucket) in `dist_`, and the
+// {key, value} pair in `slots_`. Robin-hood keeps every probe chain
+// sorted by distance, so a miss is detected as soon as a slot's
+// recorded distance falls below the query's — probes stay short even at
+// high load.
+//
+// Scope: keys are uint64_t (every PS/serving key already is), the API
+// is the std::unordered_map subset the tree uses (find / try_emplace /
+// emplace / erase / clear / range-for / at / operator[] / reserve /
+// count), and iteration is in slot order — deterministic for a
+// deterministic operation sequence, which the sim's byte-identical
+// report contract relies on.
+
+#ifndef PSGRAPH_COMMON_FLAT_HASH_H_
+#define PSGRAPH_COMMON_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace psgraph {
+
+template <typename Value>
+class FlatHashMap {
+ public:
+  using key_type = uint64_t;
+  using mapped_type = Value;
+  /// Non-const key: entries relocate on rehash/backward-shift anyway, so
+  /// no caller may rely on address or key stability through mutation.
+  using value_type = std::pair<uint64_t, Value>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const FlatHashMap, FlatHashMap>;
+    using reference =
+        std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter() = default;
+    Iter(Map* map, size_t slot) : map_(map), slot_(slot) { SkipEmpty(); }
+    /// const_iterator from iterator.
+    template <bool C = Const, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& other) : map_(other.map_), slot_(other.slot_) {}
+
+    reference operator*() const { return map_->slots_[slot_]; }
+    pointer operator->() const { return &map_->slots_[slot_]; }
+    Iter& operator++() {
+      ++slot_;
+      SkipEmpty();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.slot_ == b.slot_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.slot_ != b.slot_;
+    }
+
+   private:
+    friend class FlatHashMap;
+    template <bool C2>
+    friend class Iter;
+    void SkipEmpty() {
+      while (map_ != nullptr && slot_ < map_->capacity_ &&
+             map_->dist_[slot_] == 0) {
+        ++slot_;
+      }
+    }
+    Map* map_ = nullptr;
+    size_t slot_ = 0;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatHashMap() = default;
+  ~FlatHashMap() { Deallocate(); }
+
+  FlatHashMap(const FlatHashMap& other) { CopyFrom(other); }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this != &other) {
+      Deallocate();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FlatHashMap(FlatHashMap&& other) noexcept { MoveFrom(other); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      Deallocate();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, capacity_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, capacity_); }
+
+  iterator find(uint64_t key) {
+    size_t slot = FindSlot(key);
+    return slot == kNoSlot ? end() : iterator(this, slot);
+  }
+  const_iterator find(uint64_t key) const {
+    size_t slot = FindSlot(key);
+    return slot == kNoSlot ? end() : const_iterator(this, slot);
+  }
+  size_t count(uint64_t key) const {
+    return FindSlot(key) == kNoSlot ? 0 : 1;
+  }
+  bool contains(uint64_t key) const { return FindSlot(key) != kNoSlot; }
+
+  Value& at(uint64_t key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) throw std::out_of_range("FlatHashMap::at");
+    return slots_[slot].second;
+  }
+  const Value& at(uint64_t key) const {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) throw std::out_of_range("FlatHashMap::at");
+    return slots_[slot].second;
+  }
+
+  Value& operator[](uint64_t key) { return try_emplace(key).first->second; }
+
+  /// Inserts {key, Value(args...)} if absent; the mapped value is only
+  /// constructed on actual insertion (unordered_map::try_emplace
+  /// semantics).
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(uint64_t key, Args&&... args) {
+    ReserveForInsert();
+    size_t slot = FindSlot(key);
+    if (slot != kNoSlot) return {iterator(this, slot), false};
+    slot = InsertNew(key, Value(std::forward<Args>(args)...));
+    return {iterator(this, slot), true};
+  }
+
+  std::pair<iterator, bool> emplace(uint64_t key, Value value) {
+    ReserveForInsert();
+    size_t slot = FindSlot(key);
+    if (slot != kNoSlot) return {iterator(this, slot), false};
+    slot = InsertNew(key, std::move(value));
+    return {iterator(this, slot), true};
+  }
+
+  std::pair<iterator, bool> insert(value_type kv) {
+    return emplace(kv.first, std::move(kv.second));
+  }
+
+  /// Backward-shift deletion: the probe chain after the hole moves one
+  /// slot left, so no tombstone is ever left behind. Invalidates
+  /// iterators.
+  size_t erase(uint64_t key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) return 0;
+    EraseSlot(slot);
+    return 1;
+  }
+  void erase(const_iterator it) { EraseSlot(it.slot_); }
+  void erase(iterator it) { EraseSlot(it.slot_); }
+
+  void clear() {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (dist_[i] != 0) slots_[i].~value_type();
+      dist_[i] = 0;
+    }
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    size_t needed = kMinCapacity;
+    // Grow until n fits under the 7/8 load ceiling.
+    while (needed - needed / 8 < n) needed <<= 1;
+    if (needed > capacity_) Rehash(needed);
+  }
+
+ private:
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+  /// dist_ stores distance+1 in a byte; growing keeps chains far below
+  /// this, but a pathological chain still forces a rehash, not an
+  /// overflow.
+  static constexpr uint8_t kMaxDistance = 254;
+
+  size_t Home(uint64_t key) const { return Hash64(key) & mask_; }
+
+  size_t FindSlot(uint64_t key) const {
+    if (capacity_ == 0) return kNoSlot;
+    size_t i = Home(key);
+    for (uint8_t d = 1;; ++d, i = (i + 1) & mask_) {
+      uint8_t have = dist_[i];
+      // Empty, or an entry closer to home than we are: robin-hood order
+      // guarantees `key` cannot be further down this chain.
+      if (have < d) return kNoSlot;
+      if (have == d && slots_[i].first == key) return i;
+      if (d == kMaxDistance) return kNoSlot;
+    }
+  }
+
+  void ReserveForInsert() {
+    if (capacity_ == 0 || size_ + 1 > capacity_ - capacity_ / 8) {
+      Rehash(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+    }
+  }
+
+  /// Robin-hood insert of a key known to be absent. Returns the slot the
+  /// key finally landed in.
+  size_t InsertNew(uint64_t key, Value&& value) {
+    size_t result = kNoSlot;
+    uint64_t cur_key = key;
+    Value cur_val = std::move(value);
+    size_t i = Home(cur_key);
+    for (uint8_t d = 1;; ++d, i = (i + 1) & mask_) {
+      if (d >= kMaxDistance) {
+        // Chain hit the metadata ceiling: grow, re-insert the in-flight
+        // entry, and look the original key up again (its slot moved).
+        uint64_t pending_key = cur_key;
+        Value pending_val = std::move(cur_val);
+        Rehash(capacity_ * 2);
+        InsertNew(pending_key, std::move(pending_val));
+        return FindSlot(key);
+      }
+      if (dist_[i] == 0) {
+        new (&slots_[i]) value_type(cur_key, std::move(cur_val));
+        dist_[i] = d;
+        ++size_;
+        if (result == kNoSlot) result = i;
+        return result;
+      }
+      if (dist_[i] < d) {
+        // Rich entry: swap it out and keep probing for its new home.
+        std::swap(cur_key, slots_[i].first);
+        std::swap(cur_val, slots_[i].second);
+        std::swap(d, dist_[i]);
+        if (result == kNoSlot && slots_[i].first == key) result = i;
+      }
+    }
+  }
+
+  void EraseSlot(size_t slot) {
+    assert(dist_[slot] != 0);
+    size_t i = slot;
+    for (;;) {
+      size_t next = (i + 1) & mask_;
+      if (dist_[next] <= 1) break;  // empty or already at its home slot
+      slots_[i].first = std::move(slots_[next].first);
+      slots_[i].second = std::move(slots_[next].second);
+      dist_[i] = dist_[next] - 1;
+      i = next;
+    }
+    slots_[i].~value_type();
+    dist_[i] = 0;
+    --size_;
+  }
+
+  void Rehash(size_t new_capacity) {
+    FlatHashMap old;
+    old.MoveFrom(*this);
+    Allocate(new_capacity);
+    for (size_t i = 0; i < old.capacity_; ++i) {
+      if (old.dist_[i] != 0) {
+        InsertNew(old.slots_[i].first, std::move(old.slots_[i].second));
+      }
+    }
+  }
+
+  void Allocate(size_t capacity) {
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    size_ = 0;
+    dist_ = std::make_unique<uint8_t[]>(capacity);
+    std::memset(dist_.get(), 0, capacity);
+    slots_ = static_cast<value_type*>(::operator new(
+        capacity * sizeof(value_type), std::align_val_t(alignof(value_type))));
+  }
+
+  void Deallocate() {
+    if (slots_ != nullptr) {
+      for (size_t i = 0; i < capacity_; ++i) {
+        if (dist_[i] != 0) slots_[i].~value_type();
+      }
+      ::operator delete(slots_, std::align_val_t(alignof(value_type)));
+      slots_ = nullptr;
+    }
+    dist_.reset();
+    capacity_ = mask_ = size_ = 0;
+  }
+
+  void CopyFrom(const FlatHashMap& other) {
+    if (other.capacity_ == 0) return;
+    Allocate(other.capacity_);
+    for (size_t i = 0; i < other.capacity_; ++i) {
+      if (other.dist_[i] != 0) {
+        new (&slots_[i]) value_type(other.slots_[i]);
+        dist_[i] = other.dist_[i];
+      }
+    }
+    size_ = other.size_;
+  }
+
+  void MoveFrom(FlatHashMap& other) noexcept {
+    dist_ = std::move(other.dist_);
+    slots_ = other.slots_;
+    capacity_ = other.capacity_;
+    mask_ = other.mask_;
+    size_ = other.size_;
+    other.slots_ = nullptr;
+    other.capacity_ = other.mask_ = other.size_ = 0;
+  }
+
+  std::unique_ptr<uint8_t[]> dist_;
+  value_type* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_FLAT_HASH_H_

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace psgraph {
@@ -35,6 +36,46 @@ inline uint64_t HashBytes(std::string_view s) {
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+/// FNV-1a over a raw byte span (blob checksums etc.).
+inline uint64_t HashBytes(const uint8_t* data, size_t n) {
+  return HashBytes(
+      std::string_view(reinterpret_cast<const char*>(data), n));
+}
+
+/// Fixed-width lowercase hex of a 64-bit hash, for manifests and other
+/// text formats that embed checksums.
+inline std::string HashToHex(uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+/// Inverse of HashToHex. Returns false on any non-hex character or
+/// wrong length.
+inline bool HashFromHex(std::string_view hex, uint64_t* out) {
+  if (hex.size() != 16) return false;
+  uint64_t h = 0;
+  for (char c : hex) {
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    h = (h << 4) | nibble;
+  }
+  *out = h;
+  return true;
 }
 
 }  // namespace psgraph

@@ -1,0 +1,154 @@
+// LEB128 varints and delta-encoded integer lists: the compact framing
+// used by the PS RPC wire format and serving snapshot blobs.
+//
+// Key batches and neighbor tables dominate payload bytes at PSGraph
+// scale; both arrive (nearly) sorted, so "varint(first) + zigzag varint
+// deltas" shrinks an 8-byte key to 1-2 bytes in the common case while
+// still round-tripping arbitrary (unsorted, duplicate) lists losslessly.
+// Decoding is bounds-checked and fail-loud: a truncated or overlong
+// varint returns a Status naming the byte offset, never garbage.
+
+#ifndef PSGRAPH_COMMON_VARINT_H_
+#define PSGRAPH_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+
+namespace psgraph {
+
+/// Longest LEB128 encoding of a uint64_t (10 * 7 bits >= 64 bits).
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+/// Appends `v` as a LEB128 varint (1..10 bytes, little-endian 7-bit
+/// groups, high bit = continuation).
+inline void PutVarint64(ByteBuffer* buf, uint64_t v) {
+  uint8_t tmp[kMaxVarint64Bytes];
+  size_t n = 0;
+  while (v >= 0x80) {
+    tmp[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  tmp[n++] = static_cast<uint8_t>(v);
+  buf->WriteRaw(tmp, n);
+}
+
+/// Number of bytes PutVarint64 would write for `v`.
+inline size_t Varint64Size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+/// Reads one LEB128 varint. Errors name the offset of the varint's first
+/// byte: truncation (buffer ends mid-varint) and overlong/overflowing
+/// encodings (more than 10 bytes, or bit 64+ set) are both rejected.
+inline Status GetVarint64(ByteReader* reader, uint64_t* out) {
+  const size_t start = reader->position();
+  uint64_t value = 0;
+  for (size_t i = 0; i < kMaxVarint64Bytes; ++i) {
+    uint8_t byte = 0;
+    Status st = reader->Read(&byte);
+    if (!st.ok()) {
+      return Status::OutOfRange("varint: truncated at offset " +
+                                std::to_string(start));
+    }
+    // The 10th byte may only contribute the final bit (64 = 9*7 + 1).
+    if (i == kMaxVarint64Bytes - 1 && byte > 0x01) {
+      return Status::InvalidArgument("varint: overflow at offset " +
+                                     std::to_string(start));
+    }
+    value |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("varint: overlong encoding at offset " +
+                                 std::to_string(start));
+}
+
+/// Maps signed deltas onto small unsigned varints (0,-1,1,-2,... ->
+/// 0,1,2,3,...).
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends `values` as [varint count][varint first][zigzag varint deltas].
+/// Deltas are signed, so unsorted or duplicate-bearing lists round-trip
+/// exactly; sorted lists (the PS batch common case) compress best.
+inline void PutDeltaList(ByteBuffer* buf, const uint64_t* values,
+                         size_t count) {
+  PutVarint64(buf, count);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      PutVarint64(buf, values[0]);
+    } else {
+      PutVarint64(buf, ZigZagEncode(static_cast<int64_t>(values[i] - prev)));
+    }
+    prev = values[i];
+  }
+}
+
+inline void PutDeltaList(ByteBuffer* buf, const std::vector<uint64_t>& v) {
+  PutDeltaList(buf, v.data(), v.size());
+}
+
+/// Encoded size of PutDeltaList(values) without writing it.
+inline size_t DeltaListSize(const uint64_t* values, size_t count) {
+  size_t bytes = Varint64Size(count);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    bytes += (i == 0)
+                 ? Varint64Size(values[0])
+                 : Varint64Size(
+                       ZigZagEncode(static_cast<int64_t>(values[i] - prev)));
+    prev = values[i];
+  }
+  return bytes;
+}
+
+/// Reads a PutDeltaList payload, appending the decoded values to `out`
+/// (any vector-like container of uint64_t with push_back/reserve/size).
+template <typename Container>
+Status GetDeltaList(ByteReader* reader, Container* out) {
+  const size_t start = reader->position();
+  uint64_t count = 0;
+  PSG_RETURN_NOT_OK(GetVarint64(reader, &count));
+  // Each value takes at least one encoded byte: a count the buffer cannot
+  // possibly hold is corruption, not a huge allocation request.
+  if (count > reader->remaining()) {
+    return Status::OutOfRange(
+        "delta list: count " + std::to_string(count) + " at offset " +
+        std::to_string(start) + " exceeds remaining " +
+        std::to_string(reader->remaining()) + " bytes");
+  }
+  out->reserve(out->size() + static_cast<size_t>(count));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t raw = 0;
+    PSG_RETURN_NOT_OK(GetVarint64(reader, &raw));
+    uint64_t value =
+        (i == 0) ? raw
+                 : prev + static_cast<uint64_t>(ZigZagDecode(raw));
+    out->push_back(value);
+    prev = value;
+  }
+  return Status::OK();
+}
+
+}  // namespace psgraph
+
+#endif  // PSGRAPH_COMMON_VARINT_H_

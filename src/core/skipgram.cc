@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/varint.h"
 #include "ps/agent.h"
 
 namespace psgraph::core {
@@ -103,8 +104,18 @@ Result<double> TrainSkipGramBatch(
     args.Write<ps::MatrixId>(model.emb.id);
     args.Write<ps::MatrixId>(model.ctx.id);
     args.Write<float>(learning_rate);
-    args.WriteVector(flat);
+    PutDeltaList(&args, flat);
     args.WriteVector(coeffs);
+    // line.adjust is LINE's gradient-push path; the broadcast goes to
+    // every server, so the wire meter counts the payload once per
+    // server against its v1 fixed-width-vector equivalent.
+    const uint64_t servers =
+        static_cast<uint64_t>(ctx.cluster().config().num_servers);
+    const uint64_t delta_bytes = DeltaListSize(flat.data(), flat.size());
+    ctx.metrics().Add("wire.func.req_bytes", args.size() * servers);
+    ctx.metrics().Add(
+        "wire.func.req_raw_bytes",
+        (args.size() - delta_bytes + 8 + 8 * flat.size()) * servers);
     PSG_ASSIGN_OR_RETURN(auto resp,
                          ctx.agent(e).CallFuncAll("line.adjust", args));
     (void)resp;

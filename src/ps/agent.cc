@@ -2,12 +2,26 @@
 
 #include <algorithm>
 
+#include "common/varint.h"
+#include "common/wire.h"
 #include "ps/partitioner.h"
 
 namespace psgraph::ps {
 
 namespace {
 using ParallelCall = net::RpcFabric::ParallelCall;
+
+/// Bytes the v1 fixed-width framing would have used for a key batch:
+/// [i32 matrix id][u64 count][count * u64 keys].
+uint64_t RawKeyFramingBytes(size_t num_keys) {
+  return 4 + 8 + 8 * static_cast<uint64_t>(num_keys);
+}
+
+/// Bytes the v1 framing would have used for a float vector:
+/// [u64 count][count * fp32].
+uint64_t RawFloatFramingBytes(size_t num_floats) {
+  return 8 + 4 * static_cast<uint64_t>(num_floats);
+}
 }
 
 Result<std::vector<uint8_t>> PsAgent::Call(int32_t server,
@@ -67,7 +81,10 @@ Result<std::vector<float>> PsAgent::PullRows(
     for (uint32_t idx : by_server[s]) server_keys.push_back(keys[idx]);
     ByteBuffer req;
     req.Write<MatrixId>(meta.id);
-    req.WriteVector(server_keys);
+    PutDeltaList(&req, server_keys);
+    metrics().Add("wire.pull.req_bytes", req.size());
+    metrics().Add("wire.pull.req_raw_bytes",
+                  RawKeyFramingBytes(server_keys.size()));
     calls.push_back({ctx_->ServerNode(s), "ps.pull", std::move(req)});
     call_server.push_back(s);
   }
@@ -80,7 +97,10 @@ Result<std::vector<float>> PsAgent::PullRows(
     int32_t s = call_server[c];
     ByteReader reader(responses[c]);
     std::vector<float> values;
-    PSG_RETURN_NOT_OK(reader.ReadVector(&values));
+    PSG_RETURN_NOT_OK(ReadFloatBlock(&reader, &values));
+    metrics().Add("wire.pull.resp_bytes", responses[c].size());
+    metrics().Add("wire.pull.resp_raw_bytes",
+                  RawFloatFramingBytes(values.size()));
     if (values.size() != by_server[s].size() * cols) {
       return Status::Internal("pull: short response from server " +
                               std::to_string(s));
@@ -102,13 +122,17 @@ Result<std::vector<float>> PsAgent::PullRowsColumnPartitioned(
                   [this] { return NowTicks(); });
   ByteBuffer req;
   req.Write<MatrixId>(meta.id);
-  req.WriteVector(keys);
+  PutDeltaList(&req, keys);
 
   std::vector<ParallelCall> calls;
   std::vector<int32_t> call_server;
   for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
     auto [begin, end] = ColumnSliceOf(cols, s, ctx_->num_servers());
     if (begin == end) continue;
+    // The full key list is replicated to every slice holder, so each
+    // call pays (and each raw-equivalent counts) the whole list.
+    metrics().Add("wire.pull.req_bytes", req.size());
+    metrics().Add("wire.pull.req_raw_bytes", RawKeyFramingBytes(keys.size()));
     calls.push_back({ctx_->ServerNode(s), "ps.pull", req});
     call_server.push_back(s);
   }
@@ -122,7 +146,10 @@ Result<std::vector<float>> PsAgent::PullRowsColumnPartitioned(
     auto [begin, end] = ColumnSliceOf(cols, s, ctx_->num_servers());
     ByteReader reader(responses[c]);
     std::vector<float> values;
-    PSG_RETURN_NOT_OK(reader.ReadVector(&values));
+    PSG_RETURN_NOT_OK(ReadFloatBlock(&reader, &values));
+    metrics().Add("wire.pull.resp_bytes", responses[c].size());
+    metrics().Add("wire.pull.resp_raw_bytes",
+                  RawFloatFramingBytes(values.size()));
     const uint32_t width = end - begin;
     if (values.size() != keys.size() * width) {
       return Status::Internal("column pull: short response");
@@ -165,8 +192,12 @@ Status PsAgent::Push(const MatrixMeta& meta,
       }
       ByteBuffer req;
       req.Write<MatrixId>(meta.id);
-      req.WriteVector(keys);
-      req.WriteVector(slice);
+      PutDeltaList(&req, keys);
+      WriteFloatBlock(&req, slice);
+      metrics().Add("wire.push.req_bytes", req.size());
+      metrics().Add("wire.push.req_raw_bytes",
+                    RawKeyFramingBytes(keys.size()) +
+                        RawFloatFramingBytes(slice.size()));
       calls.push_back({ctx_->ServerNode(s), method, std::move(req)});
     }
   } else {
@@ -185,8 +216,12 @@ Status PsAgent::Push(const MatrixMeta& meta,
       }
       ByteBuffer req;
       req.Write<MatrixId>(meta.id);
-      req.WriteVector(server_keys);
-      req.WriteVector(server_values);
+      PutDeltaList(&req, server_keys);
+      WriteFloatBlock(&req, server_values);
+      metrics().Add("wire.push.req_bytes", req.size());
+      metrics().Add("wire.push.req_raw_bytes",
+                    RawKeyFramingBytes(server_keys.size()) +
+                        RawFloatFramingBytes(server_values.size()));
       calls.push_back({ctx_->ServerNode(s), method, std::move(req)});
     }
   }
@@ -230,10 +265,10 @@ Status PsAgent::PushNeighbors(
     for (uint32_t idx : by_server[s]) keys.push_back(tables[idx].vertex);
     ByteBuffer req;
     req.Write<MatrixId>(meta.id);
-    req.WriteVector(keys);
+    PutDeltaList(&req, keys);
     for (uint32_t idx : by_server[s]) {
-      req.WriteVector(tables[idx].neighbors);
-      req.WriteVector(tables[idx].weights);
+      PutDeltaList(&req, tables[idx].neighbors);
+      WriteFloatBlock(&req, tables[idx].weights);
     }
     calls.push_back({ctx_->ServerNode(s), "ps.push_nbrs", std::move(req)});
   }
@@ -277,7 +312,7 @@ Result<std::vector<NeighborEntry>> PsAgent::PullNeighbors(
     for (uint32_t idx : by_server[s]) server_keys.push_back(keys[idx]);
     ByteBuffer req;
     req.Write<MatrixId>(meta.id);
-    req.WriteVector(server_keys);
+    PutDeltaList(&req, server_keys);
     calls.push_back({ctx_->ServerNode(s), "ps.pull_nbrs", std::move(req)});
     call_server.push_back(s);
   }
@@ -290,8 +325,8 @@ Result<std::vector<NeighborEntry>> PsAgent::PullNeighbors(
     int32_t s = call_server[c];
     ByteReader reader(responses[c]);
     for (uint32_t idx : by_server[s]) {
-      PSG_RETURN_NOT_OK(reader.ReadVector(&out[idx].neighbors));
-      PSG_RETURN_NOT_OK(reader.ReadVector(&out[idx].weights));
+      PSG_RETURN_NOT_OK(GetDeltaList(&reader, &out[idx].neighbors));
+      PSG_RETURN_NOT_OK(ReadFloatBlock(&reader, &out[idx].weights));
     }
   }
   return out;
@@ -351,15 +386,22 @@ Result<std::vector<double>> PsAgent::DotProducts(
   ByteBuffer args;
   args.Write<MatrixId>(a.id);
   args.Write<MatrixId>(b.id);
-  args.WriteVector(flat);
+  PutDeltaList(&args, flat);
   ByteBuffer req;
   req.WriteString("dot.partial");
   req.WriteRaw(args.data().data(), args.size());
+  // Raw-equivalent: the same request with the pair list in the v1
+  // fixed-width vector framing instead of the delta list.
+  const uint64_t req_raw = req.size() -
+                           DeltaListSize(flat.data(), flat.size()) + 8 +
+                           8 * static_cast<uint64_t>(flat.size());
 
   std::vector<ParallelCall> calls;
   for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
     auto [begin, end] = ColumnSliceOf(a.num_cols, s, ctx_->num_servers());
     if (begin == end) continue;
+    metrics().Add("wire.func.req_bytes", req.size());
+    metrics().Add("wire.func.req_raw_bytes", req_raw);
     calls.push_back({ctx_->ServerNode(s), "ps.func", req});
   }
   PSG_ASSIGN_OR_RETURN(auto responses,

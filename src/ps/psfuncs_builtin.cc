@@ -15,6 +15,7 @@
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/varint.h"
 #include "ps/partitioner.h"
 #include "ps/server.h"
 
@@ -172,7 +173,7 @@ Result<ByteBuffer> InitFill(PsServer& server, ByteReader& args) {
   return ByteBuffer();
 }
 
-// "dot.partial": args = [a_id:i32][b_id:i32][pairs:vec<u64> flattened
+// "dot.partial": args = [a_id:i32][b_id:i32][pairs: delta list, flattened
 // (i,j)...] — computes, for each pair, the dot product of a.row(i) and
 // b.row(j) restricted to this server's column slice. Both matrices must
 // be column-partitioned identically (paper §IV-D: "the same dimensions of
@@ -182,7 +183,7 @@ Result<ByteBuffer> DotPartial(PsServer& server, ByteReader& args) {
   std::vector<uint64_t> flat;
   PSG_RETURN_NOT_OK(args.Read(&a_id));
   PSG_RETURN_NOT_OK(args.Read(&b_id));
-  PSG_RETURN_NOT_OK(args.ReadVector(&flat));
+  PSG_RETURN_NOT_OK(GetDeltaList(&args, &flat));
   if (flat.size() % 2 != 0) {
     return Status::InvalidArgument("dot.partial: odd pair vector");
   }
@@ -209,7 +210,7 @@ Result<ByteBuffer> DotPartial(PsServer& server, ByteReader& args) {
 }
 
 // "line.adjust": args = [emb_id:i32][ctx_id:i32][lr:f32]
-//   [tuples: vec<u64> flattened (i, j)][coeffs: vec<f32>]
+//   [tuples: delta list, flattened (i, j)][coeffs: vec<f32>]
 // For each (i, j, g): emb.row(i) += lr*g*ctx.row(j); ctx.row(j) +=
 // lr*g*emb.row(i) — rank-1 SGD applied on the server's column slice so
 // only scalars crossed the network. Uses the pre-update values of both
@@ -222,7 +223,7 @@ Result<ByteBuffer> LineAdjust(PsServer& server, ByteReader& args) {
   PSG_RETURN_NOT_OK(args.Read(&emb_id));
   PSG_RETURN_NOT_OK(args.Read(&ctx_id));
   PSG_RETURN_NOT_OK(args.Read(&lr));
-  PSG_RETURN_NOT_OK(args.ReadVector(&flat));
+  PSG_RETURN_NOT_OK(GetDeltaList(&args, &flat));
   PSG_RETURN_NOT_OK(args.ReadVector(&coeffs));
   if (flat.size() != coeffs.size() * 2) {
     return Status::InvalidArgument("line.adjust: tuple/coeff mismatch");
@@ -237,26 +238,29 @@ Result<ByteBuffer> LineAdjust(PsServer& server, ByteReader& args) {
   std::vector<uint64_t> one_key(1);
   std::vector<float> zero_row(w, 0.0f);
   auto ensure_row = [&](MatrixShard* shard, MatrixId id,
-                        uint64_t key) -> Result<std::vector<float>*> {
-    auto it = shard->rows.find(key);
-    if (it == shard->rows.end()) {
+                        uint64_t key) -> Status {
+    if (shard->rows.find(key) == shard->rows.end()) {
       // Materialize via PushAdd of zeros so memory gets charged once.
       one_key[0] = key;
       PSG_RETURN_NOT_OK(server.PushAdd(id, one_key, zero_row));
-      it = shard->rows.find(key);
     }
-    return &it->second;
+    return Status::OK();
   };
   std::vector<float> tmp(w);
   for (size_t p = 0; p < coeffs.size(); ++p) {
-    PSG_ASSIGN_OR_RETURN(std::vector<float>* u,
-                         ensure_row(emb, emb_id, flat[2 * p]));
-    PSG_ASSIGN_OR_RETURN(std::vector<float>* c,
-                         ensure_row(ctx, ctx_id, flat[2 * p + 1]));
+    const uint64_t ui = flat[2 * p];
+    const uint64_t cj = flat[2 * p + 1];
+    // Materialize both rows before taking either reference: inserting
+    // into the open-addressing store can rehash, and emb/ctx may alias
+    // the same shard.
+    PSG_RETURN_NOT_OK(ensure_row(emb, emb_id, ui));
+    PSG_RETURN_NOT_OK(ensure_row(ctx, ctx_id, cj));
+    std::vector<float>& u = emb->rows.find(ui)->second;
+    std::vector<float>& c = ctx->rows.find(cj)->second;
     const float g = lr * coeffs[p];
-    std::memcpy(tmp.data(), u->data(), w * sizeof(float));
-    for (uint32_t k = 0; k < w; ++k) (*u)[k] += g * (*c)[k];
-    for (uint32_t k = 0; k < w; ++k) (*c)[k] += g * tmp[k];
+    std::memcpy(tmp.data(), u.data(), w * sizeof(float));
+    for (uint32_t k = 0; k < w; ++k) u[k] += g * c[k];
+    for (uint32_t k = 0; k < w; ++k) c[k] += g * tmp[k];
   }
   return ByteBuffer();
 }

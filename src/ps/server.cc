@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "common/varint.h"
+#include "common/wire.h"
 
 namespace psgraph::ps {
 
@@ -143,7 +145,7 @@ Result<MatrixShard*> PsServer::GetShard(MatrixId id) {
   return &it->second;
 }
 
-Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
+Status PsServer::PullRows(MatrixId id, std::span<const uint64_t> keys,
                           std::vector<float>* out) {
   // Service-time bracket: the shard's clock only moves for this
   // request while we hold its endpoint's serial lock (or run
@@ -177,8 +179,8 @@ Status PsServer::PullRows(MatrixId id, const std::vector<uint64_t>& keys,
   return Status::OK();
 }
 
-Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
-                         const std::vector<float>& values) {
+Status PsServer::PushAdd(MatrixId id, std::span<const uint64_t> keys,
+                         std::span<const float> values) {
   const int64_t t0 = NowTicks();
   ScopedSpan span(&tracer(), "ps.push_add", node_, t0,
                   [this] { return NowTicks(); });
@@ -218,8 +220,8 @@ Status PsServer::PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
   return Status::OK();
 }
 
-Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
-                            const std::vector<float>& values) {
+Status PsServer::PushAssign(MatrixId id, std::span<const uint64_t> keys,
+                            std::span<const float> values) {
   const int64_t t0 = NowTicks();
   ScopedSpan span(&tracer(), "ps.push_assign", node_, t0,
                   [this] { return NowTicks(); });
@@ -243,7 +245,11 @@ Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
       shard->charged_bytes += row_bytes;
       it->second.resize(cols);
     }
-    std::memcpy(it->second.data(), src, size_t{cols} * sizeof(float));
+    // cols can be 0 for an empty column slice; values.data() is null
+    // then, and memcpy's pointer args must be non-null even for n=0.
+    if (cols != 0) {
+      std::memcpy(it->second.data(), src, size_t{cols} * sizeof(float));
+    }
   }
   skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
   metrics().Add("ps.rows_pushed", keys.size());
@@ -254,8 +260,8 @@ Status PsServer::PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
 }
 
 Status PsServer::PushNeighbors(MatrixId id,
-                               const std::vector<uint64_t>& keys,
-                               const std::vector<NeighborEntry>& entries) {
+                               std::span<const uint64_t> keys,
+                               std::span<const NeighborEntry> entries) {
   PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
   if (shard->csr.has_value()) {
     return Status::FailedPrecondition(
@@ -293,7 +299,7 @@ Status PsServer::PushNeighbors(MatrixId id,
 }
 
 Status PsServer::PullNeighbors(MatrixId id,
-                               const std::vector<uint64_t>& keys,
+                               std::span<const uint64_t> keys,
                                std::vector<NeighborEntry>* out) {
   const int64_t t0 = NowTicks();
   ScopedSpan span(&tracer(), "ps.pull_nbrs", node_, t0,
@@ -454,6 +460,11 @@ Status PsServer::ExportMatrix(MatrixId id, ByteBuffer* out) {
   ScopedSpan span(&tracer(), "ps.export", node_, t0,
                   [this] { return NowTicks(); });
 
+  // Wire format v2: sorted keys go out as one delta-encoded varint list,
+  // rows as raw fp32 (width = slice_cols, implied), adjacency as
+  // delta-encoded neighbor lists + a float block of weights. Sorting
+  // both makes the bytes state-deterministic and makes the key deltas
+  // small.
   out->Write<uint32_t>(shard.col_begin);
   out->Write<uint32_t>(shard.slice_cols);
 
@@ -461,40 +472,34 @@ Status PsServer::ExportMatrix(MatrixId id, ByteBuffer* out) {
   keys.reserve(shard.rows.size());
   for (const auto& [key, row] : shard.rows) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
-  out->Write<uint64_t>(keys.size());
+  PutDeltaList(out, keys);
   for (uint64_t key : keys) {
-    out->Write<uint64_t>(key);
-    out->WriteVector(shard.rows.at(key));
+    const std::vector<float>& row = shard.rows.at(key);
+    out->WriteRaw(row.data(), row.size() * sizeof(float));
   }
 
   if (shard.csr.has_value()) {
     const CsrStore& csr = *shard.csr;
-    out->Write<uint64_t>(csr.keys.size());
+    PutDeltaList(out, csr.keys);
     for (size_t i = 0; i < csr.keys.size(); ++i) {
-      out->Write<uint64_t>(csr.keys[i]);
       const uint64_t begin = csr.offsets[i];
       const uint64_t end = csr.offsets[i + 1];
-      out->Write<uint64_t>(end - begin);
-      for (uint64_t j = begin; j < end; ++j) {
-        out->Write<uint64_t>(csr.neighbors[j]);
-      }
+      PutDeltaList(out, csr.neighbors.data() + begin, end - begin);
       const uint64_t nw = csr.weights.empty() ? 0 : end - begin;
-      out->Write<uint64_t>(nw);
-      for (uint64_t j = begin; j < begin + nw; ++j) {
-        out->Write<float>(csr.weights[j]);
-      }
+      WriteFloatBlock(out, csr.weights.empty() ? nullptr
+                                               : csr.weights.data() + begin,
+                      nw);
     }
   } else {
     keys.clear();
     keys.reserve(shard.neighbors.size());
     for (const auto& [key, entry] : shard.neighbors) keys.push_back(key);
     std::sort(keys.begin(), keys.end());
-    out->Write<uint64_t>(keys.size());
+    PutDeltaList(out, keys);
     for (uint64_t key : keys) {
       const NeighborEntry& entry = shard.neighbors.at(key);
-      out->Write<uint64_t>(key);
-      out->WriteVector(entry.neighbors);
-      out->WriteVector(entry.weights);
+      PutDeltaList(out, entry.neighbors);
+      WriteFloatBlock(out, entry.weights);
     }
   }
 

@@ -15,12 +15,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/byte_buffer.h"
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "net/rpc.h"
@@ -58,8 +60,12 @@ struct MatrixShard {
   /// matrices, the column slice for column-partitioned ones.
   uint32_t slice_cols = 0;
   uint32_t col_begin = 0;  ///< first column of the slice
-  std::unordered_map<uint64_t, std::vector<float>> rows;
-  std::unordered_map<uint64_t, NeighborEntry> neighbors;
+  /// Open-addressing stores (common/flat_hash.h): one flat probe per key
+  /// on the pull/push hot path instead of a node pointer chase. Entries
+  /// relocate on rehash — never hold a row pointer across a mutation of
+  /// the same shard.
+  FlatHashMap<std::vector<float>> rows;
+  FlatHashMap<NeighborEntry> neighbors;
   /// Present after FreezeNeighbors(); served in preference to the map.
   std::optional<CsrStore> csr;
   uint64_t charged_bytes = 0;  ///< what this shard holds per the accountant
@@ -118,24 +124,24 @@ class PsServer {
 
   /// Pulls `keys` rows; appends slice_cols floats per key to `out`
   /// (init_value-filled for rows never pushed).
-  Status PullRows(MatrixId id, const std::vector<uint64_t>& keys,
+  Status PullRows(MatrixId id, std::span<const uint64_t> keys,
                   std::vector<float>* out);
 
   /// values holds keys.size() * slice_cols floats.
-  Status PushAdd(MatrixId id, const std::vector<uint64_t>& keys,
-                 const std::vector<float>& values);
-  Status PushAssign(MatrixId id, const std::vector<uint64_t>& keys,
-                    const std::vector<float>& values);
+  Status PushAdd(MatrixId id, std::span<const uint64_t> keys,
+                 std::span<const float> values);
+  Status PushAssign(MatrixId id, std::span<const uint64_t> keys,
+                    std::span<const float> values);
 
-  Status PushNeighbors(MatrixId id, const std::vector<uint64_t>& keys,
-                       const std::vector<NeighborEntry>& entries);
+  Status PushNeighbors(MatrixId id, std::span<const uint64_t> keys,
+                       std::span<const NeighborEntry> entries);
 
   /// Converts a neighbor shard's hash map into a compact read-only CSR
   /// image and releases the map (further pushes are rejected). Reduces
   /// resident memory by the per-entry overhead; pulls are unchanged.
   Status FreezeNeighbors(MatrixId id);
   /// Appends entries for `keys` to `out` (empty entry if unknown vertex).
-  Status PullNeighbors(MatrixId id, const std::vector<uint64_t>& keys,
+  Status PullNeighbors(MatrixId id, std::span<const uint64_t> keys,
                        std::vector<NeighborEntry>* out);
 
   Result<ByteBuffer> CallFunc(const std::string& name,
@@ -194,6 +200,12 @@ class PsServer {
   storage::Hdfs* hdfs_;
   std::map<MatrixId, MatrixShard> shards_;
   uint64_t total_charged_ = 0;
+  /// Per-request decode scratch for the RPC handlers (server_rpc.cc):
+  /// reset at the top of every request, valid under the endpoint's
+  /// serial mutex.
+  Arena request_arena_;
+  /// Reusable pull response staging (capacity persists across requests).
+  std::vector<float> pull_scratch_;
 };
 
 /// Computes the column slice [begin, end) server `s` of `n` owns for a

@@ -1,6 +1,16 @@
 // RPC handler glue: decodes "ps.*" wire messages into PsServer calls.
+//
+// Hot-path framing (wire format v2): key batches are delta-encoded
+// varint lists (common/varint.h) and value blocks are varint-counted
+// raw fp32 (common/wire.h) — the agent encodes the matching side in
+// ps/agent.cc. Decode scratch lives in the server's per-request arena,
+// reset at the top of each handler; handlers run under the endpoint's
+// serial mutex, so the arena never sees two requests at once.
 
 #include "ps/server.h"
+
+#include "common/varint.h"
+#include "common/wire.h"
 
 namespace psgraph::ps {
 
@@ -31,31 +41,38 @@ void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
 
   endpoint->Register(
       "ps.pull", [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
         ByteReader reader(req.data(), req.size());
         MatrixId id = -1;
-        std::vector<uint64_t> keys;
+        auto keys = MakeArenaVector<uint64_t>(&request_arena_);
         PSG_RETURN_NOT_OK(reader.Read(&id));
-        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
-        std::vector<float> values;
-        PSG_RETURN_NOT_OK(PullRows(id, keys, &values));
+        PSG_RETURN_NOT_OK(GetDeltaList(&reader, &keys));
+        pull_scratch_.clear();
+        PSG_RETURN_NOT_OK(
+            PullRows(id, {keys.data(), keys.size()}, &pull_scratch_));
         ByteBuffer resp;
-        resp.WriteVector(values);
+        resp.Reserve(pull_scratch_.size() * sizeof(float) +
+                     kMaxVarint64Bytes);
+        WriteFloatBlock(&resp, pull_scratch_);
         return resp;
       });
 
   auto push_handler = [this](const std::vector<uint8_t>& req,
                              bool add) -> Result<ByteBuffer> {
+    request_arena_.Reset();
     ByteReader reader(req.data(), req.size());
     MatrixId id = -1;
-    std::vector<uint64_t> keys;
-    std::vector<float> values;
+    auto keys = MakeArenaVector<uint64_t>(&request_arena_);
+    auto values = MakeArenaVector<float>(&request_arena_);
     PSG_RETURN_NOT_OK(reader.Read(&id));
-    PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
-    PSG_RETURN_NOT_OK(reader.ReadVector(&values));
+    PSG_RETURN_NOT_OK(GetDeltaList(&reader, &keys));
+    PSG_RETURN_NOT_OK(ReadFloatBlock(&reader, &values));
+    std::span<const uint64_t> key_span{keys.data(), keys.size()};
+    std::span<const float> value_span{values.data(), values.size()};
     if (add) {
-      PSG_RETURN_NOT_OK(PushAdd(id, keys, values));
+      PSG_RETURN_NOT_OK(PushAdd(id, key_span, value_span));
     } else {
-      PSG_RETURN_NOT_OK(PushAssign(id, keys, values));
+      PSG_RETURN_NOT_OK(PushAssign(id, key_span, value_span));
     }
     return Empty();
   };
@@ -71,17 +88,19 @@ void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
   endpoint->Register(
       "ps.push_nbrs",
       [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
         ByteReader reader(req.data(), req.size());
         MatrixId id = -1;
-        std::vector<uint64_t> keys;
+        auto keys = MakeArenaVector<uint64_t>(&request_arena_);
         PSG_RETURN_NOT_OK(reader.Read(&id));
-        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+        PSG_RETURN_NOT_OK(GetDeltaList(&reader, &keys));
         std::vector<NeighborEntry> entries(keys.size());
         for (auto& entry : entries) {
-          PSG_RETURN_NOT_OK(reader.ReadVector(&entry.neighbors));
-          PSG_RETURN_NOT_OK(reader.ReadVector(&entry.weights));
+          PSG_RETURN_NOT_OK(GetDeltaList(&reader, &entry.neighbors));
+          PSG_RETURN_NOT_OK(ReadFloatBlock(&reader, &entry.weights));
         }
-        PSG_RETURN_NOT_OK(PushNeighbors(id, keys, entries));
+        PSG_RETURN_NOT_OK(
+            PushNeighbors(id, {keys.data(), keys.size()}, entries));
         return Empty();
       });
 
@@ -98,17 +117,19 @@ void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
   endpoint->Register(
       "ps.pull_nbrs",
       [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
         ByteReader reader(req.data(), req.size());
         MatrixId id = -1;
-        std::vector<uint64_t> keys;
+        auto keys = MakeArenaVector<uint64_t>(&request_arena_);
         PSG_RETURN_NOT_OK(reader.Read(&id));
-        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+        PSG_RETURN_NOT_OK(GetDeltaList(&reader, &keys));
         std::vector<NeighborEntry> entries;
-        PSG_RETURN_NOT_OK(PullNeighbors(id, keys, &entries));
+        PSG_RETURN_NOT_OK(
+            PullNeighbors(id, {keys.data(), keys.size()}, &entries));
         ByteBuffer resp;
         for (const NeighborEntry& entry : entries) {
-          resp.WriteVector(entry.neighbors);
-          resp.WriteVector(entry.weights);
+          PutDeltaList(&resp, entry.neighbors);
+          WriteFloatBlock(&resp, entry.weights);
         }
         return resp;
       });

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/varint.h"
 #include "sim/sim_clock.h"
 
 namespace psgraph::serving {
@@ -122,6 +123,7 @@ Status ServingRouter::FlushBatches(
     const std::vector<std::pair<int32_t, RequestType>>& due,
     int64_t trigger_ticks) {
   cluster_->clock().AdvanceToTicks(node_, trigger_ticks);
+  flush_arena_.Reset();
 
   Status result = Status::OK();
   // One CallParallel per request type: at most one in-flight call per
@@ -139,12 +141,12 @@ Status ServingRouter::FlushBatches(
       if (batch.items.empty()) continue;
       metrics().Observe("serving.batch.occupancy", batch.items.size());
       metrics().Add("serving.batches", 1);
-      std::vector<uint64_t> keys;
+      auto keys = MakeArenaVector<uint64_t>(&flush_arena_);
       for (const SubItem& item : batch.items) {
         keys.insert(keys.end(), item.keys.begin(), item.keys.end());
       }
       ByteBuffer req;
-      req.WriteVector(keys);
+      PutDeltaList(&req, keys.data(), keys.size());
       calls.push_back({shard_nodes_[static_cast<size_t>(shard)],
                        MethodOf(type), std::move(req)});
       shards.push_back(shard);

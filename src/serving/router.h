@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "net/rpc.h"
 #include "ps/partitioner.h"
@@ -115,6 +116,9 @@ class ServingRouter {
   std::vector<RequestRecord> records_;
   std::vector<int32_t> pending_subs_;  ///< open sub-requests per record
   std::vector<std::array<Batch, 2>> pending_;  ///< [shard][type]
+  /// Scratch for concatenating batch keys during a flush round; reset
+  /// per FlushBatches call (the router is a single event loop).
+  Arena flush_arena_;
 };
 
 }  // namespace psgraph::serving

@@ -5,6 +5,8 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/varint.h"
+#include "common/wire.h"
 #include "minitorch/ops.h"
 
 namespace psgraph::serving {
@@ -67,29 +69,33 @@ Status ServingShard::Start(net::RpcFabric* fabric) {
   endpoint_->Register(
       "serve.lookup",
       [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
         ByteReader reader(req.data(), req.size());
-        std::vector<uint64_t> keys;
-        PSG_RETURN_NOT_OK(reader.ReadVector(&keys));
+        auto keys = MakeArenaVector<uint64_t>(&request_arena_);
+        PSG_RETURN_NOT_OK(GetDeltaList(&reader, &keys));
         int64_t version = -1;
         std::vector<float> values;
-        PSG_RETURN_NOT_OK(Lookup(keys, &version, &values));
+        PSG_RETURN_NOT_OK(
+            Lookup({keys.data(), keys.size()}, &version, &values));
         ByteBuffer resp;
         resp.Write<int64_t>(version);
-        resp.WriteVector(values);
+        WriteFloatBlock(&resp, values);
         return resp;
       });
   endpoint_->Register(
       "serve.infer",
       [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
         ByteReader reader(req.data(), req.size());
-        std::vector<uint64_t> nodes;
-        PSG_RETURN_NOT_OK(reader.ReadVector(&nodes));
+        auto nodes = MakeArenaVector<uint64_t>(&request_arena_);
+        PSG_RETURN_NOT_OK(GetDeltaList(&reader, &nodes));
         int64_t version = -1;
         std::vector<float> values;
-        PSG_RETURN_NOT_OK(Infer(nodes, &version, &values));
+        PSG_RETURN_NOT_OK(
+            Infer({nodes.data(), nodes.size()}, &version, &values));
         ByteBuffer resp;
         resp.Write<int64_t>(version);
-        resp.WriteVector(values);
+        WriteFloatBlock(&resp, values);
         return resp;
       });
   endpoint_->Register(
@@ -207,7 +213,7 @@ void ServingShard::ResetCache() {
   resident_.clear();
 }
 
-Status ServingShard::Lookup(const std::vector<uint64_t>& keys,
+Status ServingShard::Lookup(std::span<const uint64_t> keys,
                             int64_t* version, std::vector<float>* out) {
   if (active_ == nullptr) {
     return Status::FailedPrecondition(
@@ -236,7 +242,7 @@ Status ServingShard::Lookup(const std::vector<uint64_t>& keys,
   return Status::OK();
 }
 
-Status ServingShard::Infer(const std::vector<uint64_t>& nodes,
+Status ServingShard::Infer(std::span<const uint64_t> nodes,
                            int64_t* version, std::vector<float>* out) {
   if (active_ == nullptr) {
     return Status::FailedPrecondition(
@@ -267,7 +273,7 @@ Status ServingShard::Infer(const std::vector<uint64_t>& nodes,
   x_data.reserve(static_cast<size_t>(n * d));
   std::vector<std::vector<int64_t>> segments(nodes.size());
   std::vector<uint64_t> nbr_ids;
-  std::unordered_map<uint64_t, int64_t> nbr_index;
+  FlatHashMap<int64_t> nbr_index;
   for (size_t i = 0; i < nodes.size(); ++i) {
     const uint64_t key = nodes[i];
     const std::vector<float>* row =

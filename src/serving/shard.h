@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "minitorch/tensor.h"
@@ -74,13 +76,13 @@ class ServingShard {
 
   /// Appends `keys.size() * cols` floats to `out` (init rows for keys
   /// the snapshot never saw) and stamps the serving version.
-  Status Lookup(const std::vector<uint64_t>& keys, int64_t* version,
+  Status Lookup(std::span<const uint64_t> keys, int64_t* version,
                 std::vector<float>* out);
 
   /// GraphSage mean-aggregate forward over the snapshotted neighbor
   /// table: h = L2Norm(Relu([x | mean(x_nbrs)] W1)). Appends one output
   /// row per node.
-  Status Infer(const std::vector<uint64_t>& nodes, int64_t* version,
+  Status Infer(std::span<const uint64_t> nodes, int64_t* version,
                std::vector<float>* out);
 
   uint64_t cache_hits() const { return cache_hits_; }
@@ -123,11 +125,15 @@ class ServingShard {
   std::shared_ptr<VersionState> standby_;
 
   /// LRU over (matrix ordinal << 56 | row key); the recency list holds
-  /// the composite key, the index maps it to its list position.
+  /// the composite key, the index maps it to its list position. The
+  /// index is a flat table — it sits on every row touch.
   std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
+  FlatHashMap<std::list<uint64_t>::iterator> resident_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  /// Per-request decode scratch for the RPC handlers; reset at the top
+  /// of each request under the endpoint's serial mutex.
+  Arena request_arena_;
 };
 
 }  // namespace psgraph::serving

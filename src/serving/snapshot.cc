@@ -1,16 +1,18 @@
 #include "serving/snapshot.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 #include <set>
 #include <utility>
 
+#include "common/env.h"
 #include "common/hash.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/varint.h"
+#include "common/wire.h"
 #include "net/rpc.h"
 #include "ps/partitioner.h"
 
@@ -19,30 +21,16 @@ namespace psgraph::serving {
 namespace {
 
 constexpr uint32_t kBlobMagic = 0x5053534E;  // "PSSN"
+/// Bumped to 2 with the delta-key / quantized-row layout. The publisher
+/// and loader ship together, so the loader only accepts its own version.
+constexpr uint8_t kBlobFormatVersion = 2;
 
-std::string ChecksumHex(uint64_t checksum) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(checksum));
-  return buf;
-}
-
+/// Checksums render through the shared hex helpers in common/hash.h so
+/// every text format spells a 64-bit hash the same way.
 Result<uint64_t> ChecksumFromHex(const std::string& hex) {
-  if (hex.empty() || hex.size() > 16) {
-    return Status::IoError("snapshot manifest: bad checksum '" + hex + "'");
-  }
   uint64_t value = 0;
-  for (char c : hex) {
-    uint64_t digit = 0;
-    if (c >= '0' && c <= '9') {
-      digit = static_cast<uint64_t>(c - '0');
-    } else if (c >= 'a' && c <= 'f') {
-      digit = static_cast<uint64_t>(c - 'a') + 10;
-    } else {
-      return Status::IoError("snapshot manifest: bad checksum '" + hex +
-                             "'");
-    }
-    value = (value << 4) | digit;
+  if (!HashFromHex(hex, &value)) {
+    return Status::IoError("snapshot manifest: bad checksum '" + hex + "'");
   }
   return value;
 }
@@ -116,6 +104,12 @@ Result<SnapshotManifest> SnapshotPublisher::Publish() {
     }
   }
 
+  // Resolve the row codec before any RPC work so a bad knob fails fast.
+  const std::string quant_name =
+      !options_.quant.empty() ? options_.quant
+                              : EnvString("PSGRAPH_SNAPSHOT_QUANT", "none");
+  PSG_ASSIGN_OR_RETURN(const QuantMode quant, ParseQuantMode(quant_name));
+
   // 1. Pull every PS server's partition of each requested matrix.
   std::vector<MergedMatrix> merged;
   merged.reserve(options_.matrices.size());
@@ -148,30 +142,27 @@ Result<SnapshotManifest> SnapshotPublisher::Publish() {
       uint32_t slice_cols = 0;
       PSG_RETURN_NOT_OK(reader.Read(&col_begin));
       PSG_RETURN_NOT_OK(reader.Read(&slice_cols));
-      uint64_t num_rows = 0;
-      PSG_RETURN_NOT_OK(reader.Read(&num_rows));
-      for (uint64_t i = 0; i < num_rows; ++i) {
-        uint64_t key = 0;
-        std::vector<float> slice;
-        PSG_RETURN_NOT_OK(reader.Read(&key));
-        PSG_RETURN_NOT_OK(reader.ReadVector(&slice));
+      std::vector<uint64_t> row_keys;
+      PSG_RETURN_NOT_OK(GetDeltaList(&reader, &row_keys));
+      std::vector<float> slice(slice_cols);
+      for (uint64_t key : row_keys) {
+        PSG_RETURN_NOT_OK(reader.ReadRaw(
+            slice.data(), size_t{slice_cols} * sizeof(float)));
         std::vector<float>& row = m.rows[key];
         if (row.empty()) {
           row.assign(meta.num_cols, meta.init_value);
         }
-        for (uint32_t c = 0; c < slice_cols && c < slice.size(); ++c) {
+        for (uint32_t c = 0; c < slice_cols; ++c) {
           if (col_begin + c < row.size()) row[col_begin + c] = slice[c];
         }
       }
-      uint64_t num_adj = 0;
-      PSG_RETURN_NOT_OK(reader.Read(&num_adj));
-      for (uint64_t i = 0; i < num_adj; ++i) {
-        uint64_t key = 0;
+      std::vector<uint64_t> adj_keys;
+      PSG_RETURN_NOT_OK(GetDeltaList(&reader, &adj_keys));
+      for (uint64_t key : adj_keys) {
         std::vector<uint64_t> neighbors;
         std::vector<float> weights;
-        PSG_RETURN_NOT_OK(reader.Read(&key));
-        PSG_RETURN_NOT_OK(reader.ReadVector(&neighbors));
-        PSG_RETURN_NOT_OK(reader.ReadVector(&weights));
+        PSG_RETURN_NOT_OK(GetDeltaList(&reader, &neighbors));
+        PSG_RETURN_NOT_OK(ReadFloatBlock(&reader, &weights));
         m.adjacency[key] = std::move(neighbors);
       }
     }
@@ -212,57 +203,72 @@ Result<SnapshotManifest> SnapshotPublisher::Publish() {
   manifest.num_shards = num_shards;
   manifest.key_space = key_space;
   manifest.created_ticks = cluster->clock().NowTicks(driver);
+  manifest.quant = quant;
   for (const MergedMatrix& m : merged) manifest.matrices.push_back(m.info);
 
   storage::Hdfs* hdfs = ps_->hdfs();
   for (int32_t shard = 0; shard < num_shards; ++shard) {
     ByteBuffer blob;
     blob.Write<uint32_t>(kBlobMagic);
+    blob.Write<uint8_t>(kBlobFormatVersion);
+    blob.Write<uint8_t>(static_cast<uint8_t>(quant));
     blob.Write<int64_t>(version);
     blob.Write<uint32_t>(static_cast<uint32_t>(shard));
     blob.Write<uint64_t>(merged.size());
-    for (const MergedMatrix& m : merged) {
+    for (size_t mi = 0; mi < merged.size(); ++mi) {
+      const MergedMatrix& m = merged[mi];
+      // Replicated matrices (small dense weights) always stay fp32;
+      // quantization targets the big sharded embedding tables.
+      const QuantMode row_quant =
+          m.info.replicated ? QuantMode::kNone : quant;
       blob.WriteString(m.info.name);
       blob.Write<uint8_t>(static_cast<uint8_t>(m.info.kind));
       blob.Write<uint8_t>(m.info.replicated ? 1 : 0);
       blob.Write<uint64_t>(m.info.num_rows);
       blob.Write<uint32_t>(m.info.num_cols);
       blob.Write<float>(m.info.init_value);
+      blob.Write<uint8_t>(static_cast<uint8_t>(row_quant));
 
-      std::vector<std::pair<uint64_t, const std::vector<float>*>> rows;
+      // m.rows is a std::map, so this sweep yields key-sorted entries —
+      // exactly what the delta list wants.
+      std::vector<uint64_t> row_keys;
+      std::vector<const std::vector<float>*> rows;
       for (const auto& [key, row] : m.rows) {
         const bool owned =
             m.info.replicated || part.PartitionOf(key) == shard;
         if (owned || halo[shard].count(key) > 0) {
-          rows.emplace_back(key, &row);
+          row_keys.push_back(key);
+          rows.push_back(&row);
         }
       }
-      blob.Write<uint64_t>(rows.size());
-      for (const auto& [key, row] : rows) {
-        blob.Write<uint64_t>(key);
-        blob.WriteVector(*row);
+      PutDeltaList(&blob, row_keys);
+      for (const std::vector<float>* row : rows) {
+        manifest.raw_bytes += 8 + row->size() * sizeof(float);
+        manifest.matrices[mi].quant_max_abs_error =
+            std::max(manifest.matrices[mi].quant_max_abs_error,
+                     QuantizeRowAppend(row_quant, row->data(), row->size(),
+                                       &blob));
       }
 
-      uint64_t adj_count = 0;
+      std::vector<uint64_t> adj_keys;
       for (const auto& [key, neighbors] : m.adjacency) {
         (void)neighbors;
         if (m.info.replicated || part.PartitionOf(key) == shard) {
-          ++adj_count;
+          adj_keys.push_back(key);
         }
       }
-      blob.Write<uint64_t>(adj_count);
-      for (const auto& [key, neighbors] : m.adjacency) {
-        if (!m.info.replicated && part.PartitionOf(key) != shard) continue;
-        blob.Write<uint64_t>(key);
-        blob.WriteVector(neighbors);
+      PutDeltaList(&blob, adj_keys);
+      for (uint64_t key : adj_keys) {
+        const std::vector<uint64_t>& neighbors = m.adjacency.at(key);
+        manifest.raw_bytes += 8 + neighbors.size() * 8;
+        PutDeltaList(&blob, neighbors);
       }
     }
 
     SnapshotShardInfo info;
     info.path = SnapshotBlobPath(options_.root, version, shard);
     info.bytes = blob.size();
-    info.checksum = HashBytes(std::string_view(
-        reinterpret_cast<const char*>(blob.data().data()), blob.size()));
+    info.checksum = HashBytes(blob.data().data(), blob.size());
     PSG_RETURN_NOT_OK(hdfs->Write(info.path, blob, driver));
     cluster->metrics().Add("serving.snapshot_bytes", info.bytes);
     manifest.shards.push_back(std::move(info));
@@ -276,6 +282,8 @@ Result<SnapshotManifest> SnapshotPublisher::Publish() {
   doc.Set("num_shards", static_cast<int64_t>(manifest.num_shards));
   doc.Set("key_space", manifest.key_space);
   doc.Set("created_ticks", manifest.created_ticks);
+  doc.Set("quant", QuantModeName(manifest.quant));
+  doc.Set("raw_bytes", manifest.raw_bytes);
   JsonValue matrices = JsonValue::Array();
   for (const SnapshotMatrixInfo& info : manifest.matrices) {
     JsonValue m = JsonValue::Object();
@@ -285,6 +293,7 @@ Result<SnapshotManifest> SnapshotPublisher::Publish() {
     m.Set("num_cols", static_cast<int64_t>(info.num_cols));
     m.Set("init_value", static_cast<double>(info.init_value));
     m.Set("replicated", info.replicated);
+    m.Set("quant_max_abs_error", info.quant_max_abs_error);
     matrices.Append(std::move(m));
   }
   doc.Set("matrices", std::move(matrices));
@@ -293,7 +302,7 @@ Result<SnapshotManifest> SnapshotPublisher::Publish() {
     JsonValue s = JsonValue::Object();
     s.Set("path", info.path);
     s.Set("bytes", info.bytes);
-    s.Set("checksum", ChecksumHex(info.checksum));
+    s.Set("checksum", HashToHex(info.checksum));
     shards.Append(std::move(s));
   }
   doc.Set("shards", std::move(shards));
@@ -408,6 +417,11 @@ Result<SnapshotManifest> ReadManifest(storage::Hdfs* hdfs,
   PSG_ASSIGN_OR_RETURN(const JsonValue* created_v,
                        Field(doc, "created_ticks"));
   manifest.created_ticks = created_v->as_int();
+  PSG_ASSIGN_OR_RETURN(const JsonValue* quant_v, Field(doc, "quant"));
+  PSG_ASSIGN_OR_RETURN(manifest.quant,
+                       ParseQuantMode(quant_v->as_string()));
+  PSG_ASSIGN_OR_RETURN(const JsonValue* raw_v, Field(doc, "raw_bytes"));
+  manifest.raw_bytes = static_cast<uint64_t>(raw_v->as_int());
   PSG_ASSIGN_OR_RETURN(const JsonValue* matrices, Field(doc, "matrices"));
   if (!matrices->is_array()) {
     return Status::IoError("snapshot: manifest missing matrices");
@@ -429,6 +443,9 @@ Result<SnapshotManifest> ReadManifest(storage::Hdfs* hdfs,
     info.init_value = static_cast<float>(init_v->as_double());
     PSG_ASSIGN_OR_RETURN(const JsonValue* repl_v, Field(m, "replicated"));
     info.replicated = repl_v->as_bool();
+    PSG_ASSIGN_OR_RETURN(const JsonValue* err_v,
+                         Field(m, "quant_max_abs_error"));
+    info.quant_max_abs_error = err_v->as_double();
     manifest.matrices.push_back(std::move(info));
   }
   PSG_ASSIGN_OR_RETURN(const JsonValue* shards, Field(doc, "shards"));
@@ -467,14 +484,13 @@ Result<LoadedShard> LoadShardBlob(storage::Hdfs* hdfs,
       manifest.shards[static_cast<size_t>(shard)];
   PSG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                        hdfs->Read(info.path, node));
-  const uint64_t checksum = HashBytes(std::string_view(
-      reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  const uint64_t checksum = HashBytes(bytes.data(), bytes.size());
   if (bytes.size() != info.bytes || checksum != info.checksum) {
     return Status::IoError(
         "snapshot checksum mismatch for shard_" + std::to_string(shard) +
-        " (" + info.path + "): expected " + ChecksumHex(info.checksum) +
+        " (" + info.path + "): expected " + HashToHex(info.checksum) +
         "/" + std::to_string(info.bytes) + "B, got " +
-        ChecksumHex(checksum) + "/" + std::to_string(bytes.size()) + "B");
+        HashToHex(checksum) + "/" + std::to_string(bytes.size()) + "B");
   }
 
   ByteReader reader(bytes);
@@ -483,6 +499,16 @@ Result<LoadedShard> LoadShardBlob(storage::Hdfs* hdfs,
   if (magic != kBlobMagic) {
     return Status::IoError("snapshot: bad blob magic in " + info.path);
   }
+  uint8_t format = 0;
+  uint8_t blob_quant = 0;
+  PSG_RETURN_NOT_OK(reader.Read(&format));
+  PSG_RETURN_NOT_OK(reader.Read(&blob_quant));
+  if (format != kBlobFormatVersion) {
+    return Status::IoError("snapshot: blob format v" +
+                           std::to_string(format) + " in " + info.path +
+                           " (loader speaks v" +
+                           std::to_string(kBlobFormatVersion) + ")");
+  }
   LoadedShard loaded;
   loaded.blob_bytes = bytes.size();
   PSG_RETURN_NOT_OK(reader.Read(&loaded.version));
@@ -490,7 +516,8 @@ Result<LoadedShard> LoadShardBlob(storage::Hdfs* hdfs,
   PSG_RETURN_NOT_OK(reader.Read(&shard_index));
   loaded.shard_index = static_cast<int32_t>(shard_index);
   if (loaded.version != manifest.version ||
-      loaded.shard_index != shard) {
+      loaded.shard_index != shard ||
+      static_cast<QuantMode>(blob_quant) != manifest.quant) {
     return Status::IoError("snapshot: blob/manifest mismatch in " +
                            info.path);
   }
@@ -501,31 +528,34 @@ Result<LoadedShard> LoadShardBlob(storage::Hdfs* hdfs,
     PSG_RETURN_NOT_OK(reader.ReadString(&m.info.name));
     uint8_t kind = 0;
     uint8_t replicated = 0;
+    uint8_t row_quant = 0;
     PSG_RETURN_NOT_OK(reader.Read(&kind));
     PSG_RETURN_NOT_OK(reader.Read(&replicated));
     PSG_RETURN_NOT_OK(reader.Read(&m.info.num_rows));
     PSG_RETURN_NOT_OK(reader.Read(&m.info.num_cols));
     PSG_RETURN_NOT_OK(reader.Read(&m.info.init_value));
+    PSG_RETURN_NOT_OK(reader.Read(&row_quant));
     m.info.kind = static_cast<ps::StorageKind>(kind);
     m.info.replicated = replicated != 0;
-    uint64_t num_rows = 0;
-    PSG_RETURN_NOT_OK(reader.Read(&num_rows));
-    m.rows.reserve(num_rows);
-    for (uint64_t r = 0; r < num_rows; ++r) {
-      uint64_t key = 0;
+    const QuantMode mode = static_cast<QuantMode>(row_quant);
+    const size_t cols = m.info.num_cols;
+
+    std::vector<uint64_t> row_keys;
+    PSG_RETURN_NOT_OK(GetDeltaList(&reader, &row_keys));
+    m.rows.reserve(row_keys.size());
+    for (uint64_t key : row_keys) {
       std::vector<float> row;
-      PSG_RETURN_NOT_OK(reader.Read(&key));
-      PSG_RETURN_NOT_OK(reader.ReadVector(&row));
+      row.reserve(cols);
+      PSG_RETURN_NOT_OK(DequantizeRowAppend(mode, &reader, cols, &row));
       m.rows.emplace(key, std::move(row));
     }
-    uint64_t num_adj = 0;
-    PSG_RETURN_NOT_OK(reader.Read(&num_adj));
-    m.adjacency.reserve(num_adj);
-    for (uint64_t a = 0; a < num_adj; ++a) {
-      uint64_t key = 0;
+
+    std::vector<uint64_t> adj_keys;
+    PSG_RETURN_NOT_OK(GetDeltaList(&reader, &adj_keys));
+    m.adjacency.reserve(adj_keys.size());
+    for (uint64_t key : adj_keys) {
       std::vector<uint64_t> neighbors;
-      PSG_RETURN_NOT_OK(reader.Read(&key));
-      PSG_RETURN_NOT_OK(reader.ReadVector(&neighbors));
+      PSG_RETURN_NOT_OK(GetDeltaList(&reader, &neighbors));
       m.adjacency.emplace(key, std::move(neighbors));
     }
     std::string name = m.info.name;

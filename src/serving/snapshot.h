@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/quant.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "ps/context.h"
@@ -41,6 +42,9 @@ struct SnapshotMatrixInfo {
   uint32_t num_cols = 1;
   float init_value = 0.0f;
   bool replicated = false;
+  /// Max-abs round-trip error introduced by blob quantization across
+  /// every emitted copy of this matrix's rows (0 when stored as fp32).
+  double quant_max_abs_error = 0.0;
 
   uint64_t RowBytes() const { return uint64_t{num_cols} * sizeof(float); }
 };
@@ -57,6 +61,12 @@ struct SnapshotManifest {
   int32_t num_shards = 0;
   uint64_t key_space = 0;  ///< router/placement key space
   int64_t created_ticks = 0;
+  /// Row codec of the sharded (non-replicated) matrices' blobs.
+  QuantMode quant = QuantMode::kNone;
+  /// What the same payload would have cost in the uncompressed v1 layout
+  /// (8-byte keys, fp32 rows, 8-byte neighbor ids) — the denominator of
+  /// the published compression ratio.
+  uint64_t raw_bytes = 0;
   std::vector<SnapshotMatrixInfo> matrices;
   std::vector<SnapshotShardInfo> shards;
 };
@@ -85,6 +95,10 @@ struct SnapshotOptions {
   /// Keep the newest N versions on retention sweeps; 0 keeps everything.
   /// The CURRENT version is never deleted.
   int32_t keep_versions = 0;
+  /// Row codec for sharded matrices: "none" | "fp16" | "int8". Empty
+  /// falls back to the PSGRAPH_SNAPSHOT_QUANT env knob (default none).
+  /// Replicated matrices always stay fp32. Unknown values fail Publish.
+  std::string quant;
   std::vector<SnapshotMatrixSpec> matrices;
 };
 
@@ -111,11 +125,13 @@ class SnapshotPublisher {
 
 // --- loader side ---
 
-/// In-memory image of one matrix inside one shard blob.
+/// In-memory image of one matrix inside one shard blob. Rows and
+/// adjacency live in open-addressing tables (common/flat_hash.h): lookup
+/// is the serving hot path and these maps are read-only once loaded.
 struct LoadedMatrix {
   SnapshotMatrixInfo info;
-  std::unordered_map<uint64_t, std::vector<float>> rows;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> adjacency;
+  FlatHashMap<std::vector<float>> rows;
+  FlatHashMap<std::vector<uint64_t>> adjacency;
 };
 
 /// In-memory image of one shard blob.

@@ -75,7 +75,7 @@ SkewProfiler::Shard& SkewProfiler::shard(int32_t server) {
 }
 
 void SkewProfiler::RecordKeyAccess(int32_t server, bool is_pull,
-                                   const std::vector<uint64_t>& keys) {
+                                   std::span<const uint64_t> keys) {
   Shard& s = shard(server);
   auto& counter = is_pull ? s.pull_keys : s.push_keys;
   counter.fetch_add(keys.size(), std::memory_order_relaxed);

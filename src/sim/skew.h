@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,7 +91,7 @@ class SkewProfiler {
   /// profiling is on (every sample_period-th key, deterministic
   /// per-shard stride).
   void RecordKeyAccess(int32_t server, bool is_pull,
-                       const std::vector<uint64_t>& keys);
+                       std::span<const uint64_t> keys);
 
   /// Called by the dataflow engine for every charge it attributes to a
   /// partition.

@@ -11,7 +11,9 @@
 
 #include "common/alias_table.h"
 #include "common/byte_buffer.h"
+#include "common/flat_hash.h"
 #include "common/hash.h"
+#include "common/quant.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -351,6 +353,199 @@ TEST(ThreadPoolTest, SubmitReturnsFuture) {
   ThreadPool pool(2);
   auto fut = pool.Submit([] {});
   fut.get();  // must not hang
+}
+
+TEST(FlatHashMapTest, InsertFindEraseBasics) {
+  FlatHashMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), map.end());
+  map[7] = 70;
+  map[9] = 90;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.contains(7));
+  EXPECT_EQ(map.at(9), 90);
+  EXPECT_EQ(map.count(8), 0u);
+  auto [it, inserted] = map.try_emplace(7, -1);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(it->second, 70);  // try_emplace never overwrites
+  EXPECT_EQ(map.erase(7), 1u);
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_THROW(map.at(7), std::out_of_range);
+}
+
+TEST(FlatHashMapTest, GrowthKeepsEveryEntry) {
+  FlatHashMap<uint64_t> map;
+  Rng rng(101);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.NextBounded(1ull << 50);
+    map[k] = static_cast<uint64_t>(i);
+    model[k] = static_cast<uint64_t>(i);
+  }
+  ASSERT_EQ(map.size(), model.size());
+  // Power-of-two capacity, load below the 7/8 ceiling.
+  EXPECT_EQ(map.capacity() & (map.capacity() - 1), 0u);
+  EXPECT_GE(map.capacity() - map.capacity() / 8, map.size());
+  for (const auto& [k, v] : model) {
+    auto it = map.find(k);
+    ASSERT_NE(it, map.end()) << "lost key " << k;
+    EXPECT_EQ(it->second, v);
+  }
+}
+
+TEST(FlatHashMapTest, BackwardShiftEraseKeepsChainsReachable) {
+  // Heavy interleaved insert/erase traffic: tombstone-free deletion
+  // must never strand a live key behind a hole.
+  FlatHashMap<int> map;
+  std::map<uint64_t, int> model;
+  Rng rng(77);
+  for (int round = 0; round < 50000; ++round) {
+    uint64_t k = rng.NextBounded(512);  // tight space forces collisions
+    if (rng.NextBounded(3) == 0) {
+      EXPECT_EQ(map.erase(k), model.erase(k));
+    } else {
+      map[k] = round;
+      model[k] = round;
+    }
+  }
+  ASSERT_EQ(map.size(), model.size());
+  for (const auto& [k, v] : model) {
+    auto it = map.find(k);
+    ASSERT_NE(it, map.end());
+    EXPECT_EQ(it->second, v);
+  }
+}
+
+TEST(FlatHashMapTest, IterationIsSlotOrderDeterministic) {
+  // Two maps fed the same operation sequence iterate identically —
+  // the byte-identical report contract depends on this.
+  auto build = [] {
+    FlatHashMap<int> m;
+    Rng rng(5);
+    for (int i = 0; i < 3000; ++i) {
+      m[rng.NextBounded(4096)] = i;
+    }
+    for (int i = 0; i < 500; ++i) {
+      m.erase(rng.NextBounded(4096));
+    }
+    return m;
+  };
+  FlatHashMap<int> a = build();
+  FlatHashMap<int> b = build();
+  ASSERT_EQ(a.size(), b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second, ib->second);
+  }
+  EXPECT_EQ(ib, b.end());
+}
+
+TEST(FlatHashMapTest, CopyMoveClearReserve) {
+  FlatHashMap<std::string> map;
+  for (uint64_t k = 0; k < 100; ++k) map[k] = std::to_string(k);
+  FlatHashMap<std::string> copy = map;
+  EXPECT_EQ(copy.size(), 100u);
+  EXPECT_EQ(copy.at(42), "42");
+  FlatHashMap<std::string> moved = std::move(map);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(moved.at(99), "99");
+  moved.clear();
+  EXPECT_TRUE(moved.empty());
+  EXPECT_FALSE(moved.contains(42));
+  FlatHashMap<int> reserved;
+  reserved.reserve(1000);
+  const size_t cap = reserved.capacity();
+  EXPECT_GE(cap - cap / 8, 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) reserved[k] = 1;
+  EXPECT_EQ(reserved.capacity(), cap);  // no rehash under the reserve
+}
+
+TEST(QuantTest, Fp16RoundTripBoundsError) {
+  // Half precision has 11 significand bits: relative error <= 2^-11
+  // for normal values.
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    float f = static_cast<float>(rng.NextDouble() * 8.0 - 4.0);
+    float back = Fp16ToFloat(Fp16FromFloat(f));
+    EXPECT_LE(std::fabs(back - f), std::fabs(f) * 0x1p-10f + 1e-7f)
+        << "f=" << f;
+  }
+  // Exact values survive exactly.
+  for (float f : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 65504.0f}) {
+    EXPECT_EQ(Fp16ToFloat(Fp16FromFloat(f)), f);
+  }
+  // Overflow saturates to infinity, subnormals round-trip finitely.
+  EXPECT_TRUE(std::isinf(Fp16ToFloat(Fp16FromFloat(1e6f))));
+  EXPECT_NEAR(Fp16ToFloat(Fp16FromFloat(1e-7f)), 1e-7f, 6e-8f);
+}
+
+TEST(QuantTest, RowRoundTripReportsHonestError) {
+  Rng rng(32);
+  std::vector<float> row(64);
+  for (float& f : row) {
+    f = static_cast<float>(rng.NextGaussian());
+  }
+  for (QuantMode mode :
+       {QuantMode::kNone, QuantMode::kFp16, QuantMode::kInt8}) {
+    ByteBuffer buf;
+    const double reported =
+        QuantizeRowAppend(mode, row.data(), row.size(), &buf);
+    EXPECT_EQ(buf.size(), QuantizedRowBytes(mode, row.size()));
+    ByteReader reader(buf);
+    std::vector<float> back;
+    ASSERT_TRUE(
+        DequantizeRowAppend(mode, &reader, row.size(), &back).ok());
+    ASSERT_EQ(back.size(), row.size());
+    double max_err = 0.0;
+    float max_abs = 0.0f;
+    for (size_t i = 0; i < row.size(); ++i) {
+      max_err = std::max(
+          max_err, std::fabs(static_cast<double>(back[i]) - row[i]));
+      max_abs = std::max(max_abs, std::fabs(row[i]));
+    }
+    // The reported error is exactly the realized round-trip error.
+    EXPECT_DOUBLE_EQ(reported, max_err) << QuantModeName(mode);
+    if (mode == QuantMode::kNone) {
+      EXPECT_EQ(max_err, 0.0);
+    } else if (mode == QuantMode::kInt8) {
+      // Error bounded by half a quantization step.
+      EXPECT_LE(max_err, 0.5 * max_abs / 127.0 + 1e-9);
+    }
+  }
+}
+
+TEST(QuantTest, Int8ZeroRowAndTruncation) {
+  std::vector<float> zeros(8, 0.0f);
+  ByteBuffer buf;
+  EXPECT_EQ(QuantizeRowAppend(QuantMode::kInt8, zeros.data(),
+                              zeros.size(), &buf),
+            0.0);
+  ByteReader reader(buf);
+  std::vector<float> back;
+  ASSERT_TRUE(
+      DequantizeRowAppend(QuantMode::kInt8, &reader, zeros.size(), &back)
+          .ok());
+  EXPECT_EQ(back, zeros);
+  // A truncated row fails loudly instead of fabricating floats.
+  ByteReader short_reader(buf.data().data(), buf.size() - 2);
+  std::vector<float> partial;
+  EXPECT_FALSE(DequantizeRowAppend(QuantMode::kInt8, &short_reader,
+                                   zeros.size(), &partial)
+                   .ok());
+}
+
+TEST(QuantTest, ParseQuantModeFailsLoudOnGarbage) {
+  EXPECT_EQ(*ParseQuantMode(""), QuantMode::kNone);
+  EXPECT_EQ(*ParseQuantMode("none"), QuantMode::kNone);
+  EXPECT_EQ(*ParseQuantMode("fp16"), QuantMode::kFp16);
+  EXPECT_EQ(*ParseQuantMode("int8"), QuantMode::kInt8);
+  auto bad = ParseQuantMode("fp8");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("fp8"), std::string::npos);
 }
 
 }  // namespace

@@ -628,13 +628,16 @@ TEST(SkewProfilerTest, TracksShardTotalsAndHotKeys) {
   sim::SkewProfiler profiler(2);
   EXPECT_FALSE(profiler.key_profiling_enabled());
   // Totals count even with key profiling off...
-  profiler.RecordKeyAccess(0, /*is_pull=*/true, {1, 2, 3});
+  profiler.RecordKeyAccess(0, /*is_pull=*/true,
+                          std::vector<uint64_t>{1, 2, 3});
   profiler.set_key_profiling(true);
   // ...but the hot-key sketch only fills while it is on.
   for (int i = 0; i < 10; ++i) {
-    profiler.RecordKeyAccess(0, /*is_pull=*/true, {7, 7, 9});
+    profiler.RecordKeyAccess(0, /*is_pull=*/true,
+                             std::vector<uint64_t>{7, 7, 9});
   }
-  profiler.RecordKeyAccess(1, /*is_pull=*/false, {5});
+  profiler.RecordKeyAccess(1, /*is_pull=*/false,
+                          std::vector<uint64_t>{5});
 
   auto snap = profiler.Snap();
   EXPECT_TRUE(snap.key_profiling);

@@ -307,25 +307,25 @@ TEST(ServingShardTest, LookupCachesRowsWithLruEviction) {
 
   int64_t version = -1;
   std::vector<float> out;
-  ASSERT_TRUE(shard.Lookup({owned[0]}, &version, &out).ok());
+  ASSERT_TRUE(shard.Lookup(std::vector<uint64_t>{owned[0]}, &version, &out).ok());
   EXPECT_EQ(version, 1);
   EXPECT_EQ(out, EmbRow(owned[0], 2.0f));
   EXPECT_EQ(shard.cache_misses(), 1u);
   out.clear();
-  ASSERT_TRUE(shard.Lookup({owned[0]}, &version, &out).ok());
+  ASSERT_TRUE(shard.Lookup(std::vector<uint64_t>{owned[0]}, &version, &out).ok());
   EXPECT_EQ(shard.cache_hits(), 1u) << "second touch must be a hit";
 
   // Touch two more rows: capacity 2 evicts owned[0]; re-touching it is a
   // miss again.
-  ASSERT_TRUE(shard.Lookup({owned[1], owned[2]}, &version, &out).ok());
+  ASSERT_TRUE(shard.Lookup(std::vector<uint64_t>{owned[1], owned[2]}, &version, &out).ok());
   const uint64_t misses_before = shard.cache_misses();
-  ASSERT_TRUE(shard.Lookup({owned[0]}, &version, &out).ok());
+  ASSERT_TRUE(shard.Lookup(std::vector<uint64_t>{owned[0]}, &version, &out).ok());
   EXPECT_EQ(shard.cache_misses(), misses_before + 1)
       << "evicted row must re-miss";
 
   // A key the snapshot never saw comes back as init rows, not an error.
   out.clear();
-  ASSERT_TRUE(shard.Lookup({kKeySpace + 100}, &version, &out).ok());
+  ASSERT_TRUE(shard.Lookup(std::vector<uint64_t>{kKeySpace + 100}, &version, &out).ok());
   EXPECT_EQ(out, std::vector<float>(kDim, 0.0f));
 
   // Activating a version that was never preloaded fails loudly.
@@ -349,7 +349,7 @@ TEST(ServingShardTest, InferRunsGraphSageForwardFromSnapshot) {
 
   int64_t version = -1;
   std::vector<float> out;
-  ASSERT_TRUE(shard.Infer({key}, &version, &out).ok());
+  ASSERT_TRUE(shard.Infer(std::vector<uint64_t>{key}, &version, &out).ok());
   EXPECT_EQ(version, 1);
   ASSERT_EQ(out.size(), static_cast<size_t>(kOutDim));
   // All-positive inputs and weights: Relu passes through and the row is
@@ -491,7 +491,9 @@ TEST(ServingRouterTest, HotSwapServesEveryRequestWithoutTornReads) {
   ps::Partitioner part(ps::PartitionScheme::kHash, kKeySpace, kNumShards);
   uint64_t key = 0;
   while (part.PartitionOf(key) != 0) ++key;
-  ASSERT_TRUE(serve.shards[0]->Lookup({key}, &version, &out).ok());
+  ASSERT_TRUE(serve.shards[0]
+                  ->Lookup(std::vector<uint64_t>{key}, &version, &out)
+                  .ok());
   EXPECT_EQ(version, 2);
   EXPECT_EQ(out, EmbRow(key, 100.0f));
 }

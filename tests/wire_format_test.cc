@@ -1,0 +1,250 @@
+// Tests for the varint/delta wire framing (common/varint.h,
+// common/wire.h): LEB128 boundaries, fail-loud truncated/overlong
+// decoding, delta-list round trips for sorted/unsorted/duplicate key
+// lists, and float blocks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/random.h"
+#include "common/varint.h"
+#include "common/wire.h"
+
+namespace psgraph {
+namespace {
+
+uint64_t RoundTripVarint(uint64_t v, size_t* encoded_bytes = nullptr) {
+  ByteBuffer buf;
+  PutVarint64(&buf, v);
+  if (encoded_bytes != nullptr) *encoded_bytes = buf.size();
+  EXPECT_EQ(buf.size(), Varint64Size(v));
+  ByteReader reader(buf);
+  uint64_t out = 0;
+  EXPECT_TRUE(GetVarint64(&reader, &out).ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  return out;
+}
+
+TEST(VarintTest, BoundaryValuesRoundTrip) {
+  // The LEB128 length steps at every 7-bit boundary.
+  struct Case {
+    uint64_t value;
+    size_t bytes;
+  };
+  const Case cases[] = {
+      {0, 1},
+      {1, 1},
+      {127, 1},
+      {128, 2},
+      {16383, 2},
+      {16384, 3},
+      {(1ull << 35) - 1, 5},
+      {1ull << 35, 6},
+      {(1ull << 63), 10},
+      {std::numeric_limits<uint64_t>::max(), 10},
+  };
+  for (const Case& c : cases) {
+    size_t bytes = 0;
+    EXPECT_EQ(RoundTripVarint(c.value, &bytes), c.value);
+    EXPECT_EQ(bytes, c.bytes) << "value " << c.value;
+  }
+}
+
+TEST(VarintTest, ExhaustiveSmallAndRandomLargeRoundTrip) {
+  for (uint64_t v = 0; v < 4096; ++v) {
+    EXPECT_EQ(RoundTripVarint(v), v);
+  }
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextU64();
+    EXPECT_EQ(RoundTripVarint(v), v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputNamesOffset) {
+  ByteBuffer buf;
+  buf.Write<uint8_t>(0x42);          // one complete varint at offset 0
+  PutVarint64(&buf, 5000000000ull);  // multi-byte varint at offset 1
+  // Drop the final byte: the second varint is now truncated.
+  ByteReader reader(buf.data().data(), buf.size() - 1);
+  uint64_t out = 0;
+  ASSERT_TRUE(GetVarint64(&reader, &out).ok());
+  Status st = GetVarint64(&reader, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.code() == StatusCode::kOutOfRange) << st.ToString();
+  EXPECT_NE(st.ToString().find("offset 1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(VarintTest, OverlongAndOverflowingEncodingsRejected) {
+  {
+    // Eleven continuation bytes: no terminator within the legal window.
+    ByteBuffer buf;
+    for (int i = 0; i < 11; ++i) buf.Write<uint8_t>(0x80);
+    ByteReader reader(buf);
+    uint64_t out = 0;
+    Status st = GetVarint64(&reader, &out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.code() == StatusCode::kInvalidArgument) << st.ToString();
+  }
+  {
+    // Ten bytes whose last contributes more than the single bit a
+    // uint64_t has room for: value would overflow.
+    ByteBuffer buf;
+    for (int i = 0; i < 9; ++i) buf.Write<uint8_t>(0xff);
+    buf.Write<uint8_t>(0x02);
+    ByteReader reader(buf);
+    uint64_t out = 0;
+    Status st = GetVarint64(&reader, &out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.code() == StatusCode::kInvalidArgument) << st.ToString();
+    EXPECT_NE(st.ToString().find("overflow"), std::string::npos);
+  }
+}
+
+TEST(VarintTest, ZigZagIsBijectiveOnExtremes) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes map to small codes (the compression property).
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+std::vector<uint64_t> RoundTripDeltaList(const std::vector<uint64_t>& in) {
+  ByteBuffer buf;
+  PutDeltaList(&buf, in);
+  EXPECT_EQ(buf.size(), DeltaListSize(in.data(), in.size()));
+  ByteReader reader(buf);
+  std::vector<uint64_t> out;
+  EXPECT_TRUE(GetDeltaList(&reader, &out).ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  return out;
+}
+
+TEST(DeltaListTest, SortedUnsortedDuplicateAndEmptyListsRoundTrip) {
+  const std::vector<std::vector<uint64_t>> cases = {
+      {},
+      {0},
+      {42},
+      {1, 2, 3, 100, 101, 1000000},
+      // Unsorted: deltas go negative and must zigzag round-trip.
+      {100, 1, 50, 0, std::numeric_limits<uint64_t>::max(), 7},
+      // Duplicates: zero deltas.
+      {5, 5, 5, 9, 9, 5},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(RoundTripDeltaList(c), c);
+  }
+  Rng rng(9);
+  std::vector<uint64_t> random(5000);
+  for (auto& v : random) v = rng.NextU64();
+  EXPECT_EQ(RoundTripDeltaList(random), random);
+}
+
+TEST(DeltaListTest, SortedKeysCompressWellBelowFixedWidth) {
+  // The PS batch common case: 4096 sorted keys from a 2^20 space fit
+  // in ~2 bytes each vs 8 fixed — the whole point of the format.
+  Rng rng(11);
+  std::vector<uint64_t> keys(4096);
+  for (auto& k : keys) k = rng.NextBounded(1ull << 20);
+  std::sort(keys.begin(), keys.end());
+  const size_t encoded = DeltaListSize(keys.data(), keys.size());
+  EXPECT_LT(encoded, keys.size() * sizeof(uint64_t) / 2);
+}
+
+TEST(DeltaListTest, CorruptCountRejectedBeforeAllocation) {
+  // A huge count with a tiny payload is corruption; the decoder must
+  // reject it instead of reserving terabytes.
+  ByteBuffer buf;
+  PutVarint64(&buf, 1ull << 60);
+  buf.Write<uint8_t>(0x01);
+  ByteReader reader(buf);
+  std::vector<uint64_t> out;
+  Status st = GetDeltaList(&reader, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.code() == StatusCode::kOutOfRange) << st.ToString();
+  EXPECT_NE(st.ToString().find("exceeds remaining"), std::string::npos);
+}
+
+TEST(DeltaListTest, TruncatedPayloadFailsLoud) {
+  std::vector<uint64_t> keys = {10, 20, 30, 40};
+  ByteBuffer buf;
+  PutDeltaList(&buf, keys);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    ByteReader reader(buf.data().data(), buf.size() - cut);
+    std::vector<uint64_t> out;
+    EXPECT_FALSE(GetDeltaList(&reader, &out).ok())
+        << "cut " << cut << " bytes and still decoded";
+  }
+}
+
+TEST(FloatBlockTest, RoundTripAndAppendSemantics) {
+  std::vector<float> values = {0.0f, -1.5f, 3.25f, 1e-30f, -1e30f};
+  ByteBuffer buf;
+  WriteFloatBlock(&buf, values);
+  ByteReader reader(buf);
+  std::vector<float> out = {99.0f};  // decoder appends, never clobbers
+  ASSERT_TRUE(ReadFloatBlock(&reader, &out).ok());
+  ASSERT_EQ(out.size(), values.size() + 1);
+  EXPECT_EQ(out[0], 99.0f);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i + 1], values[i]);
+  }
+}
+
+TEST(FloatBlockTest, CorruptCountAndTruncationRejected) {
+  {
+    ByteBuffer buf;
+    PutVarint64(&buf, 1ull << 40);  // count no buffer could hold
+    buf.Write<float>(1.0f);
+    ByteReader reader(buf);
+    std::vector<float> out;
+    Status st = ReadFloatBlock(&reader, &out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.code() == StatusCode::kOutOfRange) << st.ToString();
+  }
+  {
+    std::vector<float> values(16, 2.0f);
+    ByteBuffer buf;
+    WriteFloatBlock(&buf, values);
+    ByteReader reader(buf.data().data(), buf.size() - 3);
+    std::vector<float> out;
+    EXPECT_FALSE(ReadFloatBlock(&reader, &out).ok());
+  }
+}
+
+TEST(WireFormatTest, MixedFramesDecodeInSequence) {
+  // A pull-style payload: [delta keys][float block][delta keys] — each
+  // frame must leave the reader exactly at the next frame's start.
+  std::vector<uint64_t> keys = {3, 1, 4, 1, 5};
+  std::vector<float> vals = {1.0f, 2.0f};
+  std::vector<uint64_t> nbrs = {900, 901, 902};
+  ByteBuffer buf;
+  PutDeltaList(&buf, keys);
+  WriteFloatBlock(&buf, vals);
+  PutDeltaList(&buf, nbrs);
+  ByteReader reader(buf);
+  std::vector<uint64_t> keys_out, nbrs_out;
+  std::vector<float> vals_out;
+  ASSERT_TRUE(GetDeltaList(&reader, &keys_out).ok());
+  ASSERT_TRUE(ReadFloatBlock(&reader, &vals_out).ok());
+  ASSERT_TRUE(GetDeltaList(&reader, &nbrs_out).ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(keys_out, keys);
+  EXPECT_EQ(vals_out, vals);
+  EXPECT_EQ(nbrs_out, nbrs);
+}
+
+}  // namespace
+}  // namespace psgraph
