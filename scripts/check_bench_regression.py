@@ -311,8 +311,14 @@ def diff_reports(name, baseline, current, tolerance, errors):
             diff_value("%s: cluster.makespan_ticks" % name,
                        b_cluster.get("makespan_ticks"),
                        c_cluster.get("makespan_ticks"), tolerance, errors)
-            b_nodes = {n["node"]: n for n in b_cluster.get("nodes", [])}
-            c_nodes = {n["node"]: n for n in c_cluster.get("nodes", [])}
+            # .get, not [..]: a node entry without a "node" id must be a
+            # named failure, not a bare KeyError traceback.
+            b_nodes = {n.get("node"): n for n in b_cluster.get("nodes", [])}
+            c_nodes = {n.get("node"): n for n in c_cluster.get("nodes", [])}
+            if None in b_nodes:
+                fail(errors, "%s: baseline cluster node without a "
+                     "'node' id", name)
+                del b_nodes[None]
             for node_id, b_node in sorted(b_nodes.items()):
                 c_node = c_nodes.get(node_id)
                 diff_value(
@@ -330,11 +336,18 @@ def diff_reports(name, baseline, current, tolerance, errors):
         if c_hist is None:
             fail(errors, "%s: histogram %r disappeared", name, hist_name)
             continue
-        diff_value("%s: %s.count" % (name, hist_name), b_hist["count"],
-                   c_hist.get("count"), tolerance, errors, exact=True)
-        for q in GATED_QUANTILES:
+        # A baseline histogram missing a gated leaf is itself a finding
+        # (stale or hand-edited baseline) — report the bench and the
+        # leaf path instead of dying with a bare KeyError.
+        for q, exact in [("count", True)] + [(q, False)
+                                             for q in GATED_QUANTILES]:
+            if q not in b_hist:
+                fail(errors,
+                     "%s: baseline histogram %s lacks leaf %r that the "
+                     "candidate report gates on", name, hist_name, q)
+                continue
             diff_value("%s: %s.%s" % (name, hist_name, q), b_hist[q],
-                       c_hist.get(q), tolerance, errors)
+                       c_hist.get(q), tolerance, errors, exact=exact)
 
     # Bench payload: walk the baseline recursively and gate every
     # simulated leaf (sim_ticks/sim_seconds with tolerance; oom and
@@ -399,6 +412,10 @@ def main():
                         help="directory holding committed baselines")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="relative tolerance band (default 0.05)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="schema-validate every baseline file and "
+                             "exit — no fresh reports needed (the CI "
+                             "baseline-hygiene step)")
     args = parser.parse_args()
 
     baselines = sorted(
@@ -409,6 +426,31 @@ def main():
         return 1
 
     errors = []
+    if args.validate_only:
+        # Baseline hygiene: a hand-edited or stale-schema baseline must
+        # fail the build here instead of silently passing the gate.
+        stray = sorted(
+            f for f in os.listdir(args.baseline_dir)
+            if not (f.startswith("BENCH_") and f.endswith(".json")))
+        for fname in stray:
+            fail(errors, "%s: stray file in baseline dir (only "
+                 "BENCH_*.json belongs there)",
+                 os.path.join(args.baseline_dir, fname))
+        for fname in baselines:
+            path = os.path.join(args.baseline_dir, fname)
+            try:
+                with open(path) as f:
+                    validate_schema(json.load(f), path, errors)
+            except ValueError as exc:
+                fail(errors, "%s: not valid JSON (%s)", path, exc)
+            print("validated %s" % path)
+        if errors:
+            print("\n%d baseline-hygiene failure(s):" % len(errors))
+            for e in errors:
+                print("  FAIL %s" % e)
+            return 1
+        print("OK: %d baseline(s) schema-valid" % len(baselines))
+        return 0
     checked = 0
     for fname in baselines:
         baseline_path = os.path.join(args.baseline_dir, fname)

@@ -35,6 +35,18 @@ Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
   return ctx;
 }
 
+ps::ReplicationManager& PsGraphContext::replication(
+    ps::ReplicationOptions options) {
+  if (replication_ == nullptr) {
+    std::vector<ps::PsAgent*> agents;
+    agents.reserve(agents_.size());
+    for (auto& agent : agents_) agents.push_back(agent.get());
+    replication_ = std::make_unique<ps::ReplicationManager>(
+        ps_.get(), std::move(agents), options);
+  }
+  return *replication_;
+}
+
 Result<PsGraphContext::RecoveryReport> PsGraphContext::HandleFailures(
     int64_t iteration, ps::RecoveryMode mode) {
   events_.set_iteration(iteration);

@@ -23,6 +23,7 @@
 #include "ps/agent.h"
 #include "ps/context.h"
 #include "ps/master.h"
+#include "ps/replication.h"
 #include "ps/sync.h"
 #include "sim/cluster.h"
 #include "sim/event_journal.h"
@@ -81,6 +82,12 @@ class PsGraphContext {
   }
   ps::PsAgent& agent(int32_t executor) { return *agents_[executor]; }
 
+  /// Lazily-created skew-aware replication manager (ps/replication.h).
+  /// First call installs a ReplicaCache into every agent; until then the
+  /// agents run the plain single-home paths with zero overhead.
+  ps::ReplicationManager& replication(ps::ReplicationOptions options = {});
+  bool has_replication() const { return replication_ != nullptr; }
+
   struct RecoveryReport {
     int32_t servers_restarted = 0;
     /// Executor indices that were restarted this call (their cached RDD
@@ -126,6 +133,7 @@ class PsGraphContext {
   std::unique_ptr<ps::PsMaster> master_;
   std::unique_ptr<ps::SyncController> sync_;
   std::vector<std::unique_ptr<ps::PsAgent>> agents_;
+  std::unique_ptr<ps::ReplicationManager> replication_;
   sim::FailureInjector failures_;
 };
 

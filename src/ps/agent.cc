@@ -1,10 +1,13 @@
 #include "ps/agent.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/varint.h"
 #include "common/wire.h"
+#include "net/ps_wire.h"
 #include "ps/partitioner.h"
+#include "ps/replication.h"
 
 namespace psgraph::ps {
 
@@ -65,6 +68,40 @@ Result<std::vector<float>> PsAgent::PullRows(
   if (meta.layout == Layout::kColumnPartitioned) {
     return PullRowsColumnPartitioned(meta, keys);
   }
+  if (replicas_ == nullptr || !replicas_->Serving(meta.id)) {
+    return PullRowsRemote(meta, keys);
+  }
+  // Skew-aware path: hot keys served from the executor-local replica
+  // (plus this executor's own pending deltas), only the cold tail
+  // crosses the wire. Output slots are scattered back by original index
+  // so the caller sees the exact key-order contract of the remote path.
+  replicas_->RecordAccess(meta.id, keys);
+  const uint32_t cols = meta.num_cols;
+  std::vector<float> out(keys.size() * cols, 0.0f);
+  std::vector<uint64_t> cold_keys;
+  std::vector<uint32_t> cold_idx;
+  uint64_t local = 0;
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    if (replicas_->ServePull(meta.id, keys[i],
+                             out.data() + uint64_t{i} * cols)) {
+      ++local;
+    } else {
+      cold_keys.push_back(keys[i]);
+      cold_idx.push_back(i);
+    }
+  }
+  if (local > 0) metrics().Add("ps.replica.local_pull_rows", local);
+  if (cold_keys.empty()) return out;
+  PSG_ASSIGN_OR_RETURN(auto cold, PullRowsRemote(meta, cold_keys));
+  for (size_t j = 0; j < cold_idx.size(); ++j) {
+    std::copy(cold.begin() + j * cols, cold.begin() + (j + 1) * cols,
+              out.begin() + uint64_t{cold_idx[j]} * cols);
+  }
+  return out;
+}
+
+Result<std::vector<float>> PsAgent::PullRowsRemote(
+    const MatrixMeta& meta, const std::vector<uint64_t>& keys) {
   const uint32_t cols = meta.num_cols;
   std::vector<float> out(keys.size() * cols, 0.0f);
   const int64_t t0 = NowTicks();
@@ -170,6 +207,45 @@ Status PsAgent::Push(const MatrixMeta& meta,
   if (values.size() != keys.size() * cols) {
     return Status::InvalidArgument("push: values size mismatch");
   }
+  if (replicas_ == nullptr || !replicas_->Serving(meta.id) ||
+      meta.layout == Layout::kColumnPartitioned) {
+    return PushRemote(meta, keys, values, add);
+  }
+  replicas_->RecordAccess(meta.id, keys);
+  if (add) {
+    // Hot adds accumulate into the local delta row (merged home at the
+    // next barrier); only the cold tail crosses the wire.
+    std::vector<uint64_t> cold_keys;
+    std::vector<float> cold_values;
+    uint64_t local = 0;
+    for (uint32_t i = 0; i < keys.size(); ++i) {
+      const float* row = values.data() + uint64_t{i} * cols;
+      if (replicas_->AbsorbAdd(meta.id, keys[i], row)) {
+        ++local;
+      } else {
+        cold_keys.push_back(keys[i]);
+        cold_values.insert(cold_values.end(), row, row + cols);
+      }
+    }
+    if (local > 0) metrics().Add("ps.replica.local_push_rows", local);
+    if (cold_keys.empty()) return Status::OK();
+    return PushRemote(meta, cold_keys, cold_values, /*add=*/true);
+  }
+  // Assign writes through: the home shard gets the row now (assign is
+  // not commutative, so it cannot sit in a delta), and the replica is
+  // overwritten so subsequent hot pulls see it.
+  PSG_RETURN_NOT_OK(PushRemote(meta, keys, values, /*add=*/false));
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    replicas_->ApplyAssign(meta.id, keys[i],
+                           values.data() + uint64_t{i} * cols);
+  }
+  return Status::OK();
+}
+
+Status PsAgent::PushRemote(const MatrixMeta& meta,
+                           const std::vector<uint64_t>& keys,
+                           const std::vector<float>& values, bool add) {
+  const uint32_t cols = meta.num_cols;
   const char* method = add ? "ps.push_add" : "ps.push_assign";
   const int64_t t0 = NowTicks();
   ScopedSpan span(&tracer(), "agent.push", node_, t0,
@@ -417,6 +493,125 @@ Result<std::vector<double>> PsAgent::DotProducts(
     for (size_t p = 0; p < dots.size(); ++p) dots[p] += partial[p];
   }
   return dots;
+}
+
+Status PsAgent::MergeRows(const MatrixMeta& meta, int32_t server,
+                          const std::vector<uint64_t>& keys,
+                          const std::vector<float>& deltas) {
+  if (deltas.size() != keys.size() * meta.num_cols) {
+    return Status::InvalidArgument("merge: deltas size mismatch");
+  }
+  if (keys.empty()) return Status::OK();
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.merge", node_, t0,
+                  [this] { return NowTicks(); });
+  net::MergeRequest merge;
+  merge.matrix = meta.id;
+  merge.keys = keys;
+  merge.deltas = deltas;
+  ByteBuffer req;
+  net::EncodeMergeRequest(merge, &req);
+  metrics().Add("wire.merge.req_bytes", req.size());
+  metrics().Add("wire.merge.req_raw_bytes",
+                RawKeyFramingBytes(keys.size()) +
+                    RawFloatFramingBytes(deltas.size()));
+  PSG_ASSIGN_OR_RETURN(auto resp, Call(server, "ps.merge", req));
+  (void)resp;
+  metrics().Observe("agent.merge.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  return Status::OK();
+}
+
+Result<SampledRows> PsAgent::SampleRows(const MatrixMeta& meta, uint32_t k,
+                                        uint64_t seed) {
+  const uint32_t cols = meta.num_cols;
+  SampledRows out;
+  net::DeriveSampleKeys(seed, k, meta.num_rows, &out.keys);
+  out.values.assign(uint64_t{k} * cols, 0.0f);
+  if (k == 0) return out;
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.sample", node_, t0,
+                  [this] { return NowTicks(); });
+  net::SampleRequest sample{meta.id, k, seed};
+  ByteBuffer req;
+  net::EncodeSampleRequest(sample, &req);
+
+  const int32_t num_servers = ctx_->num_servers();
+  std::vector<ParallelCall> calls;
+  std::vector<int32_t> call_server;
+  if (meta.layout == Layout::kColumnPartitioned) {
+    for (int32_t s = 0; s < num_servers; ++s) {
+      auto [begin, end] = ColumnSliceOf(cols, s, num_servers);
+      if (begin == end) continue;
+      metrics().Add("wire.sample.req_bytes", req.size());
+      metrics().Add("wire.sample.req_raw_bytes", RawKeyFramingBytes(k));
+      calls.push_back({ctx_->ServerNode(s), "ps.sample", req});
+      call_server.push_back(s);
+    }
+  } else {
+    // Only servers that home at least one derived position are
+    // contacted; the raw-equivalent is shipping that server's owned
+    // keys under the v1 framing.
+    Partitioner part(meta.scheme, meta.num_rows, num_servers);
+    std::vector<uint32_t> owned(num_servers, 0);
+    for (uint64_t key : out.keys) ++owned[part.PartitionOf(key)];
+    for (int32_t s = 0; s < num_servers; ++s) {
+      if (owned[s] == 0) continue;
+      metrics().Add("wire.sample.req_bytes", req.size());
+      metrics().Add("wire.sample.req_raw_bytes",
+                    RawKeyFramingBytes(owned[s]));
+      calls.push_back({ctx_->ServerNode(s), "ps.sample", req});
+      call_server.push_back(s);
+    }
+  }
+  metrics().Observe("agent.sample.fanout", calls.size());
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.sample.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  for (size_t c = 0; c < responses.size(); ++c) {
+    int32_t s = call_server[c];
+    ByteReader reader(responses[c]);
+    std::vector<float> values;
+    PSG_RETURN_NOT_OK(net::DecodeSampleResponse(&reader, &values));
+    metrics().Add("wire.sample.resp_bytes", responses[c].size());
+    metrics().Add("wire.sample.resp_raw_bytes",
+                  RawFloatFramingBytes(values.size()));
+    if (meta.layout == Layout::kColumnPartitioned) {
+      auto [begin, end] = ColumnSliceOf(cols, s, num_servers);
+      const uint32_t width = end - begin;
+      if (values.size() != uint64_t{k} * width) {
+        return Status::Internal("sample: short response from server " +
+                                std::to_string(s));
+      }
+      for (uint32_t i = 0; i < k; ++i) {
+        std::copy(values.begin() + uint64_t{i} * width,
+                  values.begin() + uint64_t{i + 1} * width,
+                  out.values.begin() + uint64_t{i} * cols + begin);
+      }
+    } else {
+      // The server replied with its owned positions in derivation
+      // order; re-derive that subsequence here to scatter rows back.
+      Partitioner part(meta.scheme, meta.num_rows, num_servers);
+      size_t j = 0;
+      for (uint32_t i = 0; i < k; ++i) {
+        if (part.PartitionOf(out.keys[i]) != s) continue;
+        if ((j + 1) * cols > values.size()) {
+          return Status::Internal("sample: short response from server " +
+                                  std::to_string(s));
+        }
+        std::copy(values.begin() + j * cols,
+                  values.begin() + (j + 1) * cols,
+                  out.values.begin() + uint64_t{i} * cols);
+        ++j;
+      }
+      if (j * cols != values.size()) {
+        return Status::Internal("sample: excess rows from server " +
+                                std::to_string(s));
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace psgraph::ps

@@ -19,6 +19,16 @@
 
 namespace psgraph::ps {
 
+class ReplicaCache;
+
+/// Result of a sample-K access: the derived key sequence (positions may
+/// repeat — sampling is with replacement) and keys.size() * num_cols
+/// floats in derivation order.
+struct SampledRows {
+  std::vector<uint64_t> keys;
+  std::vector<float> values;
+};
+
 class PsAgent {
  public:
   /// `executor_node` is the sim node the agent runs on (RPC cost is
@@ -27,6 +37,12 @@ class PsAgent {
       : ctx_(context), node_(executor_node) {}
 
   sim::NodeId node() const { return node_; }
+
+  /// Installs this executor's hot-key replica cache (owned by the
+  /// ReplicationManager; nullptr detaches). When set, pulls/pushes of a
+  /// tracked matrix consult it first and only cold keys cross the wire.
+  void set_replica_cache(ReplicaCache* cache) { replicas_ = cache; }
+  ReplicaCache* replica_cache() const { return replicas_; }
 
   /// Pulls rows of a row-partitioned matrix; the result holds
   /// keys.size() * num_cols floats in key order (init values for rows
@@ -77,6 +93,20 @@ class PsAgent {
   Result<std::vector<float>> PullRowsColumnPartitioned(
       const MatrixMeta& meta, const std::vector<uint64_t>& keys);
 
+  /// Sends accumulated replica deltas for keys homed on `server` over
+  /// "ps.merge". `keys` must be ascending and owned by that server;
+  /// `deltas` holds keys.size() * num_cols floats.
+  Status MergeRows(const MatrixMeta& meta, int32_t server,
+                   const std::vector<uint64_t>& keys,
+                   const std::vector<float>& deltas);
+
+  /// Sample-K access ("ps.sample"): derives k keys from `seed` on both
+  /// sides of the wire, so the request is constant-size regardless of k.
+  /// Serves negative sampling — rows come back in derivation order with
+  /// init values for rows never pushed.
+  Result<SampledRows> SampleRows(const MatrixMeta& meta, uint32_t k,
+                                 uint64_t seed);
+
  private:
   /// Observability sinks of the owning context's cluster (globals when
   /// the context was built without one, which only happens in tests).
@@ -102,6 +132,13 @@ class PsAgent {
                                     const ByteBuffer& req);
   Status Push(const MatrixMeta& meta, const std::vector<uint64_t>& keys,
               const std::vector<float>& values, bool add);
+  /// The pre-replication row pull: every key crosses the wire.
+  Result<std::vector<float>> PullRowsRemote(
+      const MatrixMeta& meta, const std::vector<uint64_t>& keys);
+  /// The pre-replication push: every row crosses the wire.
+  Status PushRemote(const MatrixMeta& meta,
+                    const std::vector<uint64_t>& keys,
+                    const std::vector<float>& values, bool add);
   /// Groups keys by owning server: returns per-server (key index, key)
   /// lists so responses can be scattered back.
   std::vector<std::vector<uint32_t>> GroupKeysByServer(
@@ -109,6 +146,7 @@ class PsAgent {
 
   PsContext* ctx_;
   sim::NodeId node_;
+  ReplicaCache* replicas_ = nullptr;  ///< not owned; see set_replica_cache
 };
 
 }  // namespace psgraph::ps

@@ -7,6 +7,8 @@
 #include "common/metrics.h"
 #include "common/varint.h"
 #include "common/wire.h"
+#include "net/ps_wire.h"
+#include "ps/partitioner.h"
 
 namespace psgraph::ps {
 
@@ -190,6 +192,18 @@ Status PsServer::PushAdd(MatrixId id, std::span<const uint64_t> keys,
         "push_add: values size " + std::to_string(values.size()) +
         " != keys*cols " + std::to_string(keys.size() * shard->slice_cols));
   }
+  PSG_RETURN_NOT_OK(ApplyAddRows(shard, keys, values));
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
+  metrics().Add("ps.rows_pushed", keys.size());
+  metrics().Observe("ps.push.keys_per_request", keys.size());
+  metrics().Observe("ps.push.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  return Status::OK();
+}
+
+Status PsServer::ApplyAddRows(MatrixShard* shard,
+                              std::span<const uint64_t> keys,
+                              std::span<const float> values) {
   const uint32_t cols = shard->slice_cols;
   ChargeCompute(values.size() / 4 + keys.size());
   const uint64_t row_bytes =
@@ -212,12 +226,52 @@ Status PsServer::PushAdd(MatrixId id, std::span<const uint64_t> keys,
     float* dst = it->second.data();
     for (uint32_t c = 0; c < cols; ++c) dst[c] += src[c];
   }
-  skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
-  metrics().Add("ps.rows_pushed", keys.size());
-  metrics().Observe("ps.push.keys_per_request", keys.size());
-  metrics().Observe("ps.push.service_ticks",
+  return Status::OK();
+}
+
+Status PsServer::MergeRows(MatrixId id, std::span<const uint64_t> keys,
+                           std::span<const float> deltas) {
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.merge", node_, t0,
+                  [this] { return NowTicks(); });
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  if (deltas.size() != keys.size() * shard->slice_cols) {
+    return Status::InvalidArgument(
+        "merge: deltas size " + std::to_string(deltas.size()) +
+        " != keys*cols " +
+        std::to_string(keys.size() * shard->slice_cols));
+  }
+  PSG_RETURN_NOT_OK(ApplyAddRows(shard, keys, deltas));
+  // Deliberately no skew().RecordKeyAccess: replica management traffic
+  // must not feed the profiler that decides what to replicate.
+  metrics().Add("ps.merge.rows", keys.size());
+  metrics().Observe("ps.merge.keys_per_request", keys.size());
+  metrics().Observe("ps.merge.service_ticks",
                     static_cast<uint64_t>(NowTicks() - t0));
   return Status::OK();
+}
+
+Status PsServer::SampleRows(MatrixId id, uint32_t k, uint64_t seed,
+                            std::vector<float>* out) {
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  std::vector<uint64_t> derived;
+  net::DeriveSampleKeys(seed, k, shard->meta.num_rows, &derived);
+  // The derivation itself is charged: the server does the same k draws
+  // the caller did in exchange for a constant-size request.
+  ChargeCompute(k);
+  if (shard->meta.layout == Layout::kColumnPartitioned) {
+    // Every slice holder serves its columns of all k positions.
+    return PullRows(id, derived, out);
+  }
+  Partitioner part(shard->meta.scheme, shard->meta.num_rows, num_servers_);
+  std::vector<uint64_t> owned;
+  for (uint64_t key : derived) {
+    if (part.PartitionOf(key) == server_index_) owned.push_back(key);
+  }
+  metrics().Observe("ps.sample.owned_per_request", owned.size());
+  // Served through the normal pull path so sampling keeps the same
+  // compute charging, metrics, and skew recording as explicit pulls.
+  return PullRows(id, owned, out);
 }
 
 Status PsServer::PushAssign(MatrixId id, std::span<const uint64_t> keys,

@@ -133,6 +133,22 @@ class PsServer {
   Status PushAssign(MatrixId id, std::span<const uint64_t> keys,
                     std::span<const float> values);
 
+  /// Applies one executor's accumulated replica deltas ("ps.merge",
+  /// ps/replication.h). Same add semantics as PushAdd — kept as its own
+  /// method so merge traffic is separately traced/metered and does not
+  /// feed the skew profiler (merges are management traffic, not
+  /// workload access).
+  Status MergeRows(MatrixId id, std::span<const uint64_t> keys,
+                   std::span<const float> deltas);
+
+  /// Serves the sample-K access ("ps.sample"): derives the k keys from
+  /// `seed` exactly like the caller (net/ps_wire.h), keeps the positions
+  /// this server owns, and appends their rows to `out` in derivation
+  /// order. Row-partitioned shards serve owned positions; column-
+  /// partitioned shards serve their slice of every position.
+  Status SampleRows(MatrixId id, uint32_t k, uint64_t seed,
+                    std::vector<float>* out);
+
   Status PushNeighbors(MatrixId id, std::span<const uint64_t> keys,
                        std::span<const NeighborEntry> entries);
 
@@ -169,6 +185,11 @@ class PsServer {
   Status ChargeMemory(uint64_t bytes, const char* what);
   void ReleaseMemory(uint64_t bytes);
   void ChargeCompute(uint64_t ops);
+  /// The shared add-apply loop of PushAdd and MergeRows: one try_emplace
+  /// probe per key, memory charged on insert, accumulate over the
+  /// contiguous value slab.
+  Status ApplyAddRows(MatrixShard* shard, std::span<const uint64_t> keys,
+                      std::span<const float> values);
   static uint64_t EntryBytes(const NeighborEntry& e);
 
   /// Observability sinks: the cluster's per-context registries, or the

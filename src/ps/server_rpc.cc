@@ -11,6 +11,7 @@
 
 #include "common/varint.h"
 #include "common/wire.h"
+#include "net/ps_wire.h"
 
 namespace psgraph::ps {
 
@@ -84,6 +85,37 @@ void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
                      [push_handler](const std::vector<uint8_t>& req) {
                        return push_handler(req, false);
                      });
+
+  endpoint->Register(
+      "ps.merge",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        auto keys = MakeArenaVector<uint64_t>(&request_arena_);
+        auto deltas = MakeArenaVector<float>(&request_arena_);
+        PSG_RETURN_NOT_OK(
+            net::DecodeMergeRequest(&reader, &id, &keys, &deltas));
+        PSG_RETURN_NOT_OK(MergeRows(id, {keys.data(), keys.size()},
+                                    {deltas.data(), deltas.size()}));
+        return Empty();
+      });
+
+  endpoint->Register(
+      "ps.sample",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        ByteReader reader(req.data(), req.size());
+        net::SampleRequest sample;
+        PSG_RETURN_NOT_OK(net::DecodeSampleRequest(&reader, &sample));
+        pull_scratch_.clear();
+        PSG_RETURN_NOT_OK(SampleRows(sample.matrix, sample.k, sample.seed,
+                                     &pull_scratch_));
+        ByteBuffer resp;
+        resp.Reserve(pull_scratch_.size() * sizeof(float) +
+                     kMaxVarint64Bytes);
+        net::EncodeSampleResponse(pull_scratch_, &resp);
+        return resp;
+      });
 
   endpoint->Register(
       "ps.push_nbrs",
