@@ -38,6 +38,9 @@ void RunOne(ps::PartitionScheme scheme, const char* label,
   tracer.set_enabled(Tracer::EnabledByEnv());
   cluster.set_metrics(&metrics);
   cluster.set_tracer(&tracer);
+  // Bare cluster: install an enabled sampler so the report's
+  // timeseries section is populated (no PsGraphContext here).
+  bench::ClusterTelemetry cluster_telemetry(&cluster);
   net::RpcFabric fabric(&cluster);
   ps::PsContext psctx(&cluster, &fabric, nullptr);
   PSG_CHECK_OK(psctx.Start());

@@ -97,6 +97,9 @@ CellStats RunOne(bool zipfian, bool replicate, const ZipfSampler& zipf,
   cluster.set_metrics(&metrics);
   cluster.set_tracer(&tracer);
   cluster.set_rpc_telemetry(&telemetry);
+  // Bare cluster: install an enabled sampler so the report's
+  // timeseries section is populated (no PsGraphContext here).
+  bench::ClusterTelemetry cluster_telemetry(&cluster);
   net::RpcFabric fabric(&cluster);
   ps::PsContext psctx(&cluster, &fabric, nullptr);
   PSG_CHECK_OK(psctx.Start());

@@ -38,6 +38,9 @@ struct PsFixture {
     cfg.executor_mem_bytes = 1ull << 30;
     cfg.server_mem_bytes = 1ull << 30;
     cluster = std::make_unique<sim::SimCluster>(cfg);
+    // Bare cluster: install an enabled sampler so the report's
+    // timeseries section is populated (no PsGraphContext here).
+    telemetry = std::make_unique<bench::ClusterTelemetry>(cluster.get());
     fabric = std::make_unique<net::RpcFabric>(cluster.get());
     ctx = std::make_unique<ps::PsContext>(cluster.get(), fabric.get(),
                                           nullptr);
@@ -49,6 +52,7 @@ struct PsFixture {
     meta = *m;
   }
   std::unique_ptr<sim::SimCluster> cluster;
+  std::unique_ptr<bench::ClusterTelemetry> telemetry;
   std::unique_ptr<net::RpcFabric> fabric;
   std::unique_ptr<ps::PsContext> ctx;
   std::unique_ptr<ps::PsAgent> agent;
@@ -254,6 +258,9 @@ void EmitMicroReport() {
   fx.cluster->set_metrics(&metrics);
   fx.cluster->set_tracer(&tracer);
   fx.cluster->set_rpc_telemetry(&telemetry);
+  // Re-arm the sampler against the swapped-in sinks (the fixture's own
+  // sampler still scrapes the setup-phase registry).
+  bench::ClusterTelemetry run_telemetry(fx.cluster.get());
 
   const size_t kKeys = 4096;
   const int kRounds = 32;

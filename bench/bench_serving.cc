@@ -280,6 +280,22 @@ void Run() {
   report.Set("snapshot_blob_ratio", JsonValue(blob_ratio));
   report.Set("snapshot_quant_max_abs_error", JsonValue(quant_max_err));
   report.Capture(&c.cluster());
+
+  // --- watchdog gate: the cold cache after each swap must trip the
+  // burn-rate rule, and the warmed cache must clear it again ---
+  const sim::Watchdog& wd = c.watchdog();
+  const uint64_t burn_fires = wd.FireCount("serving_cache_miss_burn");
+  const uint64_t burn_clears = wd.ClearCount("serving_cache_miss_burn");
+  std::printf("  watchdog: serving_cache_miss_burn fired %llu, "
+              "cleared %llu\n",
+              (unsigned long long)burn_fires,
+              (unsigned long long)burn_clears);
+  Check(burn_fires >= 1,
+        "serving_cache_miss_burn must fire on the cold cache");
+  Check(burn_clears >= 1,
+        "serving_cache_miss_burn must clear once the cache warms");
+  report.Set("alert_fires", JsonValue(burn_fires));
+  report.Set("alert_clears", JsonValue(burn_clears));
   report.Write();
 }
 

@@ -29,6 +29,9 @@ struct RunOutcome {
   /// resets its batch cursor to 0, so every round up to and including
   /// the one the kill fired at is recomputed.
   int64_t recomputed_rounds = 0;
+  /// Watchdog episodes of the recovery rule in this cell (clean run: 0).
+  uint64_t alert_fires = 0;
+  uint64_t alert_clears = 0;
 };
 
 void Run() {
@@ -84,6 +87,8 @@ void Run() {
         FormatDuration(out.sim_seconds * scale).c_str(), out.stats.rounds,
         (unsigned long long)out.stats.pairs,
         (unsigned long long)out.stats.total_common);
+    out.alert_fires = (*ctx)->watchdog().FireCount("recovery_restarts");
+    out.alert_clears = (*ctx)->watchdog().ClearCount("recovery_restarts");
     report.Capture(&(*ctx)->cluster(), label);
     return out;
   };
@@ -143,12 +148,35 @@ void Run() {
     v.Set("node_killed_events", count_of("node_killed"));
     v.Set("node_restarted_events", count_of("node_restarted"));
     v.Set("checkpoint_restore_events", count_of("checkpoint_restore"));
+    v.Set("alert_fires", out.alert_fires);
+    v.Set("alert_clears", out.alert_clears);
     return v;
   };
   report.Set("no_failure", cell(clean));
   report.Set("executor_failure", cell(exec_fail));
   report.Set("ps_failure", cell(ps_fail));
   report.Set("output_identical", JsonValue(same));
+
+  // Watchdog gate: the recovery rule must fire on the restart and clear
+  // once the restart counter stops moving — and never trip on the clean
+  // run.
+  std::printf("  watchdog recovery_restarts: clean %llu/%llu, "
+              "executor %llu/%llu, PS %llu/%llu (fires/clears)\n",
+              (unsigned long long)clean.alert_fires,
+              (unsigned long long)clean.alert_clears,
+              (unsigned long long)exec_fail.alert_fires,
+              (unsigned long long)exec_fail.alert_clears,
+              (unsigned long long)ps_fail.alert_fires,
+              (unsigned long long)ps_fail.alert_clears);
+  if (clean.alert_fires != 0 || exec_fail.alert_fires < 1 ||
+      exec_fail.alert_clears < 1 || ps_fail.alert_fires < 1 ||
+      ps_fail.alert_clears < 1) {
+    std::fprintf(stderr,
+                 "bench_table2_failure: watchdog gate violated "
+                 "(recovery_restarts must fire and clear on every "
+                 "failure cell, and stay quiet on the clean run)\n");
+    std::abort();
+  }
   report.Write();
 }
 

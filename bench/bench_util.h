@@ -54,6 +54,38 @@ inline std::string FormatBytes(double bytes) {
   return buf;
 }
 
+/// Enabled telemetry for benches that drive a bare sim::SimCluster
+/// (no PsGraphContext). Bare clusters default to the permanently
+/// disabled MetricsSampler::Global()/Watchdog::Global() and would
+/// report an empty "timeseries" section; constructing one of these
+/// next to the cluster installs a real sampler (PSGRAPH_TS_INTERVAL /
+/// PSGRAPH_TS_CAPACITY knobs) and a rule-less watchdog wired to the
+/// cluster's journal. Must outlive the cluster's last Poll/Capture.
+class ClusterTelemetry {
+ public:
+  explicit ClusterTelemetry(sim::SimCluster* cluster) {
+    MetricsSampler::Options options;
+    options.metrics = &cluster->metrics();
+    options.rpc = &cluster->rpc_telemetry();
+    options.interval_ticks = MetricsSampler::IntervalTicksFromEnv();
+    options.capacity = MetricsSampler::CapacityFromEnv();
+    sampler_.Configure(options);
+    watchdog_ = sim::Watchdog(&sampler_.store(), &cluster->events());
+    sampler_.set_scrape_callback(
+        [this](int64_t ticks) { watchdog_.Evaluate(ticks); });
+    cluster->set_sampler(&sampler_);
+    cluster->set_watchdog(&watchdog_);
+  }
+  ClusterTelemetry(const ClusterTelemetry&) = delete;
+  ClusterTelemetry& operator=(const ClusterTelemetry&) = delete;
+
+  sim::Watchdog& watchdog() { return watchdog_; }
+
+ private:
+  MetricsSampler sampler_;
+  sim::Watchdog watchdog_;
+};
+
 struct CellResult {
   bool oom = false;
   double sim_seconds = 0.0;   ///< simulated makespan on the mini dataset
@@ -111,6 +143,11 @@ class BenchReport {
   void Capture(sim::SimCluster* cluster,
                const std::string& series_prefix = "") {
     JsonValue payload = std::move(report_.bench);
+    if (cluster != nullptr) {
+      // Close out the telemetry series at the final makespan so even a
+      // run shorter than one sample interval reports at least one point.
+      cluster->sampler().ForceSample(cluster->clock().MakespanTicks());
+    }
     report_ = sim::CollectRunReport(report_.name, cluster);
     report_.bench = std::move(payload);
     for (auto& [name, series] : report_.convergence) {
@@ -156,8 +193,27 @@ class BenchReport {
     if (trace_path.empty()) return;
     TraceExportOptions options;
     options.spans_dropped = trace_dropped_;
+    for (const sim::WatchdogRule& r : report_.alert_rules) {
+      options.alert_rules.push_back(r.name);
+    }
     options.instants.reserve(trace_events_.size());
     for (const sim::JournalEvent& e : trace_events_) {
+      // Alert transitions carry the rule index in `value`; name the
+      // marker after the rule so the Perfetto timeline (and
+      // trace_summary.py --alerts) reads "alert_fire:<rule>".
+      if (e.type == sim::JournalEventType::kAlertFire ||
+          e.type == sim::JournalEventType::kAlertClear) {
+        const auto rule = static_cast<size_t>(e.value);
+        const std::string rule_name =
+            rule < report_.alert_rules.size()
+                ? report_.alert_rules[rule].name
+                : "rule" + std::to_string(e.value);
+        options.instants.push_back(
+            {std::string(sim::JournalEventTypeName(e.type)) + ":" +
+                 rule_name,
+             e.node, e.ticks});
+        continue;
+      }
       options.instants.push_back(
           {sim::JournalEventTypeName(e.type), e.node, e.ticks});
     }

@@ -47,7 +47,12 @@ parallelism > 1), and the schema_version-3 ``rpc``/``events`` sections
 where the suffix rules gate them) — those are schema-validated only.
 The schema_version-4 ``serving`` section's latency histogram gates via
 GATED_HISTOGRAMS; its counters gate through the bench payload's
-suffix rules like every other sim-derived quantity.
+suffix rules like every other sim-derived quantity. The
+schema_version-5 ``timeseries``/``alerts`` sections are
+schema-validated only (every series array must be exactly ``points``
+long, every firing must index a declared rule) — the series *values*
+mirror counters/gauges that already gate elsewhere, and the alert
+fire/clear contracts are asserted by the benches themselves.
 
 A tolerance band (default 5%) allows intentional cost-model tuning to
 pass while catching order-of-magnitude regressions; exact-match fields
@@ -95,7 +100,7 @@ def validate_schema(report, path, errors):
         return
     if report.get("schema") != "psgraph.run_report":
         err("bad schema marker %r", report.get("schema"))
-    if report.get("schema_version") != 4:
+    if report.get("schema_version") != 5:
         err("unsupported schema_version %r", report.get("schema_version"))
     if not isinstance(report.get("name"), str) or not report.get("name"):
         err("missing name")
@@ -274,6 +279,71 @@ def validate_schema(report, path, errors):
             for field in ("count", "p50", "p99", "p999"):
                 if not isinstance(latency.get(field), (int, float)):
                     err("serving.latency_ticks.%s must be numeric" % field)
+
+    timeseries = report.get("timeseries")
+    if not isinstance(timeseries, dict):
+        err("missing 'timeseries' section")
+    else:
+        for field in ("base_interval_ticks", "interval_ticks",
+                      "compactions", "points"):
+            if not isinstance(timeseries.get(field), int):
+                err("timeseries.%s must be an integer" % field)
+        series = timeseries.get("series")
+        if not isinstance(series, dict):
+            err("timeseries.series must be an object")
+        else:
+            points = timeseries.get("points")
+            for sname, values in series.items():
+                if not isinstance(values, list):
+                    err("timeseries series %r must be an array", sname)
+                    continue
+                if isinstance(points, int) and len(values) != points:
+                    err("timeseries series %r has %d values, expected "
+                        "%d points", sname, len(values), points)
+                if not all(isinstance(v, (int, float)) for v in values):
+                    err("timeseries series %r has non-numeric values",
+                        sname)
+
+    alerts = report.get("alerts")
+    if not isinstance(alerts, dict):
+        err("missing 'alerts' section")
+    else:
+        rules = alerts.get("rules")
+        if not isinstance(rules, list):
+            err("alerts.rules must be an array")
+            rules = []
+        for rule in rules:
+            if not isinstance(rule, dict):
+                err("alert rule is not an object")
+                continue
+            for field in ("name", "form"):
+                if (not isinstance(rule.get(field), str)
+                        or not rule.get(field)):
+                    err("alert rule missing %r string", field)
+            for field in ("threshold", "window", "error_budget",
+                          "burn_threshold"):
+                if not isinstance(rule.get(field), (int, float)):
+                    err("alert rule missing numeric %r", field)
+        firings = alerts.get("firings")
+        if not isinstance(firings, list):
+            err("alerts.firings must be an array")
+        else:
+            for firing in firings:
+                if not isinstance(firing, dict):
+                    err("alert firing is not an object")
+                    continue
+                for field in ("rule", "fire_ticks", "clear_ticks"):
+                    if not isinstance(firing.get(field), int):
+                        err("alert firing missing integer %r", field)
+                if not isinstance(firing.get("value"), (int, float)):
+                    err("alert firing missing numeric 'value'")
+                if not isinstance(firing.get("rule_name"), str):
+                    err("alert firing missing 'rule_name' string")
+                rule_idx = firing.get("rule")
+                if (isinstance(rule_idx, int)
+                        and not 0 <= rule_idx < len(rules)):
+                    err("alert firing rule index %r out of range "
+                        "(%d rules declared)", rule_idx, len(rules))
 
 
 def within(baseline, current, tolerance):

@@ -9,15 +9,20 @@ clock ticks (1 tick = 1 ps). This tool
     including every "s"/"f" flow pair (each must connect an existing
     client-side span to an existing server-side span on a different
     process) and every "i" instant marker,
-  * prints the top spans by total and by self sim-ticks per node, and
+  * prints the top spans by total and by self sim-ticks per node,
   * prints the control-plane event timeline (--events): the journal's
     instant markers (node kills/restarts, checkpoint saves/restores,
-    recovery windows) in tick order.
+    recovery windows) in tick order, and
+  * prints the SLO alert timeline (--alerts): every
+    "alert_fire:<rule>" / "alert_clear:<rule>" marker in tick order,
+    checking that each references a rule declared in
+    otherData.alert_rules (exits non-zero on an undeclared rule).
 
 Usage:
   python3 scripts/trace_summary.py trace.json
   python3 scripts/trace_summary.py --validate trace.json
   python3 scripts/trace_summary.py --events trace.json
+  python3 scripts/trace_summary.py --alerts trace.json
   python3 scripts/trace_summary.py --top 20 trace.json
 """
 
@@ -260,6 +265,49 @@ def print_events(doc, instants):
         print(f"{ev['ts']:>16}  {where:<14} {ev['name']}")
 
 
+def print_alerts(doc, instants):
+    """Renders the SLO watchdog timeline: every alert_fire/alert_clear
+    instant in tick order, validated against the declared rule list in
+    otherData.alert_rules."""
+    declared = doc.get("otherData", {}).get("alert_rules", [])
+    if not isinstance(declared, list) or not all(
+        isinstance(r, str) for r in declared
+    ):
+        fail("otherData.alert_rules must be an array of rule names")
+    markers = []
+    for ev in instants:
+        name = ev.get("name", "")
+        for prefix in ("alert_fire:", "alert_clear:"):
+            if name.startswith(prefix):
+                markers.append((ev, prefix[:-1], name[len(prefix):]))
+                break
+    for ev, _, rule in markers:
+        if rule not in declared:
+            fail(
+                f"alert marker at tick {ev['ts']} references rule "
+                f"{rule!r}, which is not declared in "
+                f"otherData.alert_rules {declared!r}"
+            )
+    print(f"{len(declared)} rule(s) declared: {', '.join(declared) or '-'}")
+    if not markers:
+        print("no alert transitions in this trace")
+        return
+    open_since = {}
+    print(f"{len(markers)} alert transition(s):")
+    print(f"{'ticks':>16}  {'transition':<12} rule")
+    for ev, kind, rule in sorted(
+        markers, key=lambda m: (m[0]["ts"], m[1], m[2])
+    ):
+        extra = ""
+        if kind == "alert_fire":
+            open_since[rule] = ev["ts"]
+        elif rule in open_since:
+            extra = f"  (active {ev['ts'] - open_since.pop(rule)} ticks)"
+        print(f"{ev['ts']:>16}  {kind:<12} {rule}{extra}")
+    for rule, since in sorted(open_since.items()):
+        print(f"still active at end of trace: {rule} (since {since})")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="exported trace JSON path")
@@ -272,6 +320,12 @@ def main():
         "--events",
         action="store_true",
         help="print the control-plane event timeline",
+    )
+    ap.add_argument(
+        "--alerts",
+        action="store_true",
+        help="print the SLO alert timeline (validates every marker "
+        "against otherData.alert_rules)",
     )
     ap.add_argument(
         "--top", type=int, default=10, help="span names per node to print"
@@ -293,6 +347,9 @@ def main():
         return
     if args.events:
         print_events(doc, instants)
+        return
+    if args.alerts:
+        print_alerts(doc, instants)
         return
     summarize(doc, xs, args.top)
 

@@ -33,6 +33,37 @@ double HistogramSnapshot::Quantile(double q) const {
   return static_cast<double>(max);
 }
 
+HistogramPercentiles HistogramSnapshot::Percentiles() const {
+  HistogramPercentiles out;
+  if (count == 0) return out;
+  // Ascending quantiles share one walk; each fill reproduces Quantile()
+  // exactly (same target rank, same interpolation, same clamping).
+  const double qs[] = {0.50, 0.95, 0.99, 0.999};
+  double* slots[] = {&out.p50, &out.p95, &out.p99, &out.p999};
+  size_t next = 0;
+  double seen = 0.0;
+  for (size_t i = 0; i < buckets.size() && next < 4; ++i) {
+    if (buckets[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[i]);
+    while (next < 4 &&
+           seen + in_bucket >= qs[next] * static_cast<double>(count)) {
+      const double target = qs[next] * static_cast<double>(count);
+      const uint64_t lo = Histogram::BucketLowerBound(i);
+      const uint64_t hi = Histogram::BucketUpperBound(i);
+      const double frac = (target - seen) / in_bucket;
+      double v = static_cast<double>(lo) +
+                 frac * (static_cast<double>(hi) - static_cast<double>(lo));
+      v = std::max(v, static_cast<double>(min));
+      v = std::min(v, static_cast<double>(max));
+      *slots[next] = v;
+      ++next;
+    }
+    seen += in_bucket;
+  }
+  for (; next < 4; ++next) *slots[next] = static_cast<double>(max);
+  return out;
+}
+
 size_t Histogram::BucketOf(uint64_t v) {
   if (v < kSubBuckets) return static_cast<size_t>(v);
   // Octave = position of the most significant bit; sub-bucket = the
@@ -109,7 +140,7 @@ uint64_t Metrics::Get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
-std::map<std::string, uint64_t> Metrics::Snapshot() const {
+std::map<std::string, uint64_t> Metrics::CounterSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
 }

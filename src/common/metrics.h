@@ -19,6 +19,16 @@
 
 namespace psgraph {
 
+/// The quantiles every consumer of a histogram wants (report
+/// serialization, the time-series sampler, the SLO watchdog), computed
+/// in one bucket walk by HistogramSnapshot::Percentiles().
+struct HistogramPercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 /// Point-in-time copy of one histogram, with quantile estimation.
 struct HistogramSnapshot {
   uint64_t count = 0;
@@ -37,6 +47,9 @@ struct HistogramSnapshot {
   /// [min, max] so single-sample and overflow-bucket estimates stay
   /// sane. 0 when empty.
   double Quantile(double q) const;
+  /// p50/p95/p99/p999 in a single pass over the buckets; each value is
+  /// exactly what the corresponding Quantile() call would return.
+  HistogramPercentiles Percentiles() const;
 };
 
 /// Thread-safe (lock-free) latency/size histogram over uint64 values.
@@ -91,13 +104,22 @@ class Metrics {
   // -- Counters (monotonic) --
   void Add(const std::string& name, uint64_t delta);
   uint64_t Get(const std::string& name) const;
-  /// Snapshot of all counters, sorted by name.
-  std::map<std::string, uint64_t> Snapshot() const;
+  /// Bulk read of all counters. The returned map iterates in stable
+  /// sorted-by-name order — consumers that serialize or scrape it (run
+  /// report, time-series sampler) can rely on that ordering being
+  /// identical across runs and parallelism levels.
+  std::map<std::string, uint64_t> CounterSnapshot() const;
+  /// Deprecated alias of CounterSnapshot() (pre-v5 name).
+  std::map<std::string, uint64_t> Snapshot() const {
+    return CounterSnapshot();
+  }
 
   // -- Gauges (last-set value) --
   void SetGauge(const std::string& name, double value);
   /// 0.0 when the gauge was never set.
   double GetGauge(const std::string& name) const;
+  /// Bulk read of all gauges, in the same stable sorted-by-name order
+  /// as CounterSnapshot().
   std::map<std::string, double> GaugeSnapshot() const;
 
   // -- Histograms --

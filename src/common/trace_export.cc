@@ -218,6 +218,11 @@ JsonValue TraceToChromeJson(const std::vector<TraceSpan>& spans,
   other.Set("schema", "psgraph.trace");
   other.Set("tick_unit", "ps");
   other.Set("spans_dropped", options.spans_dropped);
+  JsonValue alert_rules = JsonValue::Array();
+  for (const std::string& rule : options.alert_rules) {
+    alert_rules.Append(rule);
+  }
+  other.Set("alert_rules", std::move(alert_rules));
   doc.Set("otherData", std::move(other));
   return doc;
 }

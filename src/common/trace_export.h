@@ -59,6 +59,11 @@ struct TraceExportOptions {
   uint64_t spans_dropped = 0;
   /// Instant markers to interleave with the span timeline.
   std::vector<TraceInstant> instants;
+  /// Declared SLO watchdog rule names, carried into
+  /// otherData.alert_rules so tooling (scripts/trace_summary.py
+  /// --alerts) can check every "alert_fire:<rule>" marker references a
+  /// declared rule.
+  std::vector<std::string> alert_rules;
 };
 
 /// Builds the Chrome-trace JSON document for `spans`.

@@ -1,5 +1,7 @@
 #include "core/psgraph_context.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace psgraph::core {
@@ -17,6 +19,78 @@ Result<std::unique_ptr<PsGraphContext>> PsGraphContext::Create(
   ctx->cluster_->set_convergence(&ctx->convergence_);
   ctx->cluster_->set_rpc_telemetry(&ctx->rpc_telemetry_);
   ctx->cluster_->set_events(&ctx->events_);
+  // Continuous telemetry: arm the sampler from the env knobs, register
+  // the cluster-level sources that live outside the Metrics registry
+  // (aggregated, not per-node — a 121-node cluster would bloat every
+  // report), and evaluate the watchdog at every scrape boundary.
+  {
+    MetricsSampler::Options so;
+    so.metrics = &ctx->metrics_;
+    so.rpc = &ctx->rpc_telemetry_;
+    so.interval_ticks = MetricsSampler::IntervalTicksFromEnv();
+    so.capacity = MetricsSampler::CapacityFromEnv();
+    ctx->sampler_.Configure(so);
+  }
+  sim::SimCluster* cl = ctx->cluster_.get();
+  ctx->sampler_.AddSource("mem.total_usage_bytes", [cl] {
+    double total = 0.0;
+    for (sim::NodeId n = 0; n < cl->config().num_nodes(); ++n) {
+      total += static_cast<double>(cl->memory().Usage(n));
+    }
+    return total;
+  });
+  ctx->sampler_.AddSource("mem.max_peak_bytes", [cl] {
+    return static_cast<double>(cl->memory().MaxPeak());
+  });
+  ctx->sampler_.AddSource("mem.max_usage_frac", [cl] {
+    double frac = 0.0;
+    for (sim::NodeId n = 0; n < cl->config().num_nodes(); ++n) {
+      const uint64_t budget = cl->memory().Budget(n);
+      if (budget == 0) continue;
+      frac = std::max(frac, static_cast<double>(cl->memory().Usage(n)) /
+                                static_cast<double>(budget));
+    }
+    return frac;
+  });
+  ctx->watchdog_ = sim::Watchdog(&ctx->sampler_.store(), &ctx->events_);
+  ctx->sampler_.set_scrape_callback(
+      [wd = &ctx->watchdog_](int64_t ticks) { wd->Evaluate(ticks); });
+  // Default SLO rules — one of each form. The recovery rule watches the
+  // counter HandleFailures bumps (kill and repair complete within one
+  // HandleFailures call, so an RPC-error rule would never see the
+  // outage); the burn-rate rule trips on a cold or freshly-swapped
+  // serving cache and clears once it warms past a 50% windowed miss
+  // rate (10x a 5% miss budget).
+  {
+    sim::WatchdogRule r;
+    r.name = "recovery_restarts";
+    r.form = sim::WatchdogRuleForm::kDelta;
+    r.series = "counter.recovery.nodes_restarted";
+    r.threshold = 0.0;
+    r.window = 4;
+    ctx->watchdog_.AddRule(r);
+  }
+  {
+    sim::WatchdogRule r;
+    r.name = "serving_cache_miss_burn";
+    r.form = sim::WatchdogRuleForm::kBurnRate;
+    r.bad_series = "counter.serving.cache_misses";
+    r.total_series = "counter.serving.cache_probes";
+    r.window = 8;
+    r.error_budget = 0.05;
+    r.burn_threshold = 10.0;
+    ctx->watchdog_.AddRule(r);
+  }
+  {
+    sim::WatchdogRule r;
+    r.name = "executor_mem_pressure";
+    r.form = sim::WatchdogRuleForm::kThreshold;
+    r.series = "mem.max_usage_frac";
+    r.threshold = 0.9;
+    ctx->watchdog_.AddRule(r);
+  }
+  ctx->cluster_->set_sampler(&ctx->sampler_);
+  ctx->cluster_->set_watchdog(&ctx->watchdog_);
   ctx->hdfs_ = std::make_unique<storage::Hdfs>(ctx->cluster_.get());
   ctx->fabric_ = std::make_unique<net::RpcFabric>(ctx->cluster_.get());
   ctx->dataflow_ =
@@ -84,6 +158,14 @@ Result<PsGraphContext::RecoveryReport> PsGraphContext::HandleFailures(
     events_.Record(sim::JournalEventType::kRecoveryEnd, /*node=*/-1,
                    cluster_->clock().MakespanTicks(), report.total());
   }
+  // Feed the watchdog's recovery rule (delta over this counter) and
+  // scrape up to the post-repair clock — failure handling is a serial
+  // orchestration point, so this poll is deterministic.
+  if (report.total() > 0) {
+    metrics_.Add("recovery.nodes_restarted",
+                 static_cast<uint64_t>(report.total()));
+  }
+  sampler_.Poll(cluster_->clock().MakespanTicks());
   return report;
 }
 

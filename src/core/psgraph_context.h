@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "common/rpc_telemetry.h"
 #include "common/status.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "dataflow/context.h"
 #include "net/rpc.h"
@@ -28,6 +29,7 @@
 #include "sim/cluster.h"
 #include "sim/event_journal.h"
 #include "sim/failure_injector.h"
+#include "sim/watchdog.h"
 #include "storage/hdfs.h"
 
 namespace psgraph::core {
@@ -69,6 +71,11 @@ class PsGraphContext {
   /// per-context isolation as metrics()/tracer()).
   RpcTelemetry& rpc_telemetry() { return rpc_telemetry_; }
   sim::EventJournal& events() { return events_; }
+  /// Continuous telemetry: the sim-interval metrics sampler (armed from
+  /// PSGRAPH_TS_INTERVAL at Create) and the SLO watchdog evaluating its
+  /// default rules at every scrape (see Create for the rule set).
+  MetricsSampler& sampler() { return sampler_; }
+  sim::Watchdog& watchdog() { return watchdog_; }
   storage::Hdfs& hdfs() { return *hdfs_; }
   net::RpcFabric& fabric() { return *fabric_; }
   dataflow::DataflowContext& dataflow() { return *dataflow_; }
@@ -125,6 +132,11 @@ class PsGraphContext {
   sim::ConvergenceLog convergence_;
   RpcTelemetry rpc_telemetry_;
   sim::EventJournal events_;
+  // Sampler after the registries it scrapes, watchdog after the store
+  // it reads and the journal it appends to (construction/destruction
+  // order matters: all are wired by raw pointer).
+  MetricsSampler sampler_;
+  sim::Watchdog watchdog_;
   std::unique_ptr<sim::SimCluster> cluster_;
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<net::RpcFabric> fabric_;

@@ -107,7 +107,11 @@ void DataflowContext::StageBarrier() {
   for (int32_t e = 0; e < cluster_->config().num_executors; ++e) {
     executors.push_back(e);
   }
+  if (executors.empty()) return;
   cluster_->clock().Barrier(executors);
+  // Stage fences are serial driver points: scrape the telemetry series
+  // up to the barrier (all executor clocks are equal now).
+  cluster_->sampler().Poll(cluster_->clock().NowTicks(executors[0]));
 }
 
 }  // namespace psgraph::dataflow

@@ -79,10 +79,13 @@ struct KeyHasher {
 inline Status RunPartitioned(DataflowContext* ctx, int32_t n,
                              const std::function<Status(int32_t)>& fn) {
   // Per-partition-task instrumentation: bracket each task with the owning
-  // executor's simulated clock. Since one executor's charges always come
-  // from one thread in ascending partition order, the bracketed tick
-  // deltas (and thus the "dataflow.partition_ticks" histogram) are
-  // identical at any parallelism level.
+  // executor's simulated clock. One executor's charges always come from
+  // one thread in ascending partition order, but a bracket can absorb
+  // work for a shared lineage block attributed to whichever concurrent
+  // task materializes it first — so individual "dataflow.partition_ticks"
+  // samples are scheduling-dependent at parallelism > 1 (the histogram
+  // is denylisted from the telemetry sampler for that reason; totals at
+  // barriers stay deterministic).
   sim::SimCluster* cluster = ctx->cluster();
   auto run_one = [&](int32_t p) -> Status {
     if (cluster == nullptr) return fn(p);

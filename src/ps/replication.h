@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/flat_hash.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "ps/matrix_meta.h"
 #include "sim/skew.h"
@@ -173,6 +174,8 @@ class ReplicationManager {
   /// to each executor) and installs the rows as the new replica values.
   Status Broadcast(const MatrixMeta& meta,
                    const std::vector<uint64_t>& hot);
+
+  Metrics& metrics() const;
 
   PsContext* ps_;
   std::vector<PsAgent*> agents_;

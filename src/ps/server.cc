@@ -75,7 +75,11 @@ PsServer::PsServer(int32_t server_index, int32_t num_servers,
     : server_index_(server_index),
       num_servers_(num_servers),
       cluster_(cluster),
-      hdfs_(hdfs) {
+      hdfs_(hdfs),
+      pulled_counter_name_("ps.server" + std::to_string(server_index) +
+                           ".rows_pulled"),
+      pushed_counter_name_("ps.server" + std::to_string(server_index) +
+                           ".rows_pushed") {
   if (cluster_ != nullptr) {
     node_ = cluster_->config().server(server_index);
   }
@@ -175,6 +179,7 @@ Status PsServer::PullRows(MatrixId id, std::span<const uint64_t> keys,
   }
   skew().RecordKeyAccess(server_index_, /*is_pull=*/true, keys);
   metrics().Add("ps.rows_pulled", keys.size());
+  metrics().Add(pulled_counter_name_, keys.size());
   metrics().Observe("ps.pull.keys_per_request", keys.size());
   metrics().Observe("ps.pull.service_ticks",
                     static_cast<uint64_t>(NowTicks() - t0));
@@ -195,6 +200,7 @@ Status PsServer::PushAdd(MatrixId id, std::span<const uint64_t> keys,
   PSG_RETURN_NOT_OK(ApplyAddRows(shard, keys, values));
   skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
   metrics().Add("ps.rows_pushed", keys.size());
+  metrics().Add(pushed_counter_name_, keys.size());
   metrics().Observe("ps.push.keys_per_request", keys.size());
   metrics().Observe("ps.push.service_ticks",
                     static_cast<uint64_t>(NowTicks() - t0));
@@ -307,6 +313,7 @@ Status PsServer::PushAssign(MatrixId id, std::span<const uint64_t> keys,
   }
   skew().RecordKeyAccess(server_index_, /*is_pull=*/false, keys);
   metrics().Add("ps.rows_pushed", keys.size());
+  metrics().Add(pushed_counter_name_, keys.size());
   metrics().Observe("ps.push.keys_per_request", keys.size());
   metrics().Observe("ps.push.service_ticks",
                     static_cast<uint64_t>(NowTicks() - t0));

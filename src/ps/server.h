@@ -227,6 +227,10 @@ class PsServer {
   Arena request_arena_;
   /// Reusable pull response staging (capacity persists across requests).
   std::vector<float> pull_scratch_;
+  /// Per-server counter names (`ps.server<k>.rows_pulled/pushed`), built
+  /// once in the ctor so the request hot paths never allocate for them.
+  std::string pulled_counter_name_;
+  std::string pushed_counter_name_;
 };
 
 /// Computes the column slice [begin, end) server `s` of `n` owns for a

@@ -62,7 +62,11 @@ class SyncController {
     // cost in aggregate executor idle time.
     cluster_->events().Record(sim::JournalEventType::kBarrierEntry,
                               /*node=*/-1, barrier_ticks, wait_ticks);
-    return cluster_->clock().Barrier(executors);
+    const double barrier = cluster_->clock().Barrier(executors);
+    // Scrape the continuous-telemetry series at the superstep fence —
+    // the canonical serial poll point for training runs.
+    cluster_->sampler().Poll(barrier_ticks);
+    return barrier;
   }
 
   /// Cumulative executor idle time spent at BSP barriers.

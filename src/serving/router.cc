@@ -84,7 +84,28 @@ Status ServingRouter::Submit(const ServingRequest& request) {
     const int64_t trigger = std::max(NowTicks(), request.arrival_ticks);
     PSG_RETURN_NOT_OK(FlushBatches(full, trigger));
   }
+  // The router is the serial event loop of the serving tier: refresh
+  // the queue gauges and scrape the telemetry series once per arrival.
+  // The open-loop "now" is the arrival stamp (the router clock itself
+  // only advances on flush triggers).
+  PollTelemetry(std::max(NowTicks(), request.arrival_ticks));
   return Status::OK();
+}
+
+void ServingRouter::PollTelemetry(int64_t now_ticks) {
+  uint64_t queued_subs = 0;
+  uint64_t open_batches = 0;
+  for (const auto& per_shard : pending_) {
+    for (const Batch& batch : per_shard) {
+      queued_subs += batch.items.size();
+      open_batches += batch.items.empty() ? 0 : 1;
+    }
+  }
+  metrics().SetGauge("serving.router.queue_depth",
+                     static_cast<double>(queued_subs));
+  metrics().SetGauge("serving.router.open_batches",
+                     static_cast<double>(open_batches));
+  cluster_->sampler().Poll(now_ticks);
 }
 
 Status ServingRouter::FlushDue(int64_t now_ticks) {
@@ -128,7 +149,9 @@ Status ServingRouter::Flush() {
     }
   }
   if (due.empty()) return Status::OK();
-  return FlushBatches(due, std::max(NowTicks(), latest_arrival));
+  PSG_RETURN_NOT_OK(FlushBatches(due, std::max(NowTicks(), latest_arrival)));
+  PollTelemetry(NowTicks());
+  return Status::OK();
 }
 
 Status ServingRouter::FlushBatches(
@@ -269,6 +292,7 @@ Status ServingRouter::SwapTo(int64_t version) {
                           .status());
   }
   metrics().Add("serving.swaps", 1);
+  PollTelemetry(NowTicks());
   return Status::OK();
 }
 

@@ -103,6 +103,10 @@ class ServingRouter {
       const std::vector<std::pair<int32_t, RequestType>>& due,
       int64_t trigger_ticks);
   Status FlushDue(int64_t now_ticks);
+  /// Refreshes the router queue gauges (queued sub-requests, open
+  /// batches) and polls the continuous-telemetry sampler — the router
+  /// loop is the serial scrape driver while a load is being served.
+  void PollTelemetry(int64_t now_ticks);
   void CompleteSub(size_t request_index, int64_t version,
                    int64_t completion_ticks);
   void FailSub(size_t request_index, int64_t completion_ticks);

@@ -28,7 +28,9 @@ ServingShard::ServingShard(int32_t shard_index, sim::SimCluster* cluster,
       cluster_(cluster),
       hdfs_(hdfs),
       node_(node),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      hit_rate_gauge_name_("serving.shard" + std::to_string(shard_index) +
+                           ".cache_hit_rate") {
   if (options_.feature_matrix.empty()) {
     options_.feature_matrix = options_.lookup_matrix;
   }
@@ -179,6 +181,9 @@ const std::vector<float>* ServingShard::CachedRow(
     auto it = m->rows.find(key);
     if (it != m->rows.end()) row = &it->second;
   }
+  // Every touch is a probe; the watchdog's burn-rate rule divides the
+  // windowed miss delta by this windowed total.
+  metrics().Add("serving.cache_probes", 1);
   const uint64_t ck = CacheKey(matrix_ordinal, key);
   auto res = resident_.find(ck);
   if (res != resident_.end()) {
@@ -239,6 +244,7 @@ Status ServingShard::Lookup(std::span<const uint64_t> keys,
     }
   }
   metrics().Add("serving.lookup_keys", keys.size());
+  UpdateHitRateGauge();
   return Status::OK();
 }
 
@@ -326,7 +332,16 @@ Status ServingShard::Infer(std::span<const uint64_t> nodes,
   }
   out->insert(out->end(), result.data().begin(), result.data().end());
   metrics().Add("serving.infer_nodes", nodes.size());
+  UpdateHitRateGauge();
   return Status::OK();
+}
+
+void ServingShard::UpdateHitRateGauge() {
+  const uint64_t probes = cache_hits_ + cache_misses_;
+  if (probes == 0) return;
+  metrics().SetGauge(hit_rate_gauge_name_,
+                     static_cast<double>(cache_hits_) /
+                         static_cast<double>(probes));
 }
 
 }  // namespace psgraph::serving

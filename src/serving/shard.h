@@ -103,6 +103,10 @@ class ServingShard {
                                       uint32_t matrix_ordinal,
                                       uint64_t key, uint64_t row_bytes);
   void ResetCache();
+  /// Publishes the cumulative hit rate as a per-shard gauge
+  /// (`serving.shard<i>.cache_hit_rate`) — one SetGauge per served
+  /// batch, name cached in the ctor to keep the hot path allocation-free.
+  void UpdateHitRateGauge();
 
   Metrics& metrics() const {
     return cluster_ != nullptr ? cluster_->metrics() : Metrics::Global();
@@ -131,6 +135,7 @@ class ServingShard {
   FlatHashMap<std::list<uint64_t>::iterator> resident_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  const std::string hit_rate_gauge_name_;
   /// Per-request decode scratch for the RPC handlers; reset at the top
   /// of each request under the endpoint's serial mutex.
   Arena request_arena_;

@@ -19,6 +19,7 @@
 #include "common/metrics.h"
 #include "common/rpc_telemetry.h"
 #include "common/status.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "sim/convergence.h"
 #include "sim/cost_model.h"
@@ -26,6 +27,7 @@
 #include "sim/memory_accountant.h"
 #include "sim/sim_clock.h"
 #include "sim/skew.h"
+#include "sim/watchdog.h"
 
 namespace psgraph::sim {
 
@@ -112,6 +114,18 @@ class SimCluster {
   void set_events(EventJournal* journal) {
     events_ = journal != nullptr ? journal : &EventJournal::Global();
   }
+  /// Continuous-telemetry sampler and SLO watchdog (same ownership
+  /// contract as the other sinks). The global fallbacks are permanently
+  /// disabled, so poll sites on clusters without an installed
+  /// per-context sampler are near-free no-ops.
+  MetricsSampler& sampler() { return *sampler_; }
+  Watchdog& watchdog() { return *watchdog_; }
+  void set_sampler(MetricsSampler* sampler) {
+    sampler_ = sampler != nullptr ? sampler : &MetricsSampler::Global();
+  }
+  void set_watchdog(Watchdog* watchdog) {
+    watchdog_ = watchdog != nullptr ? watchdog : &Watchdog::Global();
+  }
 
   /// Marks a node as failed. Subsequent RPCs to it return Unavailable and
   /// its memory ledger is wiped (the container is gone).
@@ -139,6 +153,8 @@ class SimCluster {
   ConvergenceLog* convergence_ = &ConvergenceLog::Global();
   RpcTelemetry* rpc_telemetry_ = &RpcTelemetry::Global();
   EventJournal* events_ = &EventJournal::Global();
+  MetricsSampler* sampler_ = &MetricsSampler::Global();
+  Watchdog* watchdog_ = &Watchdog::Global();
   mutable std::mutex mu_;
   std::vector<bool> alive_;
   double restart_delay_sec_ = 30.0;

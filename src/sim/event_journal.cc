@@ -15,6 +15,8 @@ const char* JournalEventTypeName(JournalEventType type) {
     case JournalEventType::kRecoveryBegin: return "recovery_begin";
     case JournalEventType::kRecoveryEnd: return "recovery_end";
     case JournalEventType::kRollback: return "rollback";
+    case JournalEventType::kAlertFire: return "alert_fire";
+    case JournalEventType::kAlertClear: return "alert_clear";
   }
   return "unknown";
 }
@@ -89,6 +91,10 @@ bool EventJournal::IsFailureEvent(const JournalEvent& e) {
       return e.value > 0;  // a verdict that actually found dead servers
     case JournalEventType::kCheckpointSave:
     case JournalEventType::kBarrierEntry:
+    // Watchdog alerts are observability, not failure handling — a rule
+    // can fire on a perfectly healthy run (cache cold start).
+    case JournalEventType::kAlertFire:
+    case JournalEventType::kAlertClear:
       return false;
   }
   return false;

@@ -35,6 +35,8 @@ enum class JournalEventType : uint8_t {
   kRecoveryBegin,         ///< repairs started; value = dead nodes
   kRecoveryEnd,           ///< repairs done; value = nodes restarted
   kRollback,              ///< consistent rollback; value = target iteration
+  kAlertFire,             ///< SLO watchdog rule fired; value = rule index
+  kAlertClear,            ///< SLO watchdog rule cleared; value = rule index
 };
 
 /// Stable wire name of an event type ("node_killed", ...).

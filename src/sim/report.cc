@@ -1,6 +1,7 @@
 #include "sim/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace psgraph::sim {
@@ -106,7 +107,7 @@ RunReport CollectRunReport(const std::string& name, Metrics& metrics,
                            Tracer& tracer) {
   RunReport report;
   report.name = name;
-  report.counters = metrics.Snapshot();
+  report.counters = metrics.CounterSnapshot();
   report.gauges = metrics.GaugeSnapshot();
   report.histograms = metrics.HistogramSnapshots();
   report.spans = tracer.Summary();
@@ -125,6 +126,9 @@ RunReport CollectRunReport(const std::string& name, SimCluster* cluster) {
   report.convergence = cluster->convergence().Snapshot();
   report.convergence_rejected = cluster->convergence().rejected();
   report.rpc = cluster->rpc_telemetry().Snapshot();
+  report.timeseries = cluster->sampler().store().Snapshot();
+  report.alert_rules = cluster->watchdog().rules();
+  report.alert_firings = cluster->watchdog().firings();
   const std::vector<JournalEvent> events = cluster->events().Snapshot();
   report.event_counts = cluster->events().Counts();
   for (const JournalEvent& e : events) {
@@ -164,10 +168,11 @@ JsonValue HistogramToJson(const HistogramSnapshot& h) {
   obj.Set("min", h.min);
   obj.Set("max", h.max);
   obj.Set("mean", h.mean());
-  obj.Set("p50", h.Quantile(0.50));
-  obj.Set("p95", h.Quantile(0.95));
-  obj.Set("p99", h.Quantile(0.99));
-  obj.Set("p999", h.Quantile(0.999));
+  const HistogramPercentiles q = h.Percentiles();
+  obj.Set("p50", q.p50);
+  obj.Set("p95", q.p95);
+  obj.Set("p99", q.p99);
+  obj.Set("p999", q.p999);
   // Sparse [bucket_index, count] pairs: enough to rebuild the full
   // distribution, without 400 zeros per histogram.
   JsonValue buckets = JsonValue::Array();
@@ -347,6 +352,69 @@ JsonValue RunReportToJson(const RunReport& report) {
   serving.Set("snapshots_published", report.serving.snapshots_published);
   serving.Set("latency_ticks", HistogramToJson(report.serving.latency));
   doc.Set("serving", std::move(serving));
+
+  JsonValue timeseries = JsonValue::Object();
+  timeseries.Set("base_interval_ticks",
+                 report.timeseries.base_interval_ticks);
+  timeseries.Set("interval_ticks", report.timeseries.interval_ticks);
+  timeseries.Set("compactions",
+                 static_cast<uint64_t>(report.timeseries.compactions));
+  timeseries.Set("points", static_cast<uint64_t>(report.timeseries.points));
+  JsonValue ts_series = JsonValue::Object();
+  for (const auto& [sname, values] : report.timeseries.series) {
+    // All-zero series carry no information (most counters never move in
+    // a given bench) — dropping them keeps 100+ series reports small.
+    const bool all_zero =
+        std::all_of(values.begin(), values.end(),
+                    [](double v) { return v == 0.0; });
+    if (all_zero) continue;
+    JsonValue list = JsonValue::Array();
+    for (double v : values) {
+      // Counters and tick quantiles are integral: emit them as integers
+      // so the arrays don't balloon with %.17g float renderings.
+      const auto as_int = static_cast<int64_t>(v);
+      if (static_cast<double>(as_int) == v && std::abs(v) <= 9.0e15) {
+        list.Append(as_int);
+      } else {
+        list.Append(v);
+      }
+    }
+    ts_series.Set(sname, std::move(list));
+  }
+  timeseries.Set("series", std::move(ts_series));
+  doc.Set("timeseries", std::move(timeseries));
+
+  JsonValue alerts = JsonValue::Object();
+  JsonValue rules = JsonValue::Array();
+  for (const WatchdogRule& r : report.alert_rules) {
+    JsonValue rule = JsonValue::Object();
+    rule.Set("name", r.name);
+    rule.Set("form", WatchdogRuleFormName(r.form));
+    rule.Set("series", r.series);
+    rule.Set("threshold", r.threshold);
+    rule.Set("fire_above", r.fire_above);
+    rule.Set("window", r.window);
+    rule.Set("bad_series", r.bad_series);
+    rule.Set("total_series", r.total_series);
+    rule.Set("error_budget", r.error_budget);
+    rule.Set("burn_threshold", r.burn_threshold);
+    rules.Append(std::move(rule));
+  }
+  alerts.Set("rules", std::move(rules));
+  JsonValue firings = JsonValue::Array();
+  for (const AlertFiring& f : report.alert_firings) {
+    JsonValue firing = JsonValue::Object();
+    firing.Set("rule", f.rule);
+    firing.Set("rule_name", f.rule < report.alert_rules.size()
+                                ? report.alert_rules[f.rule].name
+                                : std::string("?"));
+    firing.Set("fire_ticks", f.fire_ticks);
+    firing.Set("clear_ticks", f.clear_ticks);
+    firing.Set("value", f.value);
+    firings.Append(std::move(firing));
+  }
+  alerts.Set("firings", std::move(firings));
+  doc.Set("alerts", std::move(alerts));
 
   doc.Set("bench", report.bench);
   return doc;
@@ -582,6 +650,85 @@ Status ValidateRunReportJson(const JsonValue& doc) {
       PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
                                std::string("'serving.latency_ticks.") +
                                    field + "' must be numeric"));
+    }
+  }
+  const JsonValue* timeseries = doc.Find("timeseries");
+  PSG_RETURN_NOT_OK(Expect(timeseries != nullptr && timeseries->is_object(),
+                           "'timeseries' must be an object"));
+  {
+    for (const char* field : {"base_interval_ticks", "interval_ticks",
+                              "compactions", "points"}) {
+      const JsonValue* f = timeseries->Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               std::string("'timeseries.") + field +
+                                   "' must be numeric"));
+    }
+    const JsonValue* series = timeseries->Find("series");
+    PSG_RETURN_NOT_OK(Expect(series != nullptr && series->is_object(),
+                             "'timeseries.series' must be an object"));
+    const int64_t points = timeseries->Find("points")->as_int();
+    for (const auto& [sname, values] : series->members()) {
+      PSG_RETURN_NOT_OK(Expect(
+          values.is_array() &&
+              values.size() == static_cast<size_t>(points),
+          "timeseries series '" + sname + "' must be an array of " +
+              std::to_string(points) + " points"));
+      for (const JsonValue& v : values.elements()) {
+        PSG_RETURN_NOT_OK(Expect(v.is_number(),
+                                 "timeseries series '" + sname +
+                                     "' values must be numeric"));
+      }
+    }
+  }
+  const JsonValue* alerts = doc.Find("alerts");
+  PSG_RETURN_NOT_OK(Expect(alerts != nullptr && alerts->is_object(),
+                           "'alerts' must be an object"));
+  {
+    const JsonValue* rules = alerts->Find("rules");
+    PSG_RETURN_NOT_OK(Expect(rules != nullptr && rules->is_array(),
+                             "'alerts.rules' must be an array"));
+    for (const JsonValue& rule : rules->elements()) {
+      PSG_RETURN_NOT_OK(
+          Expect(rule.is_object(), "alert rule must be an object"));
+      for (const char* field : {"name", "form"}) {
+        const JsonValue* f = rule.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_string() &&
+                                     !f->as_string().empty(),
+                                 std::string("alert rule needs a non-empty "
+                                             "'") +
+                                     field + "' string"));
+      }
+      for (const char* field : {"threshold", "window", "error_budget",
+                                "burn_threshold"}) {
+        const JsonValue* f = rule.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("alert rule needs numeric '") +
+                                     field + "'"));
+      }
+    }
+    const JsonValue* firings = alerts->Find("firings");
+    PSG_RETURN_NOT_OK(Expect(firings != nullptr && firings->is_array(),
+                             "'alerts.firings' must be an array"));
+    for (const JsonValue& firing : firings->elements()) {
+      PSG_RETURN_NOT_OK(
+          Expect(firing.is_object(), "alert firing must be an object"));
+      for (const char* field :
+           {"rule", "fire_ticks", "clear_ticks", "value"}) {
+        const JsonValue* f = firing.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("alert firing needs numeric "
+                                             "'") +
+                                     field + "'"));
+      }
+      const JsonValue* rule_name = firing.Find("rule_name");
+      PSG_RETURN_NOT_OK(Expect(rule_name != nullptr &&
+                                   rule_name->is_string(),
+                               "alert firing needs a 'rule_name' string"));
+      const int64_t rule_index = firing.Find("rule")->as_int();
+      PSG_RETURN_NOT_OK(Expect(
+          rule_index >= 0 &&
+              static_cast<size_t>(rule_index) < rules->size(),
+          "alert firing 'rule' must index into 'alerts.rules'"));
     }
   }
   const JsonValue* bench = doc.Find("bench");

@@ -22,11 +22,13 @@
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/rpc_telemetry.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "sim/cluster.h"
 #include "sim/convergence.h"
 #include "sim/event_journal.h"
 #include "sim/skew.h"
+#include "sim/watchdog.h"
 
 namespace psgraph::sim {
 
@@ -65,8 +67,13 @@ std::string FormatReport(const ClusterReport& report);
 ///       request-latency histogram) and a p999 quantile on every
 ///       histogram (tail latency is the serving SLO, p99 is too coarse
 ///       for it).
+///   5 — continuous telemetry: "timeseries" (the sampler's ring-buffer
+///       series over simulated time — interval, compaction count, and
+///       one value array per series; all-zero series omitted) and
+///       "alerts" (the watchdog's declared rules plus its fire/clear
+///       episode timeline) sections.
 inline constexpr const char* kRunReportSchema = "psgraph.run_report";
-inline constexpr int kRunReportSchemaVersion = 4;
+inline constexpr int kRunReportSchemaVersion = 5;
 
 struct RunReport {
   std::string name;  ///< bench/run identifier ("micro", "parallel", ...)
@@ -134,6 +141,15 @@ struct RunReport {
     HistogramSnapshot latency;
   };
   ServingStats serving;
+
+  /// Continuous-telemetry series (the "timeseries" section, schema v5):
+  /// whatever the context's sampler recorded over the run — empty
+  /// (0 points) when sampling was disabled or the run had no cluster.
+  TimeSeriesSnapshot timeseries;
+  /// SLO watchdog state (the "alerts" section, schema v5): declared
+  /// rules and the fire/clear episode timeline.
+  std::vector<WatchdogRule> alert_rules;
+  std::vector<AlertFiring> alert_firings;
 
   /// Free-form bench-specific payload, emitted under "bench".
   JsonValue bench = JsonValue::Object();

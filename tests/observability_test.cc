@@ -14,6 +14,8 @@
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/rpc_telemetry.h"
+#include "common/thread_pool.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "common/trace_export.h"
 #include "core/graph_loader.h"
@@ -24,6 +26,7 @@
 #include "sim/event_journal.h"
 #include "sim/report.h"
 #include "sim/skew.h"
+#include "sim/watchdog.h"
 
 namespace psgraph {
 namespace {
@@ -715,6 +718,390 @@ TEST(ConvergenceLogTest, MergePrefixesAndExtends) {
   EXPECT_EQ(total.Snapshot()["run_a/loss"].size(), 2u);
 }
 
+TEST(TimeSeriesStoreTest, CompactionMatchesCoarserSampler) {
+  // The compaction contract: a store that filled at interval 100 and
+  // compacted once must hold *exactly* the series a store sampling at
+  // interval 200 would have recorded from the same signal.
+  auto signal = [](int64_t ticks) {
+    return static_cast<double>(ticks * ticks % 997);
+  };
+  TimeSeriesStore fine(100, 8);
+  TimeSeriesStore coarse(200, 8);
+  for (int k = 1; k <= 8; ++k) {
+    fine.Append({{"s", signal(100 * k)}});
+    if (k % 2 == 0) coarse.Append({{"s", signal(100 * k)}});
+  }
+  EXPECT_EQ(fine.compactions(), 1u);
+  EXPECT_EQ(fine.points(), 4u);
+  EXPECT_EQ(fine.interval_ticks(), 200);
+  EXPECT_EQ(fine.base_interval_ticks(), 100);
+  EXPECT_EQ(coarse.compactions(), 0u);
+  ASSERT_NE(fine.Series("s"), nullptr);
+  EXPECT_EQ(*fine.Series("s"), *coarse.Series("s"));
+  // The next boundary also lands on the coarser grid.
+  EXPECT_EQ(fine.NextBoundaryTicks(), coarse.NextBoundaryTicks());
+
+  // A second fill compacts again: interval 400, still byte-equal to a
+  // 4x sampler. The store's own boundary grid (now 200-tick) drives
+  // which signal values a sampler would feed it.
+  TimeSeriesStore coarser(400, 8);
+  for (int k = 0; k < 4; ++k) {
+    fine.Append({{"s", signal(fine.NextBoundaryTicks())}});
+  }
+  for (int k = 1; k <= 4; ++k) {
+    coarser.Append({{"s", signal(400 * k)}});
+  }
+  EXPECT_EQ(fine.compactions(), 2u);
+  EXPECT_EQ(fine.interval_ticks(), 400);
+  EXPECT_EQ(*fine.Series("s"), *coarser.Series("s"));
+}
+
+TEST(TimeSeriesStoreTest, ZeroBackfillsNewAndMissingSeries) {
+  TimeSeriesStore store(10, 8);
+  store.Append({{"a", 1.0}});
+  store.Append({{"a", 2.0}, {"b", 5.0}});  // b first seen at point 2
+  store.Append({});                        // registry reset: both absent
+  ASSERT_NE(store.Series("a"), nullptr);
+  ASSERT_NE(store.Series("b"), nullptr);
+  EXPECT_EQ(*store.Series("a"), (std::vector<double>{1.0, 2.0, 0.0}));
+  EXPECT_EQ(*store.Series("b"), (std::vector<double>{0.0, 5.0, 0.0}));
+  EXPECT_EQ(store.Latest("a"), 0.0);
+  EXPECT_EQ(store.Series("never"), nullptr);
+  EXPECT_EQ(store.Latest("never"), 0.0);
+
+  TimeSeriesSnapshot snap = store.Snapshot();
+  EXPECT_EQ(snap.points, 3u);
+  EXPECT_EQ(snap.series.at("b").size(), 3u);
+  store.Reset();
+  EXPECT_EQ(store.points(), 0u);
+  EXPECT_EQ(store.Series("a"), nullptr);
+}
+
+TEST(MetricsSamplerTest, PollAppendsOnePointPerCrossedBoundary) {
+  Metrics metrics;
+  RpcTelemetry rpc;
+  MetricsSampler sampler;
+  MetricsSampler::Options options;
+  options.metrics = &metrics;
+  options.rpc = &rpc;
+  options.interval_ticks = 100;
+  options.capacity = 16;
+  sampler.Configure(options);
+  ASSERT_TRUE(sampler.enabled());
+  int64_t watermark = 0;
+  sampler.AddSource("mem.test", [&] {
+    return static_cast<double>(watermark);
+  });
+
+  std::vector<int64_t> boundaries;
+  sampler.set_scrape_callback(
+      [&](int64_t ticks) { boundaries.push_back(ticks); });
+
+  metrics.Add("c", 3);
+  metrics.SetGauge("g", 1.5);
+  metrics.Observe("rpc.queue_ticks", 42);  // denylisted histogram
+  rpc.RecordCall("pull", 1, 64);
+  watermark = 7;
+  sampler.Poll(50);  // before the first boundary: nothing yet
+  EXPECT_EQ(sampler.store().points(), 0u);
+  sampler.Poll(250);  // crosses 100 and 200: two points, one scrape
+  EXPECT_EQ(sampler.store().points(), 2u);
+  sampler.Poll(250);  // same tick again: no-op
+  EXPECT_EQ(sampler.store().points(), 2u);
+  metrics.Add("c", 5);
+  sampler.ForceSample(250);  // one extra point at the next boundary
+  EXPECT_EQ(sampler.store().points(), 3u);
+  EXPECT_EQ(boundaries, (std::vector<int64_t>{100, 200, 300}));
+
+  const TimeSeriesStore& store = sampler.store();
+  EXPECT_EQ(*store.Series("counter.c"),
+            (std::vector<double>{3.0, 3.0, 8.0}));
+  EXPECT_EQ(*store.Series("gauge.g"), (std::vector<double>{1.5, 1.5, 1.5}));
+  EXPECT_EQ(*store.Series("mem.test"), (std::vector<double>{7.0, 7.0, 7.0}));
+  EXPECT_EQ(store.Latest("rpc.total.calls"), 1.0);
+  EXPECT_EQ(store.Latest("rpc.total.request_bytes"), 64.0);
+  EXPECT_EQ(store.Latest("rpc.pull.bytes"), 64.0);
+  EXPECT_EQ(store.Series("hist.rpc.queue_ticks.p99"), nullptr)
+      << "denylisted histograms must never produce a series";
+
+  // Disabled samplers (interval 0, the Global() fallback) no-op.
+  MetricsSampler disabled;
+  EXPECT_FALSE(disabled.enabled());
+  disabled.Poll(1000000);
+  EXPECT_EQ(disabled.store().points(), 0u);
+  EXPECT_FALSE(MetricsSampler::Global().enabled());
+}
+
+TEST(HistogramPercentilesTest, SharedHelperMatchesQuantiles) {
+  Metrics metrics;
+  for (int i = 1; i <= 1000; ++i) metrics.Observe("h", i);
+  const HistogramSnapshot snap = metrics.GetHistogram("h").Snapshot();
+  const HistogramPercentiles q = snap.Percentiles();
+  // The bucketed histogram overestimates by at most one bucket width.
+  EXPECT_GE(q.p50, 500.0);
+  EXPECT_GE(q.p99, 990.0);
+  EXPECT_GE(q.p999, q.p99);
+  EXPECT_GE(q.p99, q.p95);
+  EXPECT_GE(q.p95, q.p50);
+  EXPECT_LE(q.p999, snap.max);
+}
+
+TEST(MetricsTest, BulkSnapshotsAreSortedAndConst) {
+  Metrics metrics;
+  metrics.Add("z.last", 2);
+  metrics.Add("a.first", 1);
+  metrics.SetGauge("g.b", 2.0);
+  metrics.SetGauge("g.a", 1.0);
+  const Metrics& view = metrics;  // bulk reads are const-correct
+  const std::map<std::string, uint64_t> counters = view.CounterSnapshot();
+  const std::map<std::string, double> gauges = view.GaugeSnapshot();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.begin()->first, "a.first");  // sorted (std::map)
+  EXPECT_EQ(counters.at("z.last"), 2u);
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges.begin()->first, "g.a");
+  EXPECT_EQ(gauges.at("g.b"), 2.0);
+}
+
+// All three rule forms against a hand-driven sampler: each must fire
+// when its condition trips, clear when it recovers, and leave
+// kAlertFire/kAlertClear breadcrumbs (value = rule index) in the
+// journal.
+TEST(WatchdogTest, AllThreeRuleFormsFireAndClear) {
+  Metrics metrics;
+  MetricsSampler sampler;
+  MetricsSampler::Options options;
+  options.metrics = &metrics;
+  options.interval_ticks = 100;
+  options.capacity = 64;
+  sampler.Configure(options);
+  sim::EventJournal journal;
+  sim::Watchdog wd(&sampler.store(), &journal);
+  sampler.set_scrape_callback(
+      [&](int64_t ticks) { wd.Evaluate(ticks); });
+
+  sim::WatchdogRule threshold;
+  threshold.name = "gauge_high";
+  threshold.form = sim::WatchdogRuleForm::kThreshold;
+  threshold.series = "gauge.pressure";
+  threshold.threshold = 10.0;
+  EXPECT_EQ(wd.AddRule(threshold), 0u);
+
+  sim::WatchdogRule delta;
+  delta.name = "restarts_moved";
+  delta.form = sim::WatchdogRuleForm::kDelta;
+  delta.series = "counter.restarts";
+  delta.threshold = 0.0;
+  delta.window = 2;
+  EXPECT_EQ(wd.AddRule(delta), 1u);
+
+  sim::WatchdogRule burn;
+  burn.name = "miss_burn";
+  burn.form = sim::WatchdogRuleForm::kBurnRate;
+  burn.bad_series = "counter.miss";
+  burn.total_series = "counter.req";
+  burn.window = 2;
+  burn.error_budget = 0.05;
+  burn.burn_threshold = 10.0;  // fires at a >= 50% windowed miss rate
+  EXPECT_EQ(wd.AddRule(burn), 2u);
+
+  auto quiet_point = [&](int64_t now) {
+    metrics.Add("req", 10);  // healthy traffic, no misses
+    sampler.ForceSample(now - 1);
+  };
+
+  // Points 1-2: everything healthy.
+  quiet_point(100);
+  quiet_point(200);
+  EXPECT_FALSE(wd.IsActive(0));
+  EXPECT_FALSE(wd.IsActive(1));
+  EXPECT_FALSE(wd.IsActive(2));
+
+  // Point 3: all three conditions trip at once.
+  metrics.SetGauge("pressure", 12.0);
+  metrics.Add("restarts", 1);
+  metrics.Add("miss", 10);
+  metrics.Add("req", 10);
+  sampler.ForceSample(299);
+  EXPECT_TRUE(wd.IsActive(0));
+  EXPECT_TRUE(wd.IsActive(1));
+  EXPECT_TRUE(wd.IsActive(2));
+  EXPECT_EQ(wd.FireCount("gauge_high"), 1u);
+  EXPECT_EQ(wd.ClearCount("gauge_high"), 0u);
+
+  // Points 4-6: recovery. The delta/burn windows (2 points) age the
+  // restart and the miss burst out; the gauge drops below threshold.
+  metrics.SetGauge("pressure", 5.0);
+  quiet_point(400);
+  quiet_point(500);
+  quiet_point(600);
+  EXPECT_FALSE(wd.IsActive(0));
+  EXPECT_FALSE(wd.IsActive(1));
+  EXPECT_FALSE(wd.IsActive(2));
+  for (const char* name : {"gauge_high", "restarts_moved", "miss_burn"}) {
+    EXPECT_EQ(wd.FireCount(name), 1u) << name;
+    EXPECT_EQ(wd.ClearCount(name), 1u) << name;
+  }
+  EXPECT_EQ(wd.FireCount("no_such_rule"), 0u);
+
+  ASSERT_EQ(wd.firings().size(), 3u);
+  for (const sim::AlertFiring& f : wd.firings()) {
+    EXPECT_EQ(f.fire_ticks, 300);
+    EXPECT_GT(f.clear_ticks, f.fire_ticks);
+  }
+  // The threshold firing reports the gauge value that tripped it.
+  EXPECT_EQ(wd.firings()[0].value, 12.0);
+
+  // Journal breadcrumbs: one fire + one clear per rule, payload = rule
+  // index, and alerts are control-plane events, not failures.
+  std::map<uint64_t, int> fires, clears;
+  for (const sim::JournalEvent& e : journal.Snapshot()) {
+    if (e.type == sim::JournalEventType::kAlertFire) {
+      ++fires[static_cast<uint64_t>(e.value)];
+      EXPECT_EQ(e.ticks, 300);
+    } else if (e.type == sim::JournalEventType::kAlertClear) {
+      ++clears[static_cast<uint64_t>(e.value)];
+    }
+    EXPECT_FALSE(sim::EventJournal::IsFailureEvent(e));
+  }
+  for (uint64_t rule = 0; rule < 3; ++rule) {
+    EXPECT_EQ(fires[rule], 1) << "rule " << rule;
+    EXPECT_EQ(clears[rule], 1) << "rule " << rule;
+  }
+
+  wd.Reset();
+  EXPECT_TRUE(wd.firings().empty());
+  EXPECT_FALSE(wd.IsActive(0));
+  EXPECT_EQ(wd.rules().size(), 3u);  // rules survive a reset
+
+  // The process-wide fallback is permanently disabled: evaluating it
+  // is a no-op, never a crash.
+  sim::Watchdog::Global().Evaluate(12345);
+  EXPECT_TRUE(sim::Watchdog::Global().firings().empty());
+}
+
+TEST(WatchdogTest, FireBelowAndBurnGuardAgainstZeroTraffic) {
+  Metrics metrics;
+  MetricsSampler sampler;
+  MetricsSampler::Options options;
+  options.metrics = &metrics;
+  options.interval_ticks = 100;
+  options.capacity = 16;
+  sampler.Configure(options);
+  sim::EventJournal journal;
+  sim::Watchdog wd(&sampler.store(), &journal);
+  sampler.set_scrape_callback(
+      [&](int64_t ticks) { wd.Evaluate(ticks); });
+
+  sim::WatchdogRule low;
+  low.name = "throughput_low";
+  low.form = sim::WatchdogRuleForm::kThreshold;
+  low.series = "gauge.qps";
+  low.threshold = 3.0;
+  low.fire_above = false;  // fire while BELOW
+  wd.AddRule(low);
+  sim::WatchdogRule burn;
+  burn.name = "burn";
+  burn.form = sim::WatchdogRuleForm::kBurnRate;
+  burn.bad_series = "counter.bad";
+  burn.total_series = "counter.total";
+  burn.window = 2;
+  burn.error_budget = 0.1;
+  burn.burn_threshold = 1.0;
+  wd.AddRule(burn);
+
+  // No traffic at all: the burn rule must stay quiet (0/0 is not an
+  // SLO violation), the below-threshold rule fires on qps = 0.
+  metrics.SetGauge("qps", 0.0);
+  sampler.ForceSample(0);
+  sampler.ForceSample(100);
+  EXPECT_TRUE(wd.IsActive(0));
+  EXPECT_FALSE(wd.IsActive(1));
+  metrics.SetGauge("qps", 9.0);
+  sampler.ForceSample(200);
+  EXPECT_FALSE(wd.IsActive(0));
+  EXPECT_EQ(wd.ClearCount("throughput_low"), 1u);
+  EXPECT_EQ(wd.FireCount("burn"), 0u);
+}
+
+// Schema v5: a real cluster run must emit non-empty timeseries and
+// alerts sections that validate, with the default rules installed by
+// PsGraphContext::Create.
+TEST(RunReportTest, V5TimeseriesAndAlertsSectionsFromCleanRun) {
+  core::PsGraphContext::Options opts;
+  opts.cluster.num_executors = 2;
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 64ull << 20;
+  opts.cluster.server_mem_bytes = 64ull << 20;
+  auto ctx = core::PsGraphContext::Create(opts);
+  ASSERT_TRUE(ctx.ok());
+  graph::EdgeList edges = graph::GenerateErdosRenyi(200, 1000, 31);
+  auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/v5.bin");
+  ASSERT_TRUE(ds.ok());
+  core::PageRankOptions po;
+  po.max_iterations = 3;
+  ASSERT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+  sim::SimCluster& cluster = (*ctx)->cluster();
+  cluster.sampler().ForceSample(cluster.clock().MakespanTicks());
+
+  sim::RunReport report = sim::CollectRunReport("v5", &cluster);
+  EXPECT_EQ(sim::kRunReportSchemaVersion, 5);
+  EXPECT_GT(report.timeseries.points, 0u);
+  EXPECT_GT(report.timeseries.base_interval_ticks, 0);
+  ASSERT_GE(report.alert_rules.size(), 3u);  // context default rules
+  bool recovery_rule = false;
+  for (const sim::WatchdogRule& r : report.alert_rules) {
+    if (r.name == "recovery_restarts") recovery_rule = true;
+  }
+  EXPECT_TRUE(recovery_rule);
+  EXPECT_TRUE(report.alert_firings.empty()) << "clean run must not alert";
+  // The sampler scraped real curves: RPC totals and the context's own
+  // counters show up as series of the right length.
+  const auto& series = report.timeseries.series;
+  ASSERT_EQ(series.count("counter.rpc.calls"), 1u);
+  EXPECT_EQ(series.at("counter.rpc.calls").size(),
+            report.timeseries.points);
+  EXPECT_GT(series.at("counter.rpc.calls").back(), 0.0);
+  ASSERT_EQ(series.count("rpc.total.calls"), 1u);
+
+  JsonValue doc = sim::RunReportToJson(report);
+  auto parsed = JsonValue::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Status valid = sim::ValidateRunReportJson(*parsed);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  const JsonValue* ts = parsed->Find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->Find("points")->as_int(),
+            static_cast<int64_t>(report.timeseries.points));
+  const JsonValue* alerts = parsed->Find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  EXPECT_GE(alerts->Find("rules")->size(), 3u);
+  EXPECT_TRUE(alerts->Find("firings")->elements().empty());
+
+  // Validator teeth for the new sections.
+  {
+    JsonValue bad = *parsed;
+    bad.Set("timeseries", JsonValue::Array());
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
+  {
+    JsonValue bad = *parsed;
+    JsonValue broken = JsonValue::Object();
+    JsonValue firing = JsonValue::Object();
+    firing.Set("rule", 999);  // out of range of rules[]
+    firing.Set("rule_name", "x");
+    firing.Set("fire_ticks", 1);
+    firing.Set("clear_ticks", -1);
+    firing.Set("value", 0.0);
+    JsonValue firings = JsonValue::Array();
+    firings.Append(std::move(firing));
+    broken.Set("rules", JsonValue::Array());
+    broken.Set("firings", std::move(firings));
+    bad.Set("alerts", std::move(broken));
+    EXPECT_FALSE(sim::ValidateRunReportJson(bad).ok());
+  }
+}
+
 // End-to-end flight recorder: a real PageRank run must produce skew +
 // convergence sections that validate, and twice the same run (fresh
 // contexts, parallelism-independent tick math) must serialize those
@@ -735,11 +1122,15 @@ TEST(FlightRecorderTest, RunReportSectionsAreDeterministic) {
     core::PageRankOptions po;
     po.max_iterations = 4;
     EXPECT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+    // Close the telemetry series at the makespan, as bench_util does.
+    (*ctx)->cluster().sampler().ForceSample(
+        (*ctx)->cluster().clock().MakespanTicks());
     sim::RunReport report =
         sim::CollectRunReport("flight", &(*ctx)->cluster());
     return sim::RunReportToJson(report);
   };
 
+  SetGlobalParallelism(1);
   JsonValue doc = run_report_json();
   Status valid = sim::ValidateRunReportJson(doc);
   ASSERT_TRUE(valid.ok()) << valid.ToString();
@@ -770,15 +1161,28 @@ TEST(FlightRecorderTest, RunReportSectionsAreDeterministic) {
   EXPECT_FALSE(skew->Find("partitions")->elements().empty());
   EXPECT_GE(skew->Find("partition_imbalance")->as_double(), 1.0);
 
-  // Determinism: the simulated sections of two identical runs must not
-  // differ by a single byte (wall-clock gauges excluded by construction
-  // — skew/convergence carry only sim-derived quantities).
+  // The telemetry time-series are non-trivial even on this short run
+  // (ForceSample guarantees at least one point).
+  const JsonValue* ts = doc.Find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_GT(ts->Find("points")->as_int(), 0);
+
+  // Determinism: the simulated sections of the same run at thread
+  // parallelism 1 and 8 must not differ by a single byte (wall-clock
+  // gauges excluded by construction — these sections carry only
+  // sim-derived quantities; rpc.queue_ticks is denylisted from the
+  // sampler for exactly this reason).
+  SetGlobalParallelism(8);
   JsonValue doc2 = run_report_json();
+  SetGlobalParallelism(0);  // restore the env/hardware default
   EXPECT_EQ(doc.Find("skew")->Dump(2), doc2.Find("skew")->Dump(2));
   EXPECT_EQ(doc.Find("convergence")->Dump(2),
             doc2.Find("convergence")->Dump(2));
   EXPECT_EQ(doc.Find("rpc")->Dump(2), doc2.Find("rpc")->Dump(2));
   EXPECT_EQ(doc.Find("events")->Dump(2), doc2.Find("events")->Dump(2));
+  EXPECT_EQ(doc.Find("timeseries")->Dump(2),
+            doc2.Find("timeseries")->Dump(2));
+  EXPECT_EQ(doc.Find("alerts")->Dump(2), doc2.Find("alerts")->Dump(2));
 }
 
 }  // namespace
