@@ -188,6 +188,7 @@ class BenchReport {
       std::fprintf(stderr, "bench report: %s\n", st.ToString().c_str());
     } else {
       std::printf("wrote %s\n", path.c_str());
+      PrintCriticalPath();
     }
     const std::string trace_path = TraceOutPathFromEnv();
     if (trace_path.empty()) return;
@@ -246,6 +247,27 @@ class BenchReport {
   }
 
  private:
+  /// One-line makespan attribution, so "why was this run slow" is in
+  /// the bench log itself, not only in the JSON.
+  void PrintCriticalPath() const {
+    const sim::CriticalPathReport& cp = report_.critical_path;
+    if (!cp.valid || cp.makespan_ticks <= 0) return;
+    std::string breakdown;
+    for (int c = 0; c < sim::kNumCostCategories; ++c) {
+      const int64_t ticks = cp.categories[static_cast<size_t>(c)];
+      if (ticks == 0) continue;
+      char part[96];
+      std::snprintf(part, sizeof(part), "%s%s %.1f%%",
+                    breakdown.empty() ? "" : ", ",
+                    sim::kCostCategoryNames[c],
+                    100.0 * static_cast<double>(ticks) /
+                        static_cast<double>(cp.makespan_ticks));
+      breakdown += part;
+    }
+    std::printf("critical path: %s %d — %s\n", cp.critical_role.c_str(),
+                cp.critical_node, breakdown.c_str());
+  }
+
   sim::RunReport report_;
   std::map<std::string, sim::ConvergenceLog::Series> convergence_acc_;
   std::vector<TraceSpan> trace_spans_;

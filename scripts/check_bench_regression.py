@@ -53,6 +53,16 @@ schema-validated only (every series array must be exactly ``points``
 long, every firing must index a declared rule) — the series *values*
 mirror counters/gauges that already gate elsewhere, and the alert
 fire/clear contracts are asserted by the benches themselves.
+The schema_version-6 ``critical_path`` section gates its per-category
+makespan attribution (tolerance band; the conservation invariant —
+categories summing exactly to cluster.makespan_ticks — is re-checked
+here so a hand-edited baseline cannot lie about where time went).
+
+When the makespan itself (cluster.makespan_ticks or a per-node
+busy_ticks) trips the gate, the raw "leaf moved" lines are replaced by
+a single failure that root-causes the delta with bench_diff.py: which
+cost category absorbed the ticks, whether the straggler moved, and
+which span names slowed on the critical node.
 
 A tolerance band (default 5%) allows intentional cost-model tuning to
 pass while catching order-of-magnitude regressions; exact-match fields
@@ -64,6 +74,9 @@ import argparse
 import json
 import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
 
 GATED_HISTOGRAMS = [
     "agent.pull.latency_ticks",
@@ -100,7 +113,7 @@ def validate_schema(report, path, errors):
         return
     if report.get("schema") != "psgraph.run_report":
         err("bad schema marker %r", report.get("schema"))
-    if report.get("schema_version") != 5:
+    if report.get("schema_version") != 6:
         err("unsupported schema_version %r", report.get("schema_version"))
     if not isinstance(report.get("name"), str) or not report.get("name"):
         err("missing name")
@@ -304,6 +317,119 @@ def validate_schema(report, path, errors):
                     err("timeseries series %r has non-numeric values",
                         sname)
 
+    # critical_path (schema v6): null exactly when the run had no
+    # cluster; otherwise the categories must conserve — sum exactly to
+    # the cluster makespan — and the path must tile [0, makespan].
+    if "critical_path" not in report:
+        err("missing 'critical_path' section")
+    cp = report.get("critical_path")
+    if cp is None:
+        if cluster is not None:
+            err("critical_path is null but the report has a cluster")
+    elif not isinstance(cp, dict):
+        err("critical_path is neither null nor an object")
+    elif cluster is None:
+        err("critical_path present but the report has no cluster")
+    else:
+        for field in ("critical_node", "makespan_ticks"):
+            if not isinstance(cp.get(field), int):
+                err("critical_path.%s must be an integer" % field)
+        if not isinstance(cp.get("critical_role"), str) \
+                or not cp.get("critical_role"):
+            err("critical_path.critical_role missing")
+        makespan = cp.get("makespan_ticks")
+        if (isinstance(cluster, dict)
+                and makespan != cluster.get("makespan_ticks")):
+            err("critical_path.makespan_ticks %r != cluster.makespan_"
+                "ticks %r", makespan, cluster.get("makespan_ticks"))
+        cats = cp.get("categories")
+        if not isinstance(cats, dict):
+            err("critical_path.categories must be an object")
+        else:
+            if sorted(cats) != sorted(bench_diff.CATEGORIES):
+                err("critical_path.categories keys %r != the fixed "
+                    "taxonomy %r", sorted(cats),
+                    sorted(bench_diff.CATEGORIES))
+            bad = False
+            for cat, ticks in cats.items():
+                if not isinstance(ticks, int) or ticks < 0:
+                    err("critical_path.categories[%r] must be a "
+                        "non-negative integer", cat)
+                    bad = True
+            if (not bad and isinstance(makespan, int)
+                    and sum(cats.values()) != makespan):
+                err("critical-path conservation violated: categories "
+                    "sum to %d but makespan_ticks is %d",
+                    sum(cats.values()), makespan)
+        cp_path = cp.get("path")
+        if not isinstance(cp_path, list):
+            err("critical_path.path must be an array")
+        else:
+            if isinstance(makespan, int) and makespan > 0 \
+                    and not cp_path:
+                err("critical_path.path empty despite makespan %d",
+                    makespan)
+            prev_end = 0
+            for i, seg in enumerate(cp_path):
+                if not isinstance(seg, dict):
+                    err("critical_path.path[%d] is not an object", i)
+                    break
+                for field in ("node", "begin_ticks", "end_ticks",
+                              "ticks"):
+                    if not isinstance(seg.get(field), int):
+                        err("critical_path.path[%d].%s must be an "
+                            "integer", i, field)
+                if seg.get("begin_ticks") != prev_end:
+                    err("critical_path.path[%d] begins at %r, expected "
+                        "%d (path must tile the makespan)", i,
+                        seg.get("begin_ticks"), prev_end)
+                    break
+                if not isinstance(seg.get("end_ticks"), int) \
+                        or seg["end_ticks"] <= prev_end:
+                    err("critical_path.path[%d] does not advance", i)
+                    break
+                if seg.get("ticks") != seg["end_ticks"] - prev_end:
+                    err("critical_path.path[%d].ticks inconsistent", i)
+                prev_end = seg["end_ticks"]
+            else:
+                if cp_path and isinstance(makespan, int) \
+                        and prev_end != makespan:
+                    err("critical_path.path ends at %d, expected the "
+                        "makespan %d", prev_end, makespan)
+        for span in cp.get("top_spans", []) \
+                if isinstance(cp.get("top_spans"), list) else []:
+            if not isinstance(span, dict) \
+                    or not isinstance(span.get("name"), str):
+                err("critical_path.top_spans entry malformed")
+                continue
+            for field in ("critical_node_ticks", "total_ticks", "count"):
+                if not isinstance(span.get(field), int):
+                    err("critical_path.top_spans[%r].%s must be an "
+                        "integer", span.get("name"), field)
+        if not isinstance(cp.get("top_spans"), list):
+            err("critical_path.top_spans must be an array")
+        what_if = cp.get("what_if")
+        if not isinstance(what_if, list):
+            err("critical_path.what_if must be an array")
+        else:
+            for entry in what_if:
+                if not isinstance(entry, dict) \
+                        or not isinstance(entry.get("name"), str):
+                    err("critical_path.what_if entry malformed")
+                    continue
+                for field in ("factor", "speedup"):
+                    if not isinstance(entry.get(field), (int, float)):
+                        err("critical_path.what_if[%r].%s must be "
+                            "numeric", entry.get("name"), field)
+                projected = entry.get("projected_makespan_ticks")
+                if not isinstance(projected, int):
+                    err("critical_path.what_if[%r].projected_makespan_"
+                        "ticks must be an integer", entry.get("name"))
+                elif isinstance(makespan, int) and projected > makespan:
+                    err("critical_path.what_if[%r] projects %d > the "
+                        "makespan %d (shrinking work cannot slow the "
+                        "run)", entry.get("name"), projected, makespan)
+
     alerts = report.get("alerts")
     if not isinstance(alerts, dict):
         err("missing 'alerts' section")
@@ -371,7 +497,11 @@ def diff_value(label, baseline, current, tolerance, errors, exact=False):
 
 
 def diff_reports(name, baseline, current, tolerance, errors):
-    # Simulated makespan: the headline number.
+    # Simulated makespan: the headline number. Its failures (and the
+    # per-node busy_ticks ones) are collected separately: a raw "leaf
+    # moved" line cannot be acted on, so when any of them trips we emit
+    # one failure root-caused by bench_diff's category attribution.
+    makespan_errors = []
     b_cluster = baseline.get("cluster")
     c_cluster = current.get("cluster")
     if b_cluster is not None:
@@ -380,7 +510,8 @@ def diff_reports(name, baseline, current, tolerance, errors):
         else:
             diff_value("%s: cluster.makespan_ticks" % name,
                        b_cluster.get("makespan_ticks"),
-                       c_cluster.get("makespan_ticks"), tolerance, errors)
+                       c_cluster.get("makespan_ticks"), tolerance,
+                       makespan_errors)
             # .get, not [..]: a node entry without a "node" id must be a
             # named failure, not a bare KeyError traceback.
             b_nodes = {n.get("node"): n for n in b_cluster.get("nodes", [])}
@@ -395,7 +526,27 @@ def diff_reports(name, baseline, current, tolerance, errors):
                     "%s: node %s busy_ticks" % (name, node_id),
                     b_node.get("busy_ticks"),
                     c_node.get("busy_ticks") if c_node else None,
-                    tolerance, errors)
+                    tolerance, makespan_errors)
+            # Per-category makespan attribution drifting past the band
+            # is a behaviour change even when the total happens to
+            # compensate (e.g. compute shrank but rpc.wait grew).
+            b_cp = baseline.get("critical_path")
+            c_cp = current.get("critical_path")
+            if isinstance(b_cp, dict):
+                c_cats = (c_cp.get("categories", {})
+                          if isinstance(c_cp, dict) else {})
+                for cat in bench_diff.CATEGORIES:
+                    b_ticks = b_cp.get("categories", {}).get(cat)
+                    if b_ticks is None:
+                        continue
+                    diff_value("%s: critical_path.%s" % (name, cat),
+                               b_ticks, c_cats.get(cat), tolerance,
+                               makespan_errors)
+    if makespan_errors:
+        lines = makespan_errors + ["root cause (scripts/bench_diff.py):"]
+        lines += ["  " + l for l in
+                  bench_diff.attribute(baseline, current)]
+        fail(errors, "%s", "\n       ".join(lines))
 
     # Pull/push latency distributions.
     for hist_name in GATED_HISTOGRAMS:

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Renders the BENCH_*.json run reports into a static HTML dashboard.
 
-Reads every schema-v5 run report in --report-dir and writes a single
-self-contained HTML file (--out): one card per bench with inline-SVG
+Reads every schema-v6 run report in --report-dir and writes a single
+self-contained HTML file (--out): one card per bench with the
+critical-path makespan attribution (a horizontal stacked bar over the
+fixed cost-category taxonomy, plus the ticks/percent table), inline-SVG
 sparklines for each telemetry time series (sim/timeseries: the
 MetricsSampler ring buffers dumped by sim/report.cc) and the SLO
 watchdog's alert timeline (fire/clear markers drawn on the sparklines
@@ -120,6 +122,77 @@ def render_sparkline(name, values, span_ticks, interval_ticks, firings):
     )
 
 
+# Fixed color per cost category (sim/cost_ledger.h taxonomy) so the
+# same category reads the same across every bench's bar.
+CATEGORY_COLORS = [
+    ("compute", "#2266cc"),
+    ("rpc.serialize", "#66aadd"),
+    ("rpc.wait", "#ee9933"),
+    ("barrier.skew", "#cc2222"),
+    ("recovery", "#882299"),
+    ("replication.merge", "#22aa55"),
+    ("serving.queue", "#aa8844"),
+]
+
+BAR_W = 720
+BAR_H = 22
+
+
+def render_critical_path(cp):
+    """One stacked bar: where the simulated makespan went, by category.
+    The categories conserve (sum exactly to the makespan), so the bar
+    has no gaps and no overflow by construction."""
+    if not isinstance(cp, dict):
+        return ("<p class='muted'>no critical_path section (clusterless "
+                "run or pre-v6 report)</p>")
+    makespan = cp.get("makespan_ticks", 0)
+    cats = cp.get("categories", {})
+    if makespan <= 0:
+        return "<p class='muted'>zero makespan — nothing to attribute</p>"
+    rects = []
+    x = 0.0
+    rows = []
+    for cat, color in CATEGORY_COLORS:
+        ticks = cats.get(cat, 0)
+        if ticks <= 0:
+            continue
+        w = BAR_W * ticks / makespan
+        pct = 100.0 * ticks / makespan
+        rects.append(
+            f'<rect x="{x:.1f}" y="0" width="{w:.1f}" height="{BAR_H}" '
+            f'fill="{color}"><title>{html.escape(cat)}: {ticks:,} ticks '
+            f"({pct:.1f}%)</title></rect>"
+        )
+        rows.append(
+            f"<tr><td><span class='swatch' style='background:{color}'>"
+            f"</span> {html.escape(cat)}</td>"
+            f"<td class='num'>{ticks:,}</td>"
+            f"<td class='num'>{pct:.1f}%</td></tr>"
+        )
+        x += w
+    what_if = cp.get("what_if", [])
+    best = ""
+    if what_if:
+        top = max(what_if, key=lambda w: w.get("speedup", 0))
+        if top.get("speedup", 1.0) > 1.0:
+            best = (
+                f"<p class='muted'>best what-if: shrink "
+                f"<code>{html.escape(top.get('name', '?'))}</code> to "
+                f"{top.get('factor', 0):g}x &rarr; "
+                f"{top.get('speedup', 1):.2f}x speedup</p>"
+            )
+    return (
+        f"<p class='muted'>critical {html.escape(str(cp.get('critical_role')))} "
+        f"{cp.get('critical_node')} &middot; makespan "
+        f"{fmt_ticks(makespan)} &middot; {len(cp.get('path', []))} "
+        "path segment(s)</p>"
+        f'<svg width="{BAR_W}" height="{BAR_H}" '
+        f'viewBox="0 0 {BAR_W} {BAR_H}">{"".join(rects)}</svg>'
+        f"<table><tr><th>category</th><th>ticks</th><th>share</th></tr>"
+        f"{''.join(rows)}</table>{best}"
+    )
+
+
 def render_alerts(alerts):
     rules = alerts.get("rules", [])
     firings = alerts.get("firings", [])
@@ -169,6 +242,8 @@ def render_report(path):
         f"&middot; interval {fmt_ticks(interval)} &middot; "
         f"{compactions} compaction(s) &middot; span "
         f"{fmt_ticks(span_ticks)}</p>",
+        "<h3>critical path</h3>",
+        render_critical_path(doc.get("critical_path")),
         "<h3>alerts</h3>",
         render_alerts(alerts),
         "<h3>time series</h3>",
@@ -210,6 +285,9 @@ svg { background: #fafafa; border: 1px solid #eee; flex: none; }
 .active { color: #cc2222; }
 table { border-collapse: collapse; font-size: 12px; }
 td, th { border: 1px solid #e5e5e5; padding: 2px 8px; text-align: left; }
+td.num { text-align: right; font-family: ui-monospace, monospace; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          margin-right: 4px; border: 1px solid #0002; }
 nav a { margin-right: 1em; }
 """
 

@@ -18,11 +18,18 @@ clock ticks (1 tick = 1 ps). This tool
     checking that each references a rule declared in
     otherData.alert_rules (exits non-zero on an undeclared rule).
 
+  * cross-validates a run report's exported critical path against the
+    trace (--critical-path BENCH_x.json): the path must tile
+    [0, makespan] in time order, and every segment attributed to a node
+    that traced at all must overlap at least one real span on that node
+    — then prints the top-10 segments and the category table.
+
 Usage:
   python3 scripts/trace_summary.py trace.json
   python3 scripts/trace_summary.py --validate trace.json
   python3 scripts/trace_summary.py --events trace.json
   python3 scripts/trace_summary.py --alerts trace.json
+  python3 scripts/trace_summary.py --critical-path BENCH_micro.json trace.json
   python3 scripts/trace_summary.py --top 20 trace.json
 """
 
@@ -308,6 +315,86 @@ def print_alerts(doc, instants):
         print(f"still active at end of trace: {rule} (since {since})")
 
 
+def check_critical_path(doc, xs, report_path):
+    """Cross-validates BENCH_<name>.json's critical_path section against
+    the trace: the analyzer derives the path from deterministic clock
+    aggregates, the trace holds the raw spans — a path segment that no
+    span can account for means the two observability layers disagree."""
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+    cp = report.get("critical_path")
+    if not isinstance(cp, dict):
+        fail(f"{report_path} has no critical_path object (clusterless "
+             "run or pre-v6 schema) — nothing to cross-validate")
+    makespan = cp.get("makespan_ticks")
+    path = cp.get("path", [])
+    if not isinstance(makespan, int) or not isinstance(path, list):
+        fail(f"{report_path}: malformed critical_path section")
+
+    # Edges must be time-ordered and tile [0, makespan] exactly.
+    prev_end = 0
+    for i, seg in enumerate(path):
+        if seg.get("begin_ticks") != prev_end:
+            fail(f"path[{i}] begins at {seg.get('begin_ticks')}, "
+                 f"expected {prev_end} (segments must be contiguous "
+                 "and time-ordered)")
+        if not isinstance(seg.get("end_ticks"), int) \
+                or seg["end_ticks"] <= prev_end:
+            fail(f"path[{i}] does not advance in time")
+        prev_end = seg["end_ticks"]
+    if path and prev_end != makespan:
+        fail(f"path ends at {prev_end}, expected the makespan {makespan}")
+
+    # Every segment owned by a node that traced at all must overlap at
+    # least one real span on that node. (A node with zero spans — e.g.
+    # the driver with tracing narrowed, or a capped trace — cannot be
+    # checked and is skipped.)
+    spans_by_node = collections.defaultdict(list)
+    for ev in xs:
+        node = ev["args"]["node"]
+        spans_by_node[node].append((ev["ts"], ev["ts"] + ev["dur"]))
+    unverifiable = 0
+    for i, seg in enumerate(path):
+        node = seg.get("node")
+        spans = spans_by_node.get(node)
+        if node is None or node < 0 or not spans:
+            unverifiable += 1
+            continue
+        if not any(b < seg["end_ticks"] and e > seg["begin_ticks"]
+                   for b, e in spans):
+            fail(f"path[{i}] [{seg['begin_ticks']}, {seg['end_ticks']}) "
+                 f"is attributed to node {node}, but no span on that "
+                 "node overlaps it — report and trace disagree")
+
+    print(f"critical path cross-check PASS: {len(path)} segment(s) "
+          f"against {len(xs)} spans"
+          + (f" ({unverifiable} on span-less nodes, skipped)"
+             if unverifiable else ""))
+
+    ranked = sorted(
+        path, key=lambda s: (-(s["end_ticks"] - s["begin_ticks"]),
+                             s["begin_ticks"]))
+    print(f"\ntop {min(10, len(ranked))} segment(s) by ticks:")
+    print(f"{'begin':>16} {'end':>16} {'ticks':>16}  {'role':<10} node")
+    for seg in ranked[:10]:
+        print(f"{seg['begin_ticks']:>16} {seg['end_ticks']:>16} "
+              f"{seg['end_ticks'] - seg['begin_ticks']:>16}  "
+              f"{seg.get('role', '?'):<10} {seg['node']}")
+
+    cats = cp.get("categories", {})
+    print(f"\nmakespan attribution ({makespan} ticks, "
+          f"critical {cp.get('critical_role')} {cp.get('critical_node')}):")
+    for cat, ticks in sorted(cats.items(), key=lambda kv: -kv[1]):
+        if ticks == 0:
+            continue
+        print(f"  {cat:<18} {ticks:>16} "
+              f"({100.0 * ticks / makespan:5.1f}%)" if makespan
+              else f"  {cat:<18} {ticks:>16}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="exported trace JSON path")
@@ -326,6 +413,12 @@ def main():
         action="store_true",
         help="print the SLO alert timeline (validates every marker "
         "against otherData.alert_rules)",
+    )
+    ap.add_argument(
+        "--critical-path",
+        metavar="REPORT",
+        help="cross-validate REPORT's (BENCH_<name>.json) critical_path "
+        "section against this trace and print its top segments",
     )
     ap.add_argument(
         "--top", type=int, default=10, help="span names per node to print"
@@ -350,6 +443,9 @@ def main():
         return
     if args.alerts:
         print_alerts(doc, instants)
+        return
+    if args.critical_path:
+        check_critical_path(doc, xs, args.critical_path)
         return
     summarize(doc, xs, args.top)
 

@@ -22,6 +22,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace psgraph {
@@ -38,11 +39,18 @@ struct TraceSpan {
 class Tracer {
  public:
   /// Default cap on full span detail kept in memory; spans past the cap
-  /// are dropped (counted in dropped()) and excluded from summaries.
-  /// Every Tracer initializes its cap from PSGRAPH_TRACE_MAX_SPANS when
-  /// that is set (long multi-iteration runs overflow 64k spans and would
-  /// otherwise silently truncate their exported timeline).
+  /// drop their detail (counted in dropped(), absent from Snapshot())
+  /// but still fold into the per-name summaries, so report stats stay
+  /// honest on long runs. Every Tracer initializes its cap from
+  /// PSGRAPH_TRACE_MAX_SPANS when that is set (long multi-iteration
+  /// runs overflow 64k spans and would otherwise silently truncate
+  /// their exported timeline).
   static constexpr size_t kMaxSpans = 1 << 16;
+
+  /// High bit marks ids of over-cap spans: they are tracked only in a
+  /// (name, node, begin) side table until End() folds them into the
+  /// summaries — never exported and never parents of kept spans.
+  static constexpr uint64_t kOverflowIdBit = uint64_t{1} << 63;
 
   Tracer() : max_spans_(MaxSpansFromEnv()) {}
 
@@ -84,8 +92,13 @@ class Tracer {
   };
 
   std::vector<TraceSpan> Snapshot() const;
-  /// Per-name aggregate over all *closed* spans.
+  /// Per-name aggregate over all *closed* spans, including spans whose
+  /// detail was dropped at the cap.
   std::map<std::string, SpanStats> Summary() const;
+  /// Per-(name, node) aggregate over all closed spans — the
+  /// critical-path analyzer's what-if input. count and total_ticks are
+  /// scheduling-independent; max_ticks is not (see sim/critical_path).
+  std::map<std::pair<std::string, int32_t>, SpanStats> NodeSummary() const;
   uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -99,12 +112,23 @@ class Tracer {
   static bool EnabledByEnv();
 
  private:
+  struct OverflowSpan {
+    std::string name;
+    int32_t node = -1;
+    int64_t begin_ticks = 0;
+  };
+
+  void FoldLocked(const std::string& name, int32_t node, int64_t dur);
+
   std::atomic<bool> enabled_{false};
   size_t max_spans_;
   std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
   std::map<std::string, SpanStats> summary_;
+  std::map<std::pair<std::string, int32_t>, SpanStats> node_summary_;
+  std::map<uint64_t, OverflowSpan> overflow_open_;
+  uint64_t next_overflow_id_ = 0;
 };
 
 /// RAII span: opens on construction, closes with the tick value read

@@ -82,9 +82,14 @@ void DataflowContext::ChargeTransfer(int32_t from_part, int32_t to_part,
   if (from == to) return;  // local fetch
   metrics().Add("dataflow.network_bytes", bytes);
   double t = cluster_->cost().NetworkTime(bytes);
+  const int64_t wire = sim::SimClock::TicksOf(t);
   cluster_->clock().Advance(from, t);
-  cluster_->clock().AdvanceTo(to, cluster_->clock().Now(from));
-  cluster_->skew().RecordPartitionTicks(from_part, sim::SimClock::TicksOf(t));
+  cluster_->cost_ledger().Record(from, sim::CostCategory::kRpcSerialize,
+                                 wire);
+  const int64_t jump = cluster_->clock().AdvanceToTicksJump(
+      to, cluster_->clock().NowTicks(from));
+  cluster_->cost_ledger().Record(to, sim::CostCategory::kRpcWait, jump);
+  cluster_->skew().RecordPartitionTicks(from_part, wire);
 }
 
 Status DataflowContext::AllocatePartitionMemory(int32_t partition,

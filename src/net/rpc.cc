@@ -6,6 +6,7 @@
 #include "common/rpc_telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "sim/cost_ledger.h"
 #include "sim/sim_clock.h"
 
 namespace psgraph::net {
@@ -132,11 +133,12 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
                           int64_t* service_out) -> Status {
     std::lock_guard<std::mutex> serial(endpoint.serial_mutex());
     int64_t busy_before = 0;
+    int64_t wire_ticks = 0;
     if (timed) {
       busy_before = cluster_->clock().NowTicks(call.to);
       // Receiving/deserializing the request keeps the server busy too.
-      cluster_->clock().AdvanceTicks(
-          call.to, WireTicks(cluster_->cost(), call.request.size()));
+      wire_ticks = WireTicks(cluster_->cost(), call.request.size());
+      cluster_->clock().AdvanceTicks(call.to, wire_ticks);
     }
     ScopedSpan span(&tracer, "rpc." + call.method, call.to, busy_before,
                     caller_span, [&]() -> int64_t {
@@ -158,9 +160,21 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
       // the wire). Concurrent callers are not serialized through the
       // server clock; if a server saturates, its busy-time clock
       // dominates the makespan, which is the throughput bound.
-      cluster_->clock().AdvanceTicks(
-          call.to, WireTicks(cluster_->cost(), response->size()));
+      const int64_t resp_wire = WireTicks(cluster_->cost(), response->size());
+      wire_ticks += resp_wire;
+      cluster_->clock().AdvanceTicks(call.to, resp_wire);
       *service_out = cluster_->clock().NowTicks(call.to) - busy_before;
+      // Makespan attribution: the wire portion of the callee's busy
+      // bracket is serialization; replica-merge handler compute is its
+      // own category (everything else stays residual compute).
+      const int64_t wire = std::min(*service_out, wire_ticks);
+      cluster_->cost_ledger().Record(call.to,
+                                     sim::CostCategory::kRpcSerialize, wire);
+      if (call.method == "ps.merge") {
+        cluster_->cost_ledger().Record(
+            call.to, sim::CostCategory::kReplicationMerge,
+            *service_out - wire);
+      }
       // Service time is bracketed under the endpoint's serial lock, so it
       // is deterministic per request; queueing (waiting behind the shard's
       // event loop after arriving) depends on dispatch interleaving at
@@ -226,10 +240,27 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
     // Completion of the slowest call; evaluated in call order after all
     // dispatches finished, so the result is independent of interleaving.
     int64_t t_end = t0;
+    size_t slowest = 0;
     for (size_t k = 0; k < n; ++k) {
-      t_end = std::max(t_end, arrival[k] + service[k] + latency_ticks);
+      const int64_t done = arrival[k] + service[k] + latency_ticks;
+      if (done > t_end) {
+        t_end = done;
+        slowest = k;
+      }
     }
-    cluster_->clock().AdvanceToTicks(from, t_end);
+    // Makespan attribution for the caller's stall: the NIC
+    // send-serialization prefix is rpc.serialize, the remainder is
+    // waiting on the slowest callee. The applied jump (not t_end - t0)
+    // keeps the ledger exact even if the caller's clock moved.
+    const int64_t jump = cluster_->clock().AdvanceToTicksJump(from, t_end);
+    if (jump > 0) {
+      const int64_t serialize = std::min(jump, send_cursor);
+      cluster_->cost_ledger().Record(
+          from, sim::CostCategory::kRpcSerialize, serialize);
+      cluster_->cost_ledger().Record(
+          from, sim::WaitCategoryForMethod(calls[slowest].method),
+          jump - serialize);
+    }
   }
   return responses;
 }

@@ -500,9 +500,13 @@ Status PsServer::Checkpoint(const std::string& prefix) {
   }
   metrics().Add("ps.checkpoint_bytes", buf.size());
   const uint64_t bytes = buf.size();
+  const int64_t save_t0 = NowTicks();
   Status st = hdfs_->Write(
       prefix + "/server_" + std::to_string(server_index_), buf, node_);
   if (st.ok() && cluster_ != nullptr) {
+    // Checkpoint I/O is fault-tolerance overhead, not training compute.
+    cluster_->cost_ledger().Record(node_, sim::CostCategory::kRecovery,
+                                   NowTicks() - save_t0);
     cluster_->events().Record(sim::JournalEventType::kCheckpointSave,
                               node_, NowTicks(),
                               static_cast<int64_t>(bytes));
@@ -573,6 +577,7 @@ Status PsServer::Restore(const std::string& prefix) {
   if (hdfs_ == nullptr) {
     return Status::FailedPrecondition("server has no HDFS attached");
   }
+  const int64_t restore_t0 = NowTicks();
   PSG_ASSIGN_OR_RETURN(
       std::vector<uint8_t> bytes,
       hdfs_->Read(prefix + "/server_" + std::to_string(server_index_),
@@ -636,6 +641,10 @@ Status PsServer::Restore(const std::string& prefix) {
     }
   }
   if (cluster_ != nullptr) {
+    // Everything since the HDFS read began (I/O + deserialization) is
+    // recovery time, not training compute.
+    cluster_->cost_ledger().Record(node_, sim::CostCategory::kRecovery,
+                                   NowTicks() - restore_t0);
     cluster_->events().Record(sim::JournalEventType::kCheckpointRestore,
                               node_, NowTicks(),
                               static_cast<int64_t>(bytes.size()));

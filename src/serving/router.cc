@@ -157,7 +157,11 @@ Status ServingRouter::Flush() {
 Status ServingRouter::FlushBatches(
     const std::vector<std::pair<int32_t, RequestType>>& due,
     int64_t trigger_ticks) {
-  cluster_->clock().AdvanceToTicks(node_, trigger_ticks);
+  // Waiting for a batch to fill (or its deadline) is queue delay, not
+  // router compute — attribute the idle jump to serving.queue.
+  cluster_->cost_ledger().Record(
+      node_, sim::CostCategory::kServingQueue,
+      cluster_->clock().AdvanceToTicksJump(node_, trigger_ticks));
   flush_arena_.Reset();
 
   Status result = Status::OK();

@@ -1,8 +1,21 @@
 #include "sim/cluster.h"
 
+#include "common/env.h"
+
 namespace psgraph::sim {
 
 namespace {
+/// PSGRAPH_NET_BANDWIDTH (bytes/sec) overrides the modeled NIC for
+/// what-if experiments — e.g. halve it and let bench_diff.py attribute
+/// the slowdown to rpc.serialize/rpc.wait. Unset/0 keeps the default.
+ClusterConfig WithEnvCostOverrides(ClusterConfig cfg) {
+  const uint64_t bw = EnvU64("PSGRAPH_NET_BANDWIDTH", 0);
+  if (bw > 0) {
+    cfg.cost.network_bandwidth_bytes_per_sec = static_cast<double>(bw);
+  }
+  return cfg;
+}
+
 std::vector<uint64_t> MakeBudgets(const ClusterConfig& cfg) {
   std::vector<uint64_t> budgets;
   budgets.reserve(cfg.num_nodes());
@@ -18,9 +31,10 @@ std::vector<uint64_t> MakeBudgets(const ClusterConfig& cfg) {
 }  // namespace
 
 SimCluster::SimCluster(ClusterConfig config)
-    : config_(config),
-      cost_(config.cost),
+    : config_(WithEnvCostOverrides(config)),
+      cost_(config_.cost),
       clock_(config.num_nodes()),
+      cost_ledger_(config.num_nodes()),
       memory_(MakeBudgets(config)),
       alive_(config.num_nodes(), true) {
   // Container restart is a constant cost (Yarn relaunch ~30 s); when the
@@ -49,10 +63,13 @@ void SimCluster::ReviveNode(NodeId node) {
     std::lock_guard<std::mutex> lock(mu_);
     alive_[node] = true;
   }
+  const int64_t before = clock_.NowTicks(node);
   clock_.Advance(node, restart_delay_sec_);
   // A restarted container starts at least at the cluster's current frontier:
   // it was relaunched after the failure was observed.
   clock_.AdvanceTo(node, clock_.Makespan());
+  cost_ledger_.Record(node, CostCategory::kRecovery,
+                      clock_.NowTicks(node) - before);
   events_->Record(JournalEventType::kNodeRestarted, node,
                   clock_.NowTicks(node));
 }

@@ -22,6 +22,7 @@
 #include "common/timeseries.h"
 #include "common/trace.h"
 #include "sim/convergence.h"
+#include "sim/cost_ledger.h"
 #include "sim/cost_model.h"
 #include "sim/event_journal.h"
 #include "sim/memory_accountant.h"
@@ -74,6 +75,12 @@ class SimCluster {
   SimClock& clock() { return clock_; }
   MemoryAccountant& memory() { return memory_; }
   const CostModel& cost() const { return cost_; }
+
+  /// Makespan-attribution ledger (sim/cost_ledger.h). Owned directly,
+  /// like the clock — NOT a swappable sink: conservation of the
+  /// critical-path report only holds when the ledger's lifetime exactly
+  /// matches the clock whose charges it attributes.
+  CostLedger& cost_ledger() { return cost_ledger_; }
 
   /// Observability sinks every component holding a SimCluster* reports
   /// into (PS servers, the RPC fabric, the dataflow context). They
@@ -146,6 +153,7 @@ class SimCluster {
   ClusterConfig config_;
   CostModel cost_;
   SimClock clock_;
+  CostLedger cost_ledger_;
   MemoryAccountant memory_;
   Metrics* metrics_ = &Metrics::Global();
   Tracer* tracer_ = &Tracer::Global();

@@ -156,6 +156,7 @@ RunReport CollectRunReport(const std::string& name, SimCluster* cluster) {
         std::max(report.makespan_ticks, report.nodes.back().busy_ticks);
   }
   report.makespan_seconds = SimClock::SecondsOf(report.makespan_ticks);
+  report.critical_path = AnalyzeCriticalPath(cluster);
   return report;
 }
 
@@ -242,6 +243,55 @@ JsonValue RunReportToJson(const RunReport& report) {
     doc.Set("cluster", std::move(cluster));
   } else {
     doc.Set("cluster", JsonValue());
+  }
+
+  if (report.critical_path.valid) {
+    const CriticalPathReport& cp = report.critical_path;
+    JsonValue section = JsonValue::Object();
+    section.Set("critical_node", static_cast<int64_t>(cp.critical_node));
+    section.Set("critical_role", cp.critical_role);
+    section.Set("makespan_ticks", cp.makespan_ticks);
+    JsonValue categories = JsonValue::Object();
+    for (int c = 0; c < kNumCostCategories; ++c) {
+      categories.Set(kCostCategoryNames[c],
+                     cp.categories[static_cast<size_t>(c)]);
+    }
+    section.Set("categories", std::move(categories));
+    JsonValue path = JsonValue::Array();
+    for (const auto& seg : cp.path) {
+      JsonValue s = JsonValue::Object();
+      s.Set("node", static_cast<int64_t>(seg.node));
+      s.Set("role", seg.role);
+      s.Set("begin_ticks", seg.begin_ticks);
+      s.Set("end_ticks", seg.end_ticks);
+      s.Set("ticks", seg.end_ticks - seg.begin_ticks);
+      s.Set("gate", seg.gate);
+      path.Append(std::move(s));
+    }
+    section.Set("path", std::move(path));
+    JsonValue top_spans = JsonValue::Array();
+    for (const auto& span : cp.top_spans) {
+      JsonValue s = JsonValue::Object();
+      s.Set("name", span.name);
+      s.Set("critical_node_ticks", span.critical_node_ticks);
+      s.Set("total_ticks", span.total_ticks);
+      s.Set("count", span.count);
+      top_spans.Append(std::move(s));
+    }
+    section.Set("top_spans", std::move(top_spans));
+    JsonValue what_if = JsonValue::Array();
+    for (const auto& w : cp.what_if) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", w.name);
+      entry.Set("factor", w.factor);
+      entry.Set("projected_makespan_ticks", w.projected_makespan_ticks);
+      entry.Set("speedup", w.speedup);
+      what_if.Append(std::move(entry));
+    }
+    section.Set("what_if", std::move(what_if));
+    doc.Set("critical_path", std::move(section));
+  } else {
+    doc.Set("critical_path", JsonValue());
   }
 
   JsonValue skew = JsonValue::Object();
@@ -502,6 +552,143 @@ Status ValidateRunReportJson(const JsonValue& doc) {
       }
     }
   }
+  const JsonValue* critical = doc.Find("critical_path");
+  PSG_RETURN_NOT_OK(Expect(critical != nullptr,
+                           "'critical_path' must be present (may be null)"));
+  if (cluster->is_null()) {
+    PSG_RETURN_NOT_OK(Expect(critical->is_null(),
+                             "'critical_path' must be null when 'cluster' "
+                             "is null"));
+  } else {
+    PSG_RETURN_NOT_OK(Expect(critical->is_object(),
+                             "'critical_path' must be an object when the "
+                             "run had a cluster"));
+    for (const char* field : {"critical_node", "makespan_ticks"}) {
+      const JsonValue* f = critical->Find(field);
+      PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                               std::string("'critical_path.") + field +
+                                   "' must be numeric"));
+    }
+    const JsonValue* role = critical->Find("critical_role");
+    PSG_RETURN_NOT_OK(Expect(role != nullptr && role->is_string() &&
+                                 !role->as_string().empty(),
+                             "'critical_path.critical_role' must be a "
+                             "non-empty string"));
+    const int64_t makespan = critical->Find("makespan_ticks")->as_int();
+    PSG_RETURN_NOT_OK(Expect(
+        makespan == cluster->Find("makespan_ticks")->as_int(),
+        "'critical_path.makespan_ticks' must equal "
+        "'cluster.makespan_ticks'"));
+    // The conservation invariant: exactly the seven schema categories,
+    // each non-negative, summing EXACTLY to the makespan. A negative
+    // category means a ledger double-charge; a sum mismatch means a
+    // clock advance escaped attribution. Either way the report lies
+    // about where the time went, so it is rejected.
+    const JsonValue* categories = critical->Find("categories");
+    PSG_RETURN_NOT_OK(Expect(
+        categories != nullptr && categories->is_object() &&
+            categories->size() ==
+                static_cast<size_t>(kNumCostCategories),
+        "'critical_path.categories' must be an object with exactly " +
+            std::to_string(kNumCostCategories) + " categories"));
+    int64_t category_sum = 0;
+    for (int c = 0; c < kNumCostCategories; ++c) {
+      const JsonValue* f = categories->Find(kCostCategoryNames[c]);
+      PSG_RETURN_NOT_OK(
+          Expect(f != nullptr && f->is_number(),
+                 std::string("'critical_path.categories.") +
+                     kCostCategoryNames[c] + "' must be numeric"));
+      PSG_RETURN_NOT_OK(
+          Expect(f->as_int() >= 0,
+                 std::string("'critical_path.categories.") +
+                     kCostCategoryNames[c] +
+                     "' is negative — attribution over-counted"));
+      category_sum += f->as_int();
+    }
+    PSG_RETURN_NOT_OK(Expect(
+        category_sum == makespan,
+        "critical-path conservation violated: categories sum to " +
+            std::to_string(category_sum) + " but makespan_ticks is " +
+            std::to_string(makespan)));
+    // Path segments must tile [0, makespan] contiguously in time order.
+    const JsonValue* path = critical->Find("path");
+    PSG_RETURN_NOT_OK(Expect(path != nullptr && path->is_array(),
+                             "'critical_path.path' must be an array"));
+    PSG_RETURN_NOT_OK(Expect(makespan == 0 || path->size() > 0,
+                             "'critical_path.path' must be non-empty for a "
+                             "non-zero makespan"));
+    int64_t prev_end = 0;
+    for (const JsonValue& seg : path->elements()) {
+      PSG_RETURN_NOT_OK(
+          Expect(seg.is_object(), "path segment must be an object"));
+      for (const char* field :
+           {"node", "begin_ticks", "end_ticks", "ticks"}) {
+        const JsonValue* f = seg.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("path segment needs numeric "
+                                             "'") +
+                                     field + "'"));
+      }
+      for (const char* field : {"role", "gate"}) {
+        const JsonValue* f = seg.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_string() &&
+                                     !f->as_string().empty(),
+                                 std::string("path segment needs a "
+                                             "non-empty '") +
+                                     field + "' string"));
+      }
+      const int64_t begin = seg.Find("begin_ticks")->as_int();
+      const int64_t end = seg.Find("end_ticks")->as_int();
+      PSG_RETURN_NOT_OK(Expect(begin == prev_end,
+                               "path segments must be contiguous from 0"));
+      PSG_RETURN_NOT_OK(
+          Expect(end > begin, "path segments must be time-ordered"));
+      PSG_RETURN_NOT_OK(Expect(seg.Find("ticks")->as_int() == end - begin,
+                               "path segment 'ticks' must equal "
+                               "end_ticks - begin_ticks"));
+      prev_end = end;
+    }
+    PSG_RETURN_NOT_OK(Expect(path->size() == 0 || prev_end == makespan,
+                             "path segments must end at makespan_ticks"));
+    const JsonValue* top_spans = critical->Find("top_spans");
+    PSG_RETURN_NOT_OK(Expect(top_spans != nullptr && top_spans->is_array(),
+                             "'critical_path.top_spans' must be an array"));
+    for (const JsonValue& span : top_spans->elements()) {
+      const JsonValue* sname = span.Find("name");
+      PSG_RETURN_NOT_OK(Expect(span.is_object() && sname != nullptr &&
+                                   sname->is_string() &&
+                                   !sname->as_string().empty(),
+                               "top_spans entry needs a non-empty 'name'"));
+      for (const char* field :
+           {"critical_node_ticks", "total_ticks", "count"}) {
+        const JsonValue* f = span.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("top_spans entry needs "
+                                             "numeric '") +
+                                     field + "'"));
+      }
+    }
+    const JsonValue* what_if = critical->Find("what_if");
+    PSG_RETURN_NOT_OK(Expect(what_if != nullptr && what_if->is_array(),
+                             "'critical_path.what_if' must be an array"));
+    for (const JsonValue& w : what_if->elements()) {
+      const JsonValue* wname = w.Find("name");
+      PSG_RETURN_NOT_OK(Expect(w.is_object() && wname != nullptr &&
+                                   wname->is_string(),
+                               "what_if entry needs a 'name'"));
+      for (const char* field :
+           {"factor", "projected_makespan_ticks", "speedup"}) {
+        const JsonValue* f = w.Find(field);
+        PSG_RETURN_NOT_OK(Expect(f != nullptr && f->is_number(),
+                                 std::string("what_if entry needs numeric "
+                                             "'") +
+                                     field + "'"));
+      }
+      PSG_RETURN_NOT_OK(
+          Expect(w.Find("projected_makespan_ticks")->as_int() <= makespan,
+                 "what_if projection cannot exceed the makespan"));
+    }
+  }
   const JsonValue* skew = doc.Find("skew");
   PSG_RETURN_NOT_OK(
       Expect(skew != nullptr && skew->is_object(),
@@ -738,7 +925,12 @@ Status ValidateRunReportJson(const JsonValue& doc) {
 }
 
 Status WriteRunReport(const RunReport& report, const std::string& path) {
-  const std::string text = RunReportToJson(report).Dump(/*indent=*/2);
+  JsonValue doc = RunReportToJson(report);
+  // Hard gate, not a warning: a report whose critical-path attribution
+  // fails conservation (or any other schema invariant) is rejected
+  // instead of written — CI must never diff against a lying profile.
+  PSG_RETURN_NOT_OK(ValidateRunReportJson(doc));
+  const std::string text = doc.Dump(/*indent=*/2);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "' for writing");

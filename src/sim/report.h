@@ -26,6 +26,7 @@
 #include "common/trace.h"
 #include "sim/cluster.h"
 #include "sim/convergence.h"
+#include "sim/critical_path.h"
 #include "sim/event_journal.h"
 #include "sim/skew.h"
 #include "sim/watchdog.h"
@@ -72,8 +73,17 @@ std::string FormatReport(const ClusterReport& report);
 ///       one value array per series; all-zero series omitted) and
 ///       "alerts" (the watchdog's declared rules plus its fire/clear
 ///       episode timeline) sections.
+///   6 — critical path: "critical_path" section (deterministic makespan
+///       attribution over the fixed cost-category taxonomy, straggler
+///       path segments from the clock's barrier fence log, top
+///       critical-node spans and their what-if speedup table); the
+///       conservation invariant — categories sum exactly to
+///       cluster.makespan_ticks — is enforced by the validator, and
+///       WriteRunReport refuses to emit a report that violates it.
+///       spans_dropped now also counts spans that still folded into
+///       the summaries after their detail was capped.
 inline constexpr const char* kRunReportSchema = "psgraph.run_report";
-inline constexpr int kRunReportSchemaVersion = 5;
+inline constexpr int kRunReportSchemaVersion = 6;
 
 struct RunReport {
   std::string name;  ///< bench/run identifier ("micro", "parallel", ...)
@@ -141,6 +151,12 @@ struct RunReport {
     HistogramSnapshot latency;
   };
   ServingStats serving;
+
+  /// Makespan attribution (the "critical_path" section, schema v6):
+  /// category breakdown with exact conservation, straggler path
+  /// segments, top spans and what-if projections. valid=false (JSON
+  /// null) when the run had no cluster.
+  CriticalPathReport critical_path;
 
   /// Continuous-telemetry series (the "timeseries" section, schema v5):
   /// whatever the context's sampler recorded over the run — empty

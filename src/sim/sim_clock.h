@@ -26,13 +26,30 @@
 
 namespace psgraph::sim {
 
+/// One barrier crossing: the fence tick every participant advanced to
+/// and the node that gated it (argmax pre-barrier clock, ties to the
+/// lowest node id). Barriers happen at serial orchestration points, so
+/// the fence log order and contents are scheduling-independent — the
+/// critical-path analyzer tiles [0, makespan] with the intervals
+/// between consecutive fences, each owned by its gating node.
+struct ClockFence {
+  int64_t ticks = 0;
+  int32_t gating_node = -1;
+};
+
 class SimClock {
  public:
   /// Clock resolution: 1 tick = 1 picosecond. int64 overflows after ~107
   /// days of simulated time, far beyond any bench horizon.
   static constexpr double kTicksPerSec = 1e12;
 
-  explicit SimClock(int32_t num_nodes) : ticks_(num_nodes, 0) {}
+  /// Fence-log cap: a backstop against a pathological barrier loop, far
+  /// above any bench (which run hundreds of barriers, not a million).
+  /// Past the cap the analyzer falls back to a single path segment.
+  static constexpr size_t kMaxFences = size_t{1} << 20;
+
+  explicit SimClock(int32_t num_nodes)
+      : ticks_(num_nodes, 0), barrier_wait_(num_nodes, 0) {}
 
   int32_t num_nodes() const { return static_cast<int32_t>(ticks_.size()); }
 
@@ -76,13 +93,35 @@ class SimClock {
     ticks_[node] = std::max(ticks_[node], ticks);
   }
 
+  /// AdvanceToTicks that returns the jump actually applied (0 when the
+  /// node was already past `ticks`) — the amount a makespan-attribution
+  /// ledger should charge for the stall.
+  int64_t AdvanceToTicksJump(int32_t node, int64_t ticks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t jump = std::max(int64_t{0}, ticks - ticks_[node]);
+    ticks_[node] += jump;
+    return jump;
+  }
+
   /// BSP barrier: every node in `nodes` advances to the max among them.
   /// Returns the barrier time.
   double Barrier(std::span<const int32_t> nodes) {
     std::lock_guard<std::mutex> lock(mu_);
     int64_t t = 0;
-    for (int32_t n : nodes) t = std::max(t, ticks_[n]);
-    for (int32_t n : nodes) ticks_[n] = t;
+    int32_t gate = -1;
+    for (int32_t n : nodes) {
+      if (gate < 0 || ticks_[n] > t) {
+        t = ticks_[n];
+        gate = n;
+      } else if (ticks_[n] == t && n < gate) {
+        gate = n;
+      }
+    }
+    for (int32_t n : nodes) {
+      barrier_wait_[n] += t - ticks_[n];
+      ticks_[n] = t;
+    }
+    if (nodes.size() > 1) RecordFenceLocked(t, gate);
     return SecondsOf(t);
   }
 
@@ -90,9 +129,37 @@ class SimClock {
   double BarrierAll() {
     std::lock_guard<std::mutex> lock(mu_);
     int64_t t = 0;
-    for (int64_t v : ticks_) t = std::max(t, v);
-    for (int64_t& v : ticks_) v = t;
+    int32_t gate = -1;
+    for (size_t n = 0; n < ticks_.size(); ++n) {
+      if (ticks_[n] > t || gate < 0) {
+        t = ticks_[n];
+        gate = static_cast<int32_t>(n);
+      }
+    }
+    for (size_t n = 0; n < ticks_.size(); ++n) {
+      barrier_wait_[n] += t - ticks_[n];
+      ticks_[n] = t;
+    }
+    if (ticks_.size() > 1) RecordFenceLocked(t, gate);
     return SecondsOf(t);
+  }
+
+  /// Total ticks `node` has spent stalled at barriers waiting for
+  /// slower participants.
+  int64_t BarrierWaitTicks(int32_t node) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return barrier_wait_[node];
+  }
+
+  /// The barrier fence log, in crossing order.
+  std::vector<ClockFence> Fences() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fences_;
+  }
+
+  uint64_t fences_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fences_dropped_;
   }
 
   /// Max simulated time over all nodes.
@@ -110,11 +177,25 @@ class SimClock {
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     std::fill(ticks_.begin(), ticks_.end(), int64_t{0});
+    std::fill(barrier_wait_.begin(), barrier_wait_.end(), int64_t{0});
+    fences_.clear();
+    fences_dropped_ = 0;
   }
 
  private:
+  void RecordFenceLocked(int64_t t, int32_t gate) {
+    if (fences_.size() >= kMaxFences) {
+      ++fences_dropped_;
+      return;
+    }
+    fences_.push_back({t, gate});
+  }
+
   mutable std::mutex mu_;
   std::vector<int64_t> ticks_;
+  std::vector<int64_t> barrier_wait_;
+  std::vector<ClockFence> fences_;
+  uint64_t fences_dropped_ = 0;
 };
 
 }  // namespace psgraph::sim

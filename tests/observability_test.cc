@@ -23,6 +23,7 @@
 #include "core/psgraph_context.h"
 #include "graph/generators.h"
 #include "sim/convergence.h"
+#include "sim/critical_path.h"
 #include "sim/event_journal.h"
 #include "sim/report.h"
 #include "sim/skew.h"
@@ -1045,7 +1046,7 @@ TEST(RunReportTest, V5TimeseriesAndAlertsSectionsFromCleanRun) {
   cluster.sampler().ForceSample(cluster.clock().MakespanTicks());
 
   sim::RunReport report = sim::CollectRunReport("v5", &cluster);
-  EXPECT_EQ(sim::kRunReportSchemaVersion, 5);
+  EXPECT_EQ(sim::kRunReportSchemaVersion, 6);
   EXPECT_GT(report.timeseries.points, 0u);
   EXPECT_GT(report.timeseries.base_interval_ticks, 0);
   ASSERT_GE(report.alert_rules.size(), 3u);  // context default rules
@@ -1183,6 +1184,183 @@ TEST(FlightRecorderTest, RunReportSectionsAreDeterministic) {
   EXPECT_EQ(doc.Find("timeseries")->Dump(2),
             doc2.Find("timeseries")->Dump(2));
   EXPECT_EQ(doc.Find("alerts")->Dump(2), doc2.Find("alerts")->Dump(2));
+}
+
+TEST(TracerTest, OverCapSpansStillCountInSummary) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_max_spans(4);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t id = t.Begin("op", 2, i * 10);
+    ASSERT_NE(id, 0u) << "over-cap spans must still get ids to fold";
+    t.End(id, i * 10 + 5);
+  }
+  EXPECT_EQ(t.Snapshot().size(), 4u);  // detail stays capped
+  EXPECT_EQ(t.dropped(), 6u);
+  // ...but the summaries see every span, dropped or not.
+  auto summary = t.Summary();
+  ASSERT_EQ(summary.count("op"), 1u);
+  EXPECT_EQ(summary["op"].count, 10u);
+  EXPECT_EQ(summary["op"].total_ticks, 50);
+  auto node_summary = t.NodeSummary();
+  ASSERT_EQ(node_summary.count({"op", 2}), 1u);
+  EXPECT_EQ((node_summary[{"op", 2}].count), 10u);
+  EXPECT_EQ((node_summary[{"op", 2}].total_ticks), 50);
+}
+
+TEST(TracerTest, NodeSummarySplitsByNode) {
+  Tracer t;
+  t.set_enabled(true);
+  t.End(t.Begin("op", 0, 0), 10);
+  t.End(t.Begin("op", 1, 0), 30);
+  t.End(t.Begin("other", 0, 0), 5);
+  auto node_summary = t.NodeSummary();
+  EXPECT_EQ((node_summary[{"op", 0}].total_ticks), 10);
+  EXPECT_EQ((node_summary[{"op", 1}].total_ticks), 30);
+  EXPECT_EQ((node_summary[{"other", 0}].total_ticks), 5);
+  EXPECT_EQ(t.Summary()["op"].total_ticks, 40);
+}
+
+TEST(CriticalPathTest, HandBuiltDagLongestPath) {
+  // Three nodes, diamond DAG:       b [100,250] on node 1
+  //   a [0,100] on node 0  --->                        ---> d [250,300]
+  //                                 c [100,180] on node 2
+  // Longest chain is a -> b -> d (100 + 150 + 50 = 300 ticks).
+  std::vector<TraceSpan> spans;
+  spans.push_back({1, 0, "a", 0, 0, 100});
+  spans.push_back({2, 0, "b", 1, 100, 250});
+  spans.push_back({3, 0, "c", 2, 100, 180});
+  spans.push_back({4, 0, "d", 1, 250, 300});
+  const std::vector<std::pair<uint64_t, uint64_t>> flows = {
+      {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 1} /* backwards: ignored */};
+  const std::vector<uint64_t> path = sim::LongestSpanPath(spans, flows);
+  EXPECT_EQ(path, (std::vector<uint64_t>{1, 2, 4}));
+
+  // Parent links participate too: hang a child off c that outlasts d.
+  spans.push_back({5, 3, "c.child", 2, 150, 400});
+  EXPECT_EQ(sim::LongestSpanPath(spans, flows),
+            (std::vector<uint64_t>{1, 3, 5}));
+}
+
+TEST(CriticalPathTest, ConservationHoldsAndTamperingIsRejected) {
+  core::PsGraphContext::Options opts;
+  opts.cluster.num_executors = 2;
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 64ull << 20;
+  opts.cluster.server_mem_bytes = 64ull << 20;
+  auto ctx = core::PsGraphContext::Create(opts);
+  ASSERT_TRUE(ctx.ok());
+  (*ctx)->tracer().set_enabled(true);
+  graph::EdgeList edges = graph::GenerateErdosRenyi(300, 1500, 23);
+  auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/cp.bin");
+  ASSERT_TRUE(ds.ok());
+  core::PageRankOptions po;
+  po.max_iterations = 4;
+  ASSERT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+
+  sim::RunReport report =
+      sim::CollectRunReport("cp", &(*ctx)->cluster());
+  const sim::CriticalPathReport& cp = report.critical_path;
+  ASSERT_TRUE(cp.valid);
+  EXPECT_EQ(cp.makespan_ticks, report.makespan_ticks);
+  int64_t sum = 0;
+  for (const int64_t c : cp.categories) {
+    EXPECT_GE(c, 0);
+    sum += c;
+  }
+  EXPECT_EQ(sum, cp.makespan_ticks) << "conservation invariant";
+  // A real BSP run crosses barriers and talks to the PS: the path and
+  // the non-compute categories are non-trivial.
+  ASSERT_FALSE(cp.path.empty());
+  EXPECT_EQ(cp.path.front().begin_ticks, 0);
+  EXPECT_EQ(cp.path.back().end_ticks, cp.makespan_ticks);
+  for (size_t i = 1; i < cp.path.size(); ++i) {
+    EXPECT_EQ(cp.path[i].begin_ticks, cp.path[i - 1].end_ticks);
+  }
+  EXPECT_FALSE(cp.top_spans.empty());
+  EXPECT_FALSE(cp.what_if.empty());
+
+  Status valid = sim::ValidateRunReportJson(sim::RunReportToJson(report));
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  // Break conservation by one tick: the validator must reject, which is
+  // exactly what makes WriteRunReport refuse to emit a lying report.
+  report.critical_path.categories[0] += 1;
+  Status broken = sim::ValidateRunReportJson(sim::RunReportToJson(report));
+  EXPECT_FALSE(broken.ok());
+  EXPECT_NE(broken.ToString().find("conservation"), std::string::npos)
+      << broken.ToString();
+}
+
+TEST(CriticalPathTest, WhatIfProjectionIsMonotoneAndBounded) {
+  core::PsGraphContext::Options opts;
+  opts.cluster.num_executors = 2;
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 64ull << 20;
+  opts.cluster.server_mem_bytes = 64ull << 20;
+  auto ctx = core::PsGraphContext::Create(opts);
+  ASSERT_TRUE(ctx.ok());
+  (*ctx)->tracer().set_enabled(true);
+  graph::EdgeList edges = graph::GenerateErdosRenyi(200, 1000, 7);
+  auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/whatif.bin");
+  ASSERT_TRUE(ds.ok());
+  core::PageRankOptions po;
+  po.max_iterations = 3;
+  ASSERT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+
+  sim::SimCluster& cluster = (*ctx)->cluster();
+  const int64_t makespan = cluster.clock().MakespanTicks();
+  sim::CriticalPathReport cp = sim::AnalyzeCriticalPath(&cluster);
+  ASSERT_FALSE(cp.top_spans.empty());
+
+  std::vector<std::string> names;
+  for (const auto& span : cp.top_spans) names.push_back(span.name);
+  // A name that traced nothing: shrinking it must change nothing —
+  // the degenerate case of "shrinking a non-critical span never
+  // increases the prediction".
+  names.push_back("no.such.span");
+  for (const std::string& name : names) {
+    int64_t prev = -1;
+    for (const double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const int64_t projected =
+          sim::ProjectedMakespanTicks(&cluster, name, f);
+      EXPECT_GE(projected, prev) << name << " factor " << f;
+      EXPECT_LE(projected, makespan) << name << " factor " << f;
+      prev = projected;
+    }
+    EXPECT_EQ(prev, makespan) << "factor 1 must be the identity";
+  }
+  EXPECT_EQ(sim::ProjectedMakespanTicks(&cluster, "no.such.span", 0.0),
+            makespan);
+}
+
+TEST(CriticalPathTest, SectionIsByteIdenticalAcrossParallelism) {
+  auto critical_path_json = [] {
+    core::PsGraphContext::Options opts;
+    opts.cluster.num_executors = 2;
+    opts.cluster.num_servers = 2;
+    opts.cluster.executor_mem_bytes = 64ull << 20;
+    opts.cluster.server_mem_bytes = 64ull << 20;
+    auto ctx = core::PsGraphContext::Create(opts);
+    EXPECT_TRUE(ctx.ok());
+    // Tracing on, so top_spans/what_if exercise the per-(name, node)
+    // aggregates under real concurrency.
+    (*ctx)->tracer().set_enabled(true);
+    graph::EdgeList edges = graph::GenerateErdosRenyi(300, 1500, 23);
+    auto ds = core::StageAndLoadEdges(**ctx, edges, "obs/cpdet.bin");
+    EXPECT_TRUE(ds.ok());
+    core::PageRankOptions po;
+    po.max_iterations = 4;
+    EXPECT_TRUE(core::PageRank(**ctx, *ds, 0, po).status().ok());
+    sim::RunReport report =
+        sim::CollectRunReport("cpdet", &(*ctx)->cluster());
+    return sim::RunReportToJson(report).Find("critical_path")->Dump(2);
+  };
+  SetGlobalParallelism(1);
+  const std::string t1 = critical_path_json();
+  SetGlobalParallelism(8);
+  const std::string t8 = critical_path_json();
+  SetGlobalParallelism(0);  // restore the env/hardware default
+  EXPECT_EQ(t1, t8);
 }
 
 }  // namespace
