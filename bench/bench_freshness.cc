@@ -1,0 +1,279 @@
+// Continuous freshness bench: a deterministic INSERT/DELETE edge stream
+// flows into the mutable PS adjacency, each epoch incrementally
+// recomputes delta-PageRank over the affected frontier, re-embeds only
+// the dirty vertices, republishes the embedding snapshot and hot-swaps
+// the serving tier — while an open-loop lookup load keeps reading.
+//
+// Reported per mutation rate: staleness (sim-time from edge arrival to
+// visibility in a served embedding) p50/p99, the touched-vertex fraction
+// of the incremental recompute, and the serving-side zero-torn-read
+// counters. Self-gates: every epoch touches strictly fewer vertices
+// than a full recompute would, the incremental fixpoint agrees with a
+// from-scratch recompute on the final mutated graph, serving never
+// fails or tears a read, and every served version is fresh (the swap
+// happened). The committed BENCH_freshness.json baseline is diffed by
+// scripts/check_bench_regression.py in CI.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/psgraph_context.h"
+#include "graph/datasets.h"
+#include "serving/router.h"
+#include "serving/shard.h"
+#include "serving/snapshot.h"
+#include "sim/sim_clock.h"
+#include "stream/incremental.h"
+#include "stream/mutation_log.h"
+#include "stream/pipeline.h"
+
+namespace psgraph::bench {
+namespace {
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "bench_freshness: SLO violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// The mutation log and the mutable adjacency must agree on the live
+/// edge set, so the RMAT output is cleaned once up front.
+graph::EdgeList CleanEdges(const graph::EdgeList& raw, uint64_t n) {
+  graph::EdgeList edges;
+  std::unordered_set<uint64_t> seen;
+  for (const graph::Edge& e : raw) {
+    if (e.src == e.dst) continue;
+    if (!seen.insert(e.src * n + e.dst).second) continue;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+int64_t Quantile(std::vector<int64_t> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+void RunCell(const graph::EdgeList& edges, uint64_t num_vertices,
+             double rate, int epochs, double paper_scale,
+             BenchReport* report, const char* cell_key) {
+  Stopwatch wall;
+  core::PsGraphContext::Options opts;
+  opts.cluster.num_executors = 4;  // double as the serving shards
+  opts.cluster.num_servers = 2;
+  opts.cluster.executor_mem_bytes = 256ull << 20;
+  opts.cluster.server_mem_bytes = 256ull << 20;
+  auto ctx_or = core::PsGraphContext::Create(opts);
+  PSG_CHECK_OK(ctx_or.status());
+  core::PsGraphContext& ctx = **ctx_or;
+
+  // --- bootstrap: adjacency, ranks, embeddings, watermark ---
+  auto adj = stream::LoadMutableAdjacency(ctx, edges, num_vertices,
+                                          "fresh.adj");
+  PSG_CHECK_OK(adj.status());
+  stream::DeltaPageRankOptions po;
+  po.tolerance = 1e-7;
+  po.prune_epsilon = 1e-4;
+  po.max_iterations = 30;
+  auto engine = stream::DeltaPageRankEngine::Create(&ctx, *adj,
+                                                    num_vertices, po,
+                                                    "fresh.pr");
+  PSG_CHECK_OK(engine.status());
+  PSG_CHECK_OK(engine->RecomputeFull().status());
+  stream::ReembedOptions eo;
+  eo.dim = 8;
+  auto embedder = stream::IncrementalEmbedder::Create(
+      &ctx, *adj, num_vertices, eo, "fresh");
+  PSG_CHECK_OK(embedder.status());
+  PSG_CHECK_OK(embedder->InitFull());
+  stream::FreshnessPipeline pipeline(&ctx, &*engine, &*embedder,
+                                     stream::PipelineOptions());
+  PSG_CHECK_OK(pipeline.Init());
+
+  // --- serving tier over the embedding snapshots ---
+  const std::string root = std::string("serving/fresh_") + cell_key;
+  serving::SnapshotOptions snap;
+  snap.root = root;
+  snap.num_shards = ctx.num_executors();
+  snap.keep_versions = 2;
+  snap.matrices = {{"fresh.emb", false}};
+  serving::SnapshotPublisher publisher(&ctx.ps(), snap);
+  auto v1 = publisher.Publish();
+  PSG_CHECK_OK(v1.status());
+
+  std::vector<std::unique_ptr<serving::ServingShard>> shards;
+  std::vector<sim::NodeId> shard_nodes;
+  for (int32_t i = 0; i < ctx.num_executors(); ++i) {
+    serving::ShardOptions so;
+    so.root = root;
+    so.lookup_matrix = "fresh.emb";
+    so.cache_rows = 512;
+    shards.push_back(std::make_unique<serving::ServingShard>(
+        i, &ctx.cluster(), &ctx.hdfs(), /*node=*/i, so));
+    PSG_CHECK_OK(shards.back()->Start(&ctx.fabric()));
+    shard_nodes.push_back(i);
+  }
+  serving::RouterOptions ro;
+  ro.num_shards = ctx.num_executors();
+  ro.key_space = v1->key_space;
+  serving::ServingRouter router(&ctx.cluster(), &ctx.fabric(),
+                                ctx.cluster().config().driver(),
+                                shard_nodes, ro);
+  PSG_CHECK_OK(router.SwapTo(v1->version));
+  pipeline.AttachServing(&publisher, &router);
+
+  // --- the stream ---
+  stream::MutationLogOptions mo;
+  mo.seed = 17;
+  mo.num_vertices = num_vertices;
+  mo.mutations_per_second = rate;
+  mo.epoch_seconds = 0.5;
+  mo.delete_fraction = 0.3;
+  mo.start_ticks =
+      ctx.cluster().clock().NowTicks(ctx.cluster().config().driver());
+  stream::MutationLog log(edges, mo);
+
+  std::vector<int64_t> staleness;
+  uint64_t total_mutations = 0;
+  uint64_t touched_max = 0;
+  uint64_t reembed_rows = 0;
+  int64_t last_version = v1->version;
+  for (int k = 0; k < epochs; ++k) {
+    auto r = pipeline.RunEpoch(log.Next());
+    PSG_CHECK_OK(r.status());
+    Check(!r->skipped, "no epoch may be skipped on a clean run");
+    Check(r->recompute.vertices_touched < num_vertices,
+          "incremental recompute must touch strictly fewer vertices "
+          "than the full id space");
+    Check(r->version > last_version,
+          "every epoch must commit a fresh snapshot version");
+    last_version = r->version;
+    total_mutations += r->mutations;
+    touched_max = std::max(touched_max, r->recompute.vertices_touched);
+    reembed_rows += r->reembed_rows;
+    staleness.insert(staleness.end(), r->staleness_ticks.begin(),
+                     r->staleness_ticks.end());
+
+    // Keep the lookup load flowing against the freshly swapped version.
+    for (int i = 0; i < 8; ++i) {
+      serving::ServingRequest req;
+      req.arrival_ticks = ctx.cluster().clock().NowTicks(
+          ctx.cluster().config().driver());
+      for (uint64_t j = 0; j < 4; ++j) {
+        req.keys.push_back((static_cast<uint64_t>(k) * 131 + i * 17 + j) %
+                           num_vertices);
+      }
+      PSG_CHECK_OK(router.Submit(req));
+    }
+  }
+  PSG_CHECK_OK(router.Flush());
+
+  // --- serving SLO: nothing failed, nothing torn, swaps landed ---
+  size_t fresh_served = 0;
+  for (const serving::RequestRecord& rec : router.records()) {
+    Check(rec.done, "every submitted lookup must complete");
+    if (rec.version > v1->version) ++fresh_served;
+  }
+  Check(router.failed_requests() == 0, "zero failed requests");
+  Check(router.torn_requests() == 0, "zero torn reads across swaps");
+  Check(fresh_served > 0, "post-swap versions must actually serve");
+
+  // --- retrain-quality gate: the incrementally maintained ranks agree
+  // with a from-scratch recompute on the final mutated adjacency ---
+  auto inc_ranks = engine->ReadRanks();
+  PSG_CHECK_OK(inc_ranks.status());
+  PSG_CHECK_OK(engine->RecomputeFull().status());
+  auto full_ranks = engine->ReadRanks();
+  PSG_CHECK_OK(full_ranks.status());
+  double diff_l1 = 0.0, full_l1 = 0.0;
+  for (size_t v = 0; v < full_ranks->size(); ++v) {
+    diff_l1 += std::fabs((*inc_ranks)[v] - (*full_ranks)[v]);
+    full_l1 += std::fabs((*full_ranks)[v]);
+  }
+  const double rank_rel_err = full_l1 > 0 ? diff_l1 / full_l1 : 0.0;
+  Check(rank_rel_err < 1e-2,
+        "incremental ranks must agree with a full recompute (1% L1)");
+
+  std::sort(staleness.begin(), staleness.end());
+  const int64_t p50 = Quantile(staleness, 0.50);
+  const int64_t p99 = Quantile(staleness, 0.99);
+  const double touched_frac =
+      static_cast<double>(touched_max) / static_cast<double>(num_vertices);
+  std::printf("%-10s %6llu mutations/%d epochs  staleness p50 %.3f s "
+              "p99 %.3f s  touched<=%.1f%%  rank err %.2e  wall %s\n",
+              cell_key, (unsigned long long)total_mutations, epochs,
+              sim::SimClock::SecondsOf(p50), sim::SimClock::SecondsOf(p99),
+              touched_frac * 100.0, rank_rel_err,
+              FormatDuration(wall.ElapsedSeconds()).c_str());
+
+  JsonValue cell = JsonValue::Object();
+  cell.Set("mutation_rate_per_sec", rate);
+  cell.Set("epochs", static_cast<uint64_t>(epochs));
+  cell.Set("mutations", total_mutations);
+  cell.Set("staleness_p50_sim_ticks", p50);
+  cell.Set("staleness_p99_sim_ticks", p99);
+  cell.Set("staleness_max_sim_ticks",
+           staleness.empty() ? int64_t{0} : staleness.back());
+  cell.Set("staleness_p50_paper_seconds",
+           sim::SimClock::SecondsOf(p50) * paper_scale);
+  cell.Set("touched_vertices_max", touched_max);
+  cell.Set("touched_fraction_max", touched_frac);
+  cell.Set("reembed_rows", reembed_rows);
+  cell.Set("rank_rel_l1_err", rank_rel_err);
+  cell.Set("versions_published", last_version);
+  cell.Set("served_requests",
+           static_cast<uint64_t>(router.records().size()));
+  cell.Set("torn_requests", router.torn_requests());
+  cell.Set("sim_seconds", ctx.cluster().clock().Makespan());
+  report->Set(cell_key, std::move(cell));
+  report->Capture(&ctx.cluster(), cell_key);
+}
+
+void Run() {
+  const uint64_t denom = EnvU64("PSG_FRESH_DENOM", 100000);
+  const int epochs = static_cast<int>(EnvU64("PSG_FRESH_EPOCHS", 5));
+  graph::DatasetInfo ds1 = graph::Ds1MiniInfo(denom);
+  graph::EdgeList raw = graph::MakeDs1Mini(ds1);
+  // RMAT ids run over the power-of-two id space, not mini_vertices.
+  const uint64_t n = graph::NumVerticesOf(raw);
+  graph::EdgeList edges = CleanEdges(raw, n);
+
+  std::printf("=== Continuous freshness: mutation stream -> incremental "
+              "retrain -> snapshot swap (DS1) ===\n");
+  std::printf("|V|=%llu, %zu initial edges, %d epochs of 0.5 s per "
+              "rate\n\n",
+              (unsigned long long)n, edges.size(), epochs);
+
+  BenchReport report("freshness");
+  RunCell(edges, n, 40.0, epochs, ds1.paper_scale(), &report, "rate_40");
+  RunCell(edges, n, 160.0, epochs, ds1.paper_scale(), &report, "rate_160");
+  RunCell(edges, n, 640.0, epochs, ds1.paper_scale(), &report, "rate_640");
+
+  JsonValue freshness = JsonValue::Object();
+  freshness.Set("rates", static_cast<uint64_t>(3));
+  freshness.Set("epoch_seconds", 0.5);
+  freshness.Set("gates",
+                "touched<|V|, rank_rel_l1_err<1e-2, zero torn reads");
+  report.Set("freshness", std::move(freshness));
+  report.Write();
+}
+
+}  // namespace
+}  // namespace psgraph::bench
+
+int main() {
+  psgraph::bench::Run();
+  return 0;
+}

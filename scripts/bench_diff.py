@@ -36,6 +36,8 @@ CATEGORIES = [
     "recovery",
     "replication.merge",
     "serving.queue",
+    "stream.apply",
+    "stream.retrain",
 ]
 
 

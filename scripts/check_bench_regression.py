@@ -57,6 +57,11 @@ The schema_version-6 ``critical_path`` section gates its per-category
 makespan attribution (tolerance band; the conservation invariant —
 categories summing exactly to cluster.makespan_ticks — is re-checked
 here so a hand-edited baseline cannot lie about where time went).
+Schema version 7 adds the ``stream.apply``/``stream.retrain`` cost
+categories (the arrays grow to 9 entries, gated like the rest) and the
+optional ``freshness`` bench-payload section: every freshness cell
+must carry numeric staleness_p50/p99 sim-tick leaves (gated by the
+suffix rules) and a zero ``torn_requests`` count.
 
 When the makespan itself (cluster.makespan_ticks or a per-node
 busy_ticks) trips the gate, the raw "leaf moved" lines are replaced by
@@ -113,7 +118,7 @@ def validate_schema(report, path, errors):
         return
     if report.get("schema") != "psgraph.run_report":
         err("bad schema marker %r", report.get("schema"))
-    if report.get("schema_version") != 6:
+    if report.get("schema_version") != 7:
         err("unsupported schema_version %r", report.get("schema_version"))
     if not isinstance(report.get("name"), str) or not report.get("name"):
         err("missing name")
@@ -277,6 +282,28 @@ def validate_schema(report, path, errors):
                 if entry.get("unit") not in ("ticks", "bytes"):
                     err("bench.kernels[%r] has no 'ticks'/'bytes' unit "
                         "label (got %r)", kname, entry.get("unit"))
+
+    # Freshness tables: a bench payload carrying a "freshness" section
+    # (bench_freshness) must report gateable staleness percentiles and a
+    # zero torn-read count in every rate cell — a freshness report that
+    # cannot be gated, or one that tore a read, is rejected outright.
+    if isinstance(bench, dict) and "freshness" in bench:
+        if not isinstance(bench["freshness"], dict):
+            err("bench.freshness must be an object")
+        cells = [(k, v) for k, v in bench.items()
+                 if isinstance(v, dict) and "staleness_p50_sim_ticks" in v]
+        if not cells:
+            err("bench.freshness present but no rate cell carries "
+                "staleness_p50_sim_ticks")
+        for cname, cell in cells:
+            for field in ("staleness_p50_sim_ticks",
+                          "staleness_p99_sim_ticks",
+                          "touched_fraction_max", "rank_rel_l1_err"):
+                if not isinstance(cell.get(field), (int, float)):
+                    err("bench[%r] missing numeric %r", cname, field)
+            if cell.get("torn_requests") != 0:
+                err("bench[%r].torn_requests must be 0 (got %r)", cname,
+                    cell.get("torn_requests"))
 
     serving = report.get("serving")
     if not isinstance(serving, dict):

@@ -193,6 +193,29 @@ def render_critical_path(cp):
     )
 
 
+def render_freshness(bench):
+    """Staleness sparklines for a freshness report: one row per
+    percentile, one point per mutation-rate cell (bench_freshness), so
+    the arrival-to-visibility latency trend across rates is readable at
+    a glance next to the telemetry series."""
+    cells = sorted(
+        (k, v)
+        for k, v in bench.items()
+        if isinstance(v, dict) and "staleness_p50_sim_ticks" in v
+    )
+    if not cells:
+        return "<p class='muted'>no staleness cells in bench payload</p>"
+    rows = []
+    for field in ("staleness_p50_sim_ticks", "staleness_p99_sim_ticks"):
+        values = [c.get(field, 0) for _, c in cells]
+        label = "%s across %s" % (
+            field, ", ".join(k for k, _ in cells))
+        rows.append(
+            render_sparkline(label, values, max(len(values), 1), 1, [])
+        )
+    return "".join(rows)
+
+
 def render_alerts(alerts):
     rules = alerts.get("rules", [])
     firings = alerts.get("firings", [])
@@ -244,6 +267,11 @@ def render_report(path):
         f"{fmt_ticks(span_ticks)}</p>",
         "<h3>critical path</h3>",
         render_critical_path(doc.get("critical_path")),
+    ]
+    bench = doc.get("bench")
+    if isinstance(bench, dict) and "freshness" in bench:
+        body += ["<h3>staleness</h3>", render_freshness(bench)]
+    body += [
         "<h3>alerts</h3>",
         render_alerts(alerts),
         "<h3>time series</h3>",

@@ -271,6 +271,29 @@ def print_events(doc, instants):
         where = pname.get(ev["pid"], f"pid {ev['pid']}")
         print(f"{ev['ts']:>16}  {where:<14} {ev['name']}")
 
+    # Freshness-pipeline epoch markers: each epoch journals one
+    # epoch_ingest when the mutation batch lands and one epoch_publish
+    # when the snapshot swap commits, in that order. An unpaired or
+    # out-of-order marker means the pipeline lost an epoch mid-flight.
+    ingests = [e["ts"] for e in instants if e["name"] == "epoch_ingest"]
+    publishes = [e["ts"] for e in instants if e["name"] == "epoch_publish"]
+    if ingests or publishes:
+        if len(ingests) != len(publishes):
+            fail(
+                f"unpaired epoch markers: {len(ingests)} epoch_ingest vs "
+                f"{len(publishes)} epoch_publish"
+            )
+        for i, (a, p) in enumerate(zip(sorted(ingests), sorted(publishes))):
+            if p < a:
+                fail(
+                    f"epoch {i + 1} published at tick {p} before its "
+                    f"ingest at tick {a}"
+                )
+        print(
+            f"freshness pipeline: {len(ingests)} epoch(s) ingested and "
+            f"published in order"
+        )
+
 
 def print_alerts(doc, instants):
     """Renders the SLO watchdog timeline: every alert_fire/alert_clear

@@ -50,6 +50,46 @@ Status DecodeMergeRequest(ByteReader* reader, int32_t* matrix,
   return ReadFloatBlock(reader, deltas);
 }
 
+/// One epoch batch of edge deltas for the source vertices a server
+/// homes ("ps.mutate"). Within one request every (src, dst) pair
+/// appears at most once — the stream MutationLog dedupes per epoch —
+/// so inserts and deletes commute and the handler applies all inserts
+/// first, then all deletes. Source lists are ascending per op kind
+/// (the agent groups and sorts), dst lists ride the same zigzag delta
+/// framing which tolerates the non-monotone values.
+struct MutateRequest {
+  int32_t matrix = -1;
+  std::vector<uint64_t> insert_src;
+  std::vector<uint64_t> insert_dst;
+  std::vector<float> insert_weights;  ///< empty for unweighted tables
+  std::vector<uint64_t> delete_src;
+  std::vector<uint64_t> delete_dst;
+};
+
+inline void EncodeMutateRequest(const MutateRequest& req, ByteBuffer* out) {
+  out->Write<int32_t>(req.matrix);
+  PutDeltaList(out, req.insert_src);
+  PutDeltaList(out, req.insert_dst);
+  WriteFloatBlock(out, req.insert_weights);
+  PutDeltaList(out, req.delete_src);
+  PutDeltaList(out, req.delete_dst);
+}
+
+template <typename KeyContainer, typename FloatContainer>
+Status DecodeMutateRequest(ByteReader* reader, int32_t* matrix,
+                           KeyContainer* insert_src,
+                           KeyContainer* insert_dst,
+                           FloatContainer* insert_weights,
+                           KeyContainer* delete_src,
+                           KeyContainer* delete_dst) {
+  PSG_RETURN_NOT_OK(reader->Read(matrix));
+  PSG_RETURN_NOT_OK(GetDeltaList(reader, insert_src));
+  PSG_RETURN_NOT_OK(GetDeltaList(reader, insert_dst));
+  PSG_RETURN_NOT_OK(ReadFloatBlock(reader, insert_weights));
+  PSG_RETURN_NOT_OK(GetDeltaList(reader, delete_src));
+  return GetDeltaList(reader, delete_dst);
+}
+
 /// Sample-K-rows request: both sides derive the key sequence from
 /// (seed, k, num_rows), so only this fixed-size header crosses the wire.
 struct SampleRequest {

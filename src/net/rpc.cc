@@ -174,6 +174,10 @@ Result<std::vector<std::vector<uint8_t>>> RpcFabric::CallParallel(
         cluster_->cost_ledger().Record(
             call.to, sim::CostCategory::kReplicationMerge,
             *service_out - wire);
+      } else if (call.method == "ps.mutate") {
+        cluster_->cost_ledger().Record(call.to,
+                                       sim::CostCategory::kStreamApply,
+                                       *service_out - wire);
       }
       // Service time is bracketed under the endpoint's serial lock, so it
       // is deterministic per request; queueing (waiting behind the shard's

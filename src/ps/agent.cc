@@ -357,6 +357,75 @@ Status PsAgent::PushNeighbors(
   return Status::OK();
 }
 
+Status PsAgent::MutateNeighbors(const MatrixMeta& meta,
+                                const std::vector<EdgeMutation>& mutations,
+                                bool weighted) {
+  if (mutations.empty()) return Status::OK();
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "agent.mutate", node_, t0,
+                  [this] { return NowTicks(); });
+  // Group by the server owning each mutation's SOURCE vertex (adjacency
+  // is row-partitioned by src, like push_nbrs/pull_nbrs).
+  Partitioner part(meta.scheme, meta.num_rows, ctx_->num_servers());
+  std::vector<std::vector<uint32_t>> by_server(ctx_->num_servers());
+  for (uint32_t i = 0; i < mutations.size(); ++i) {
+    by_server[part.PartitionOf(mutations[i].src)].push_back(i);
+  }
+  std::vector<ParallelCall> calls;
+  for (int32_t s = 0; s < ctx_->num_servers(); ++s) {
+    if (by_server[s].empty()) continue;
+    // Apply order must be a function of the batch *set*: split by op
+    // kind and sort each side by (src, dst). Legal because an epoch
+    // batch never carries the same edge twice.
+    net::MutateRequest wire_req;
+    wire_req.matrix = meta.id;
+    std::vector<uint32_t> ins = by_server[s], del;
+    ins.erase(std::remove_if(ins.begin(), ins.end(),
+                             [&](uint32_t i) {
+                               return !mutations[i].insert;
+                             }),
+              ins.end());
+    for (uint32_t i : by_server[s]) {
+      if (!mutations[i].insert) del.push_back(i);
+    }
+    auto by_edge = [&](uint32_t a, uint32_t b) {
+      return mutations[a].src != mutations[b].src
+                 ? mutations[a].src < mutations[b].src
+                 : mutations[a].dst < mutations[b].dst;
+    };
+    std::sort(ins.begin(), ins.end(), by_edge);
+    std::sort(del.begin(), del.end(), by_edge);
+    for (uint32_t i : ins) {
+      wire_req.insert_src.push_back(mutations[i].src);
+      wire_req.insert_dst.push_back(mutations[i].dst);
+      if (weighted) wire_req.insert_weights.push_back(mutations[i].weight);
+    }
+    for (uint32_t i : del) {
+      wire_req.delete_src.push_back(mutations[i].src);
+      wire_req.delete_dst.push_back(mutations[i].dst);
+    }
+    ByteBuffer req;
+    net::EncodeMutateRequest(wire_req, &req);
+    metrics().Add("wire.mutate.req_bytes", req.size());
+    // Raw equivalent: v1 key framing for both src lists, bare u64 dst
+    // per op, float block for weights.
+    metrics().Add(
+        "wire.mutate.req_raw_bytes",
+        RawKeyFramingBytes(ins.size()) + RawKeyFramingBytes(del.size()) +
+            8 * (static_cast<uint64_t>(ins.size()) + del.size()) +
+            RawFloatFramingBytes(wire_req.insert_weights.size()));
+    calls.push_back({ctx_->ServerNode(s), "ps.mutate", std::move(req)});
+  }
+  metrics().Observe("agent.mutate.fanout", calls.size());
+  PSG_ASSIGN_OR_RETURN(auto responses,
+                       ctx_->fabric()->CallParallel(node_, std::move(calls)));
+  metrics().Observe("agent.mutate.latency_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  (void)responses;
+  metrics().Add("agent.mutations_sent", mutations.size());
+  return Status::OK();
+}
+
 Status PsAgent::FreezeNeighbors(const MatrixMeta& meta) {
   std::vector<ParallelCall> calls;
   calls.reserve(ctx_->num_servers());

@@ -29,6 +29,15 @@ struct SampledRows {
   std::vector<float> values;
 };
 
+/// One streamed edge delta (the GraphStreamingCC INSERT/DELETE shape):
+/// INSERT appends `dst` to `src`'s adjacency list, DELETE removes it.
+struct EdgeMutation {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  float weight = 1.0f;  ///< used only on weighted tables
+  bool insert = true;
+};
+
 class PsAgent {
  public:
   /// `executor_node` is the sim node the agent runs on (RPC cost is
@@ -60,6 +69,17 @@ class PsAgent {
   /// Pushes neighbor tables (bulk load after the groupBy step).
   Status PushNeighbors(const MatrixMeta& meta,
                        const std::vector<graph::NeighborList>& tables);
+
+  /// Applies one epoch batch of edge deltas to the neighbor shards via
+  /// "ps.mutate". A batch must not carry the same (src, dst) edge twice
+  /// (the stream MutationLog dedupes per epoch); the servers apply all
+  /// inserts before all deletes in (src, dst) order, so the resulting
+  /// adjacency is a function of the batch set, not its arrival order.
+  /// Errors (duplicate INSERT, DELETE of a nonexistent edge, frozen
+  /// shard) surface loudly from the owning server.
+  Status MutateNeighbors(const MatrixMeta& meta,
+                         const std::vector<EdgeMutation>& mutations,
+                         bool weighted = false);
   /// Pulls adjacency for `keys`, in key order (empty for unknown).
   Result<std::vector<NeighborEntry>> PullNeighbors(
       const MatrixMeta& meta, const std::vector<uint64_t>& keys);

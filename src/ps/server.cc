@@ -359,6 +359,103 @@ Status PsServer::PushNeighbors(MatrixId id,
   return Status::OK();
 }
 
+Status PsServer::MutateNeighbors(MatrixId id,
+                                 std::span<const uint64_t> insert_src,
+                                 std::span<const uint64_t> insert_dst,
+                                 std::span<const float> insert_weights,
+                                 std::span<const uint64_t> delete_src,
+                                 std::span<const uint64_t> delete_dst) {
+  const int64_t t0 = NowTicks();
+  ScopedSpan span(&tracer(), "ps.mutate", node_, t0,
+                  [this] { return NowTicks(); });
+  PSG_ASSIGN_OR_RETURN(MatrixShard * shard, GetShard(id));
+  if (shard->csr.has_value()) {
+    return Status::FailedPrecondition("mutate: shard is frozen to CSR");
+  }
+  if (insert_src.size() != insert_dst.size() ||
+      delete_src.size() != delete_dst.size() ||
+      (!insert_weights.empty() &&
+       insert_weights.size() != insert_src.size())) {
+    return Status::InvalidArgument("mutate: op list size mismatch");
+  }
+  const bool weighted = !insert_weights.empty();
+  uint64_t ops = insert_src.size() + delete_src.size();
+
+  // Inserts first, deletes second — legal because an epoch batch never
+  // carries the same (src, dst) twice (see net::MutateRequest).
+  for (size_t i = 0; i < insert_src.size(); ++i) {
+    const uint64_t src = insert_src[i];
+    const uint64_t dst = insert_dst[i];
+    auto [it, inserted] = shard->neighbors.try_emplace(src);
+    if (inserted) {
+      Status st = ChargeMemory(kHashEntryOverhead, "ps neighbor table");
+      if (!st.ok()) {
+        shard->neighbors.erase(it);
+        return st;
+      }
+      shard->charged_bytes += kHashEntryOverhead;
+    }
+    NeighborEntry& entry = it->second;
+    ops += entry.neighbors.size();  // duplicate scan below
+    if (std::find(entry.neighbors.begin(), entry.neighbors.end(), dst) !=
+        entry.neighbors.end()) {
+      return Status::InvalidArgument(
+          "mutate: duplicate INSERT of edge " + std::to_string(src) +
+          " -> " + std::to_string(dst));
+    }
+    const uint64_t extra =
+        sizeof(uint64_t) + (weighted ? sizeof(float) : 0);
+    PSG_RETURN_NOT_OK(ChargeMemory(extra, "ps neighbor table"));
+    shard->charged_bytes += extra;
+    entry.neighbors.push_back(dst);
+    if (weighted) entry.weights.push_back(insert_weights[i]);
+  }
+
+  for (size_t i = 0; i < delete_src.size(); ++i) {
+    const uint64_t src = delete_src[i];
+    const uint64_t dst = delete_dst[i];
+    auto it = shard->neighbors.find(src);
+    if (it == shard->neighbors.end()) {
+      return Status::NotFound(
+          "mutate: DELETE of edge " + std::to_string(src) + " -> " +
+          std::to_string(dst) + ": source vertex has no adjacency");
+    }
+    NeighborEntry& entry = it->second;
+    auto pos =
+        std::find(entry.neighbors.begin(), entry.neighbors.end(), dst);
+    if (pos == entry.neighbors.end()) {
+      return Status::NotFound("mutate: DELETE of nonexistent edge " +
+                              std::to_string(src) + " -> " +
+                              std::to_string(dst));
+    }
+    ops += entry.neighbors.size();  // the scan above
+    const size_t idx =
+        static_cast<size_t>(pos - entry.neighbors.begin());
+    // Order-preserving erase: adjacency order is part of the
+    // deterministic state (CSR freeze, samplers iterate it).
+    entry.neighbors.erase(pos);
+    uint64_t released = sizeof(uint64_t);
+    if (!entry.weights.empty()) {
+      entry.weights.erase(entry.weights.begin() +
+                          static_cast<ptrdiff_t>(idx));
+      released += sizeof(float);
+    }
+    ReleaseMemory(released);
+    shard->charged_bytes -= std::min(shard->charged_bytes, released);
+    // A vertex whose last edge is deleted keeps its (empty) entry:
+    // degree 0 is a real state, and re-insertion stays cheap.
+  }
+
+  ChargeCompute(ops);
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/false, insert_src);
+  skew().RecordKeyAccess(server_index_, /*is_pull=*/false, delete_src);
+  metrics().Add("ps.edges_inserted", insert_src.size());
+  metrics().Add("ps.edges_deleted", delete_src.size());
+  metrics().Observe("ps.mutate.service_ticks",
+                    static_cast<uint64_t>(NowTicks() - t0));
+  return Status::OK();
+}
+
 Status PsServer::PullNeighbors(MatrixId id,
                                std::span<const uint64_t> keys,
                                std::vector<NeighborEntry>* out) {

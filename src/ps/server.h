@@ -152,6 +152,21 @@ class PsServer {
   Status PushNeighbors(MatrixId id, std::span<const uint64_t> keys,
                        std::span<const NeighborEntry> entries);
 
+  /// Applies one epoch's edge deltas to a neighbor shard: INSERT appends
+  /// `insert_dst[i]` to `insert_src[i]`'s adjacency (weight appended iff
+  /// `insert_weights` is non-empty — it must then match insert_src's
+  /// size); DELETE removes `delete_dst[i]` from `delete_src[i]`'s list.
+  /// Fails loudly — naming the edge — on a duplicate INSERT, a DELETE of
+  /// an edge or source vertex that does not exist, or a frozen (CSR)
+  /// shard; the batch is applied in order and an error aborts mid-batch,
+  /// so callers treat any failure as fatal to the epoch.
+  Status MutateNeighbors(MatrixId id,
+                         std::span<const uint64_t> insert_src,
+                         std::span<const uint64_t> insert_dst,
+                         std::span<const float> insert_weights,
+                         std::span<const uint64_t> delete_src,
+                         std::span<const uint64_t> delete_dst);
+
   /// Converts a neighbor shard's hash map into a compact read-only CSR
   /// image and releases the map (further pushes are rejected). Reduces
   /// resident memory by the per-entry overhead; pulls are unchanged.

@@ -137,6 +137,27 @@ void PsServer::RegisterHandlers(net::RpcEndpoint* endpoint) {
       });
 
   endpoint->Register(
+      "ps.mutate",
+      [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
+        request_arena_.Reset();
+        ByteReader reader(req.data(), req.size());
+        MatrixId id = -1;
+        auto ins_src = MakeArenaVector<uint64_t>(&request_arena_);
+        auto ins_dst = MakeArenaVector<uint64_t>(&request_arena_);
+        auto ins_w = MakeArenaVector<float>(&request_arena_);
+        auto del_src = MakeArenaVector<uint64_t>(&request_arena_);
+        auto del_dst = MakeArenaVector<uint64_t>(&request_arena_);
+        PSG_RETURN_NOT_OK(net::DecodeMutateRequest(
+            &reader, &id, &ins_src, &ins_dst, &ins_w, &del_src, &del_dst));
+        PSG_RETURN_NOT_OK(MutateNeighbors(
+            id, {ins_src.data(), ins_src.size()},
+            {ins_dst.data(), ins_dst.size()}, {ins_w.data(), ins_w.size()},
+            {del_src.data(), del_src.size()},
+            {del_dst.data(), del_dst.size()}));
+        return Empty();
+      });
+
+  endpoint->Register(
       "ps.freeze_nbrs",
       [this](const std::vector<uint8_t>& req) -> Result<ByteBuffer> {
         ByteReader reader(req.data(), req.size());

@@ -34,7 +34,7 @@
 namespace psgraph::sim {
 
 /// Fixed category taxonomy for makespan attribution. The JSON names in
-/// kCostCategoryNames are part of the run-report schema (v6) — adding a
+/// kCostCategoryNames are part of the run-report schema (v7) — adding a
 /// category is a schema bump.
 enum class CostCategory : uint8_t {
   kCompute = 0,           ///< residual: local handler/partition work, disk
@@ -44,15 +44,18 @@ enum class CostCategory : uint8_t {
   kRecovery = 4,          ///< restart delay, checkpoint save/restore
   kReplicationMerge = 5,  ///< hot-key replica delta merge (ps.merge)
   kServingQueue = 6,      ///< serving batch queue delay (router flush)
+  kStreamApply = 7,       ///< mutation-batch apply to neighbor tables (ps.mutate)
+  kStreamRetrain = 8,     ///< incremental-recompute stalls inside a stream epoch
 };
 
-inline constexpr int kNumCostCategories = 7;
+inline constexpr int kNumCostCategories = 9;
 
 /// Canonical JSON keys, indexed by CostCategory. Order is the schema's
 /// emission order.
 inline constexpr const char* kCostCategoryNames[kNumCostCategories] = {
     "compute",  "rpc.serialize",     "rpc.wait",      "barrier.skew",
-    "recovery", "replication.merge", "serving.queue",
+    "recovery", "replication.merge", "serving.queue", "stream.apply",
+    "stream.retrain",
 };
 
 inline const char* CostCategoryName(CostCategory c) {
@@ -60,10 +63,11 @@ inline const char* CostCategoryName(CostCategory c) {
 }
 
 /// Category charged to a caller stalled on a fan-out whose slowest call
-/// used `method`: replica merges and serving lookups are first-class
-/// categories, everything else is generic RPC wait.
+/// used `method`: replica merges, serving lookups and mutation applies
+/// are first-class categories, everything else is generic RPC wait.
 inline CostCategory WaitCategoryForMethod(const std::string& method) {
   if (method == "ps.merge") return CostCategory::kReplicationMerge;
+  if (method == "ps.mutate") return CostCategory::kStreamApply;
   if (method.rfind("serve.", 0) == 0) return CostCategory::kServingQueue;
   return CostCategory::kRpcWait;
 }
@@ -75,12 +79,35 @@ class CostLedger {
 
   /// Adds `ticks` of category `c` to `node`'s ledger. Non-positive
   /// charges and out-of-range nodes are ignored (an already-past
-  /// AdvanceToTicks jump is a legitimate zero).
+  /// AdvanceToTicks jump is a legitimate zero). While a wait alias is
+  /// installed (SetWaitAlias), generic kRpcWait charges are re-labelled
+  /// to the alias category; first-class wait categories (merge, serving
+  /// queue, stream apply) keep their identity.
   void Record(int32_t node, CostCategory c, int64_t ticks) {
     if (ticks <= 0) return;
     if (node < 0 || static_cast<size_t>(node) >= ticks_.size()) return;
     std::lock_guard<std::mutex> lock(mu_);
+    if (c == CostCategory::kRpcWait && wait_alias_ >= 0) {
+      c = static_cast<CostCategory>(wait_alias_);
+    }
     ticks_[static_cast<size_t>(node)][static_cast<size_t>(c)] += ticks;
+  }
+
+  /// Installs a phase-scoped re-label for generic RPC waits. Call only
+  /// from serial orchestration points (the driver loop) with all worker
+  /// fan-outs joined on both sides, so the set of records falling inside
+  /// the aliased window is scheduling-independent — that keeps ledger
+  /// totals bit-identical at any PSGRAPH_THREADS. Conservation is
+  /// unaffected: aliasing moves ticks between categories, never creates
+  /// or destroys them.
+  void SetWaitAlias(CostCategory c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    wait_alias_ = static_cast<int>(c);
+  }
+
+  void ClearWaitAlias() {
+    std::lock_guard<std::mutex> lock(mu_);
+    wait_alias_ = -1;
   }
 
   int64_t Ticks(int32_t node, CostCategory c) const {
@@ -103,7 +130,24 @@ class CostLedger {
 
  private:
   mutable std::mutex mu_;
+  int wait_alias_ = -1;  ///< active alias for kRpcWait, -1 = none
   std::vector<std::array<int64_t, kNumCostCategories>> ticks_;
+};
+
+/// RAII wait-alias scope for a retrain (or similar) phase:
+///   { ScopedWaitAlias alias(ledger, CostCategory::kStreamRetrain);
+///     ... incremental recompute ... }
+class ScopedWaitAlias {
+ public:
+  ScopedWaitAlias(CostLedger& ledger, CostCategory c) : ledger_(ledger) {
+    ledger_.SetWaitAlias(c);
+  }
+  ~ScopedWaitAlias() { ledger_.ClearWaitAlias(); }
+  ScopedWaitAlias(const ScopedWaitAlias&) = delete;
+  ScopedWaitAlias& operator=(const ScopedWaitAlias&) = delete;
+
+ private:
+  CostLedger& ledger_;
 };
 
 }  // namespace psgraph::sim

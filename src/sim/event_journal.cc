@@ -17,6 +17,8 @@ const char* JournalEventTypeName(JournalEventType type) {
     case JournalEventType::kRollback: return "rollback";
     case JournalEventType::kAlertFire: return "alert_fire";
     case JournalEventType::kAlertClear: return "alert_clear";
+    case JournalEventType::kEpochIngest: return "epoch_ingest";
+    case JournalEventType::kEpochPublish: return "epoch_publish";
   }
   return "unknown";
 }
@@ -95,6 +97,9 @@ bool EventJournal::IsFailureEvent(const JournalEvent& e) {
     // can fire on a perfectly healthy run (cache cold start).
     case JournalEventType::kAlertFire:
     case JournalEventType::kAlertClear:
+    // Epoch markers chart the steady-state freshness pipeline.
+    case JournalEventType::kEpochIngest:
+    case JournalEventType::kEpochPublish:
       return false;
   }
   return false;

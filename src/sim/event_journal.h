@@ -37,6 +37,8 @@ enum class JournalEventType : uint8_t {
   kRollback,              ///< consistent rollback; value = target iteration
   kAlertFire,             ///< SLO watchdog rule fired; value = rule index
   kAlertClear,            ///< SLO watchdog rule cleared; value = rule index
+  kEpochIngest,           ///< mutation epoch applied; value = mutation count
+  kEpochPublish,          ///< epoch served after republish; value = version
 };
 
 /// Stable wire name of an event type ("node_killed", ...).

@@ -82,8 +82,14 @@ std::string FormatReport(const ClusterReport& report);
 ///       WriteRunReport refuses to emit a report that violates it.
 ///       spans_dropped now also counts spans that still folded into
 ///       the summaries after their detail was capped.
+///   7 — dynamic graphs: two new cost categories in the fixed taxonomy
+///       ("stream.apply" for ps.mutate neighbor-table applies,
+///       "stream.retrain" for RPC waits inside an incremental-recompute
+///       phase) — category arrays grow from 7 to 9 entries — and an
+///       optional "freshness" bench-payload section (per-mutation-rate
+///       staleness quantiles from bench_freshness).
 inline constexpr const char* kRunReportSchema = "psgraph.run_report";
-inline constexpr int kRunReportSchemaVersion = 6;
+inline constexpr int kRunReportSchemaVersion = 7;
 
 struct RunReport {
   std::string name;  ///< bench/run identifier ("micro", "parallel", ...)

@@ -1,0 +1,429 @@
+#include "stream/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/byte_buffer.h"
+#include "dataflow/dataset.h"
+#include "sim/cost_ledger.h"
+
+namespace psgraph::stream {
+
+namespace {
+
+/// Contiguous slice [begin, end) of an n-element work list for executor
+/// e of E — the deterministic chunking every loop here shares.
+std::pair<size_t, size_t> ChunkOf(size_t n, int32_t e, int32_t E) {
+  return {n * static_cast<size_t>(e) / static_cast<size_t>(E),
+          n * (static_cast<size_t>(e) + 1) / static_cast<size_t>(E)};
+}
+
+}  // namespace
+
+Result<ps::MatrixMeta> LoadMutableAdjacency(core::PsGraphContext& ctx,
+                                            const graph::EdgeList& edges,
+                                            uint64_t num_vertices,
+                                            const std::string& name) {
+  PSG_ASSIGN_OR_RETURN(
+      ps::MatrixMeta adj,
+      ctx.ps().CreateMatrix(name, num_vertices, 0,
+                            ps::StorageKind::kNeighbors,
+                            ps::Layout::kRowPartitioned,
+                            ps::PartitionScheme::kHash));
+  // Group by source on the driver, then executors push contiguous
+  // source chunks (each source lives in exactly one chunk, so the
+  // server-side merge never interleaves one vertex's list).
+  std::map<graph::VertexId, std::vector<graph::VertexId>> by_src;
+  for (const graph::Edge& e : edges) by_src[e.src].push_back(e.dst);
+  std::vector<graph::NeighborList> lists;
+  lists.reserve(by_src.size());
+  for (auto& [src, dsts] : by_src) {
+    graph::NeighborList nl;
+    nl.vertex = src;
+    nl.neighbors = std::move(dsts);
+    lists.push_back(std::move(nl));
+  }
+  const int32_t E = ctx.num_executors();
+  PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+      &ctx.dataflow(), E, [&](int32_t e) -> Status {
+        auto [begin, end] = ChunkOf(lists.size(), e, E);
+        if (begin == end) return Status::OK();
+        std::vector<graph::NeighborList> chunk(
+            lists.begin() + static_cast<ptrdiff_t>(begin),
+            lists.begin() + static_cast<ptrdiff_t>(end));
+        return ctx.agent(e).PushNeighbors(adj, chunk);
+      }));
+  return adj;
+}
+
+Result<DeltaPageRankEngine> DeltaPageRankEngine::Create(
+    core::PsGraphContext* ctx, const ps::MatrixMeta& adjacency,
+    uint64_t num_vertices, const DeltaPageRankOptions& opts,
+    const std::string& name) {
+  DeltaPageRankEngine engine;
+  engine.ctx_ = ctx;
+  engine.adjacency_ = adjacency;
+  engine.num_vertices_ = num_vertices;
+  engine.opts_ = opts;
+  PSG_ASSIGN_OR_RETURN(
+      engine.ranks_,
+      ctx->ps().CreateMatrix(name + ".ranks", num_vertices, 1));
+  PSG_ASSIGN_OR_RETURN(
+      engine.deltas_,
+      ctx->ps().CreateMatrix(name + ".deltas", num_vertices, 1));
+  return engine;
+}
+
+Result<DeltaStats> DeltaPageRankEngine::RecomputeFull() {
+  sim::ScopedWaitAlias alias(ctx_->cluster().cost_ledger(),
+                             sim::CostCategory::kStreamRetrain);
+  ps::PsAgent driver_agent(&ctx_->ps(), ctx_->cluster().config().driver());
+  {
+    ByteBuffer args;
+    args.Write<ps::MatrixId>(ranks_.id);
+    args.Write<float>(0.0f);
+    PSG_ASSIGN_OR_RETURN(auto r, driver_agent.CallFuncAll("init.fill", args));
+    (void)r;
+  }
+  {
+    ByteBuffer args;
+    args.Write<ps::MatrixId>(deltas_.id);
+    args.Write<float>(static_cast<float>(opts_.reset_prob));
+    PSG_ASSIGN_OR_RETURN(auto r, driver_agent.CallFuncAll("init.fill", args));
+    (void)r;
+  }
+  std::vector<uint64_t> frontier(num_vertices_);
+  for (uint64_t v = 0; v < num_vertices_; ++v) frontier[v] = v;
+  return RunFrontier(std::move(frontier));
+}
+
+Result<DeltaStats> DeltaPageRankEngine::ApplyMutationsAndRecompute(
+    const std::vector<ps::EdgeMutation>& mutations) {
+  ps::PsAgent driver_agent(&ctx_->ps(), ctx_->cluster().config().driver());
+
+  // Distinct mutated sources, sorted — the vertices whose out-transition
+  // column changes.
+  std::vector<uint64_t> srcs;
+  srcs.reserve(mutations.size());
+  for (const ps::EdgeMutation& m : mutations) srcs.push_back(m.src);
+  std::sort(srcs.begin(), srcs.end());
+  srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+
+  PSG_ASSIGN_OR_RETURN(std::vector<ps::NeighborEntry> old_adj,
+                       driver_agent.PullNeighbors(adjacency_, srcs));
+  PSG_ASSIGN_OR_RETURN(std::vector<float> src_ranks,
+                       driver_agent.PullRows(ranks_, srcs));
+
+  // The apply itself: caller waits land in "stream.apply", the handler's
+  // compute too (see WaitCategoryForMethod and the rpc.cc callee branch).
+  PSG_RETURN_NOT_OK(driver_agent.MutateNeighbors(adjacency_, mutations));
+
+  sim::ScopedWaitAlias alias(ctx_->cluster().cost_ledger(),
+                             sim::CostCategory::kStreamRetrain);
+  PSG_ASSIGN_OR_RETURN(std::vector<ps::NeighborEntry> new_adj,
+                       driver_agent.PullNeighbors(adjacency_, srcs));
+
+  // Residual seed: delta_v gets damp * R_u * (M_new - M_old)[v, u] for
+  // every mutated source u (see the header derivation). std::map keeps
+  // the seed keys sorted for free.
+  const double damp = 1.0 - opts_.reset_prob;
+  std::map<uint64_t, double> seeds;
+  uint64_t scanned = 0;
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    const double r = src_ranks[i];
+    scanned += old_adj[i].neighbors.size() + new_adj[i].neighbors.size();
+    if (r == 0.0) continue;
+    if (!new_adj[i].neighbors.empty()) {
+      const double c = damp * r / new_adj[i].neighbors.size();
+      for (uint64_t v : new_adj[i].neighbors) seeds[v] += c;
+    }
+    if (!old_adj[i].neighbors.empty()) {
+      const double c = damp * r / old_adj[i].neighbors.size();
+      for (uint64_t v : old_adj[i].neighbors) seeds[v] -= c;
+    }
+  }
+  ctx_->cluster().clock().Advance(
+      ctx_->cluster().config().driver(),
+      ctx_->cluster().cost().ComputeTime(scanned + mutations.size()));
+
+  std::vector<uint64_t> frontier;
+  std::vector<uint64_t> seed_keys;
+  std::vector<float> seed_vals;
+  frontier.reserve(seeds.size());
+  for (const auto& [v, d] : seeds) {
+    const float f = static_cast<float>(d);
+    if (f == 0.0f) continue;  // exact cancellation: nothing to propagate
+    frontier.push_back(v);
+    seed_keys.push_back(v);
+    seed_vals.push_back(f);
+  }
+  if (!seed_keys.empty()) {
+    PSG_RETURN_NOT_OK(driver_agent.PushAdd(deltas_, seed_keys, seed_vals));
+  }
+
+  // affected = dirtied destinations + the mutated sources themselves.
+  std::vector<uint64_t> affected = frontier;
+  affected.insert(affected.end(), srcs.begin(), srcs.end());
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  PSG_ASSIGN_OR_RETURN(DeltaStats stats, RunFrontier(std::move(frontier)));
+  stats.affected = std::move(affected);
+  return stats;
+}
+
+Result<DeltaStats> DeltaPageRankEngine::RunFrontier(
+    std::vector<uint64_t> frontier) {
+  DeltaStats stats;
+  const int32_t E = ctx_->num_executors();
+  const double damp = 1.0 - opts_.reset_prob;
+  ps::PsAgent driver_agent(&ctx_->ps(), ctx_->cluster().config().driver());
+  std::unordered_set<uint64_t> touched;
+
+  ByteBuffer advance_args;
+  advance_args.Write<ps::MatrixId>(deltas_.id);
+  advance_args.Write<ps::MatrixId>(ranks_.id);
+
+  int iter = 0;
+  while (!frontier.empty() && iter < opts_.max_iterations) {
+    touched.insert(frontier.begin(), frontier.end());
+    stats.frontier_total += frontier.size();
+
+    // Sweep phase: each executor pulls its frontier chunk's residuals
+    // and (mutable) adjacency and accumulates contributions locally.
+    std::vector<std::unordered_map<uint64_t, float>> updates(E);
+    std::vector<uint64_t> edges_done(E, 0);
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx_->dataflow(), E, [&](int32_t e) -> Status {
+          auto [begin, end] = ChunkOf(frontier.size(), e, E);
+          if (begin == end) return Status::OK();
+          std::vector<uint64_t> keys(
+              frontier.begin() + static_cast<ptrdiff_t>(begin),
+              frontier.begin() + static_cast<ptrdiff_t>(end));
+          PSG_ASSIGN_OR_RETURN(std::vector<float> ds,
+                               ctx_->agent(e).PullRows(deltas_, keys));
+          PSG_ASSIGN_OR_RETURN(
+              std::vector<ps::NeighborEntry> adj,
+              ctx_->agent(e).PullNeighbors(adjacency_, keys));
+          auto& local = updates[e];
+          uint64_t edges_processed = 0;
+          for (size_t i = 0; i < keys.size(); ++i) {
+            const double d = ds[i];
+            if (std::fabs(d) <= opts_.prune_epsilon) continue;
+            const auto& dsts = adj[i].neighbors;
+            if (dsts.empty()) continue;
+            const float contrib = static_cast<float>(
+                damp * d / static_cast<double>(dsts.size()));
+            for (uint64_t dst : dsts) local[dst] += contrib;
+            edges_processed += dsts.size();
+          }
+          edges_done[static_cast<size_t>(e)] = edges_processed;
+          ctx_->cluster().clock().Advance(
+              ctx_->cluster().config().executor(e),
+              ctx_->cluster().cost().ComputeTime(edges_processed));
+          return Status::OK();
+        }));
+
+    // Fold phase: ranks += deltas, deltas reset; l1 is the residual mass
+    // consumed by this sweep.
+    PSG_ASSIGN_OR_RETURN(
+        double l1, driver_agent.CallFuncSum("pagerank.advance",
+                                            advance_args));
+    ctx_->convergence().Record("stream.pagerank.delta_l1", step_, l1);
+    ctx_->convergence().Record("stream.pagerank.epoch", step_,
+                               static_cast<double>(epoch_));
+    ++step_;
+
+    // Push phase: the new residuals, sorted per executor for a stable
+    // wire image and apply order.
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx_->dataflow(), E, [&](int32_t e) -> Status {
+          auto& local = updates[e];
+          if (local.empty()) return Status::OK();
+          std::vector<uint64_t> keys;
+          keys.reserve(local.size());
+          for (const auto& [dst, _] : local) keys.push_back(dst);
+          std::sort(keys.begin(), keys.end());
+          std::vector<float> values;
+          values.reserve(keys.size());
+          for (uint64_t k : keys) values.push_back(local[k]);
+          return ctx_->agent(e).PushAdd(deltas_, keys, values);
+        }));
+
+    // Next frontier: destinations whose RECEIVED residual is itself
+    // worth propagating. Folding already banked every pushed update into
+    // the ranks, so dropping a below-threshold destination loses only
+    // its onward |contribution| <= prune_epsilon — the same mass the
+    // in-sweep prune discards. Without this filter the frontier would
+    // include the whole one-hop halo of the wave and `touched` would
+    // saturate on small-world graphs. The merge iterates executors in
+    // index order, so the sums are thread-count independent.
+    std::vector<uint64_t> next;
+    {
+      std::unordered_map<uint64_t, double> merged;
+      for (const auto& local : updates) {
+        for (const auto& [dst, v] : local) {
+          merged[dst] += static_cast<double>(v);
+        }
+      }
+      next.reserve(merged.size());
+      for (const auto& [dst, v] : merged) {
+        if (std::fabs(v) > opts_.prune_epsilon) next.push_back(dst);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    for (uint64_t e : edges_done) stats.edges_processed += e;
+
+    ctx_->sync().IterationBarrier();
+    stats.iterations = ++iter;
+    stats.final_delta_l1 = l1;
+    if (opts_.tolerance > 0.0 &&
+        l1 < opts_.tolerance * static_cast<double>(num_vertices_)) {
+      break;
+    }
+    frontier = std::move(next);
+  }
+
+  // Fold whatever the last sweep pushed (the loop folds before pushing).
+  PSG_ASSIGN_OR_RETURN(
+      double tail, driver_agent.CallFuncSum("pagerank.advance",
+                                            advance_args));
+  stats.final_delta_l1 = tail;
+  stats.vertices_touched = touched.size();
+  return stats;
+}
+
+Result<std::vector<double>> DeltaPageRankEngine::ReadRanks() {
+  ps::PsAgent driver_agent(&ctx_->ps(), ctx_->cluster().config().driver());
+  std::vector<double> out(num_vertices_, 0.0);
+  const uint64_t kBatch = 1 << 16;
+  for (uint64_t begin = 0; begin < num_vertices_; begin += kBatch) {
+    const uint64_t end = std::min<uint64_t>(num_vertices_, begin + kBatch);
+    std::vector<uint64_t> keys(end - begin);
+    for (uint64_t k = begin; k < end; ++k) keys[k - begin] = k;
+    PSG_ASSIGN_OR_RETURN(std::vector<float> vals,
+                         driver_agent.PullRows(ranks_, keys));
+    for (uint64_t k = begin; k < end; ++k) out[k] = vals[k - begin];
+  }
+  return out;
+}
+
+Result<IncrementalEmbedder> IncrementalEmbedder::Create(
+    core::PsGraphContext* ctx, const ps::MatrixMeta& adjacency,
+    uint64_t num_vertices, const ReembedOptions& opts,
+    const std::string& name) {
+  IncrementalEmbedder emb;
+  emb.ctx_ = ctx;
+  emb.adjacency_ = adjacency;
+  emb.num_vertices_ = num_vertices;
+  emb.opts_ = opts;
+  PSG_ASSIGN_OR_RETURN(
+      emb.emb_,
+      ctx->ps().CreateMatrix(name + ".emb", num_vertices,
+                             static_cast<uint32_t>(opts.dim)));
+  return emb;
+}
+
+Status IncrementalEmbedder::InitFull() {
+  ps::PsAgent driver_agent(&ctx_->ps(), ctx_->cluster().config().driver());
+  ByteBuffer args;
+  args.Write<ps::MatrixId>(emb_.id);
+  args.Write<float>(1.0f);
+  args.Write<uint64_t>(opts_.seed);
+  PSG_ASSIGN_OR_RETURN(auto r,
+                       driver_agent.CallFuncAll("init.randn", args));
+  (void)r;
+  std::vector<uint64_t> all(num_vertices_);
+  for (uint64_t v = 0; v < num_vertices_; ++v) all[v] = v;
+  return ReembedDirty(all).status();
+}
+
+Result<uint64_t> IncrementalEmbedder::ReembedDirty(
+    const std::vector<uint64_t>& dirty) {
+  if (dirty.empty()) return uint64_t{0};
+  sim::ScopedWaitAlias alias(ctx_->cluster().cost_ledger(),
+                             sim::CostCategory::kStreamRetrain);
+  const int32_t E = ctx_->num_executors();
+  const uint32_t d = emb_.num_cols;
+  for (int step = 0; step < opts_.steps; ++step) {
+    // Phase 1: pull everything and stage the smoothed rows; no pushes
+    // until every executor joined, so reads never race writes.
+    std::vector<std::vector<float>> staged(E);
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx_->dataflow(), E, [&](int32_t e) -> Status {
+          auto [begin, end] = ChunkOf(dirty.size(), e, E);
+          if (begin == end) return Status::OK();
+          std::vector<uint64_t> chunk(
+              dirty.begin() + static_cast<ptrdiff_t>(begin),
+              dirty.begin() + static_cast<ptrdiff_t>(end));
+          PSG_ASSIGN_OR_RETURN(
+              std::vector<ps::NeighborEntry> adj,
+              ctx_->agent(e).PullNeighbors(adjacency_, chunk));
+          // Rows needed: the chunk plus every neighbor it averages over.
+          std::vector<uint64_t> needed = chunk;
+          for (const ps::NeighborEntry& a : adj) {
+            needed.insert(needed.end(), a.neighbors.begin(),
+                          a.neighbors.end());
+          }
+          std::sort(needed.begin(), needed.end());
+          needed.erase(std::unique(needed.begin(), needed.end()),
+                       needed.end());
+          PSG_ASSIGN_OR_RETURN(std::vector<float> rows,
+                               ctx_->agent(e).PullRows(emb_, needed));
+          auto row_of = [&](uint64_t v) -> const float* {
+            const size_t i = static_cast<size_t>(
+                std::lower_bound(needed.begin(), needed.end(), v) -
+                needed.begin());
+            return rows.data() + i * d;
+          };
+          std::vector<float>& out = staged[e];
+          out.resize(chunk.size() * d);
+          uint64_t averaged = 0;
+          for (size_t i = 0; i < chunk.size(); ++i) {
+            const float* self = row_of(chunk[i]);
+            float* dst = out.data() + i * d;
+            const auto& nbrs = adj[i].neighbors;
+            if (nbrs.empty()) {
+              std::copy(self, self + d, dst);
+              continue;
+            }
+            for (uint32_t c = 0; c < d; ++c) {
+              double mean = 0.0;
+              for (uint64_t u : nbrs) mean += row_of(u)[c];
+              mean /= static_cast<double>(nbrs.size());
+              dst[c] = (1.0f - opts_.alpha) * self[c] +
+                       opts_.alpha * static_cast<float>(mean);
+            }
+            averaged += nbrs.size();
+          }
+          ctx_->cluster().clock().Advance(
+              ctx_->cluster().config().executor(e),
+              ctx_->cluster().cost().ComputeTime(averaged * d));
+          return Status::OK();
+        }));
+    // Phase 2: write the staged rows back.
+    PSG_RETURN_NOT_OK(dataflow::RunPartitioned(
+        &ctx_->dataflow(), E, [&](int32_t e) -> Status {
+          auto [begin, end] = ChunkOf(dirty.size(), e, E);
+          if (begin == end) return Status::OK();
+          std::vector<uint64_t> chunk(
+              dirty.begin() + static_cast<ptrdiff_t>(begin),
+              dirty.begin() + static_cast<ptrdiff_t>(end));
+          return ctx_->agent(e).PushAssign(emb_, chunk, staged[e]);
+        }));
+    ctx_->sync().IterationBarrier();
+    ctx_->convergence().Record("stream.reembed.rows", step_,
+                               static_cast<double>(dirty.size()));
+    ctx_->convergence().Record("stream.reembed.epoch", step_,
+                               static_cast<double>(epoch_));
+    ++step_;
+  }
+  return static_cast<uint64_t>(dirty.size()) *
+         static_cast<uint64_t>(opts_.steps);
+}
+
+}  // namespace psgraph::stream

@@ -1,0 +1,110 @@
+#include "stream/mutation_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/sim_clock.h"
+
+namespace psgraph::stream {
+
+MutationLog::MutationLog(const graph::EdgeList& initial_edges,
+                         const MutationLogOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options_.num_vertices == 0 ||
+      options_.num_vertices >= (uint64_t{1} << 32)) {
+    std::fprintf(stderr,
+                 "mutation log: num_vertices must be in [1, 2^32) for "
+                 "packed edge keys (got %llu)\n",
+                 static_cast<unsigned long long>(options_.num_vertices));
+    std::abort();
+  }
+  edges_.reserve(initial_edges.size());
+  for (const graph::Edge& e : initial_edges) {
+    if (e.src >= options_.num_vertices || e.dst >= options_.num_vertices) {
+      std::fprintf(stderr,
+                   "mutation log: edge %llu -> %llu outside the "
+                   "num_vertices=%llu id space (packed keys would "
+                   "collide)\n",
+                   static_cast<unsigned long long>(e.src),
+                   static_cast<unsigned long long>(e.dst),
+                   static_cast<unsigned long long>(options_.num_vertices));
+      std::abort();
+    }
+    if (e.src == e.dst) continue;
+    if (edge_set_.insert(PackedKey(e.src, e.dst)).second) {
+      edges_.push_back({e.src, e.dst});
+    }
+  }
+}
+
+MutationEpoch MutationLog::Next() {
+  MutationEpoch epoch;
+  epoch.epoch = next_epoch_++;
+  const int64_t epoch_ticks =
+      sim::SimClock::TicksOf(options_.epoch_seconds);
+  epoch.start_ticks =
+      options_.start_ticks + (epoch.epoch - 1) * epoch_ticks;
+  epoch.end_ticks = epoch.start_ticks + epoch_ticks;
+
+  const uint64_t count = static_cast<uint64_t>(std::llround(
+      options_.mutations_per_second * options_.epoch_seconds));
+  epoch.events.reserve(count);
+  // Edges already touched this epoch — at most one event per edge per
+  // batch, so inserts and deletes commute server-side.
+  std::unordered_set<uint64_t> touched;
+
+  for (uint64_t i = 0; i < count; ++i) {
+    const int64_t arrival =
+        epoch.start_ticks +
+        static_cast<int64_t>((static_cast<uint64_t>(epoch_ticks) * i) /
+                             count);
+    const bool want_delete =
+        !edges_.empty() && rng_.NextBool(options_.delete_fraction);
+    MutationEvent ev;
+    ev.arrival_ticks = arrival;
+    bool produced = false;
+    if (want_delete) {
+      // Uniform draw over the live set; bounded retries dodge edges
+      // already touched this epoch.
+      for (int attempt = 0; attempt < 64 && !edges_.empty(); ++attempt) {
+        const size_t idx =
+            static_cast<size_t>(rng_.NextBounded(edges_.size()));
+        const auto [src, dst] = edges_[idx];
+        const uint64_t key = PackedKey(src, dst);
+        if (touched.count(key) != 0) continue;
+        touched.insert(key);
+        edge_set_.erase(key);
+        edges_[idx] = edges_.back();
+        edges_.pop_back();
+        ev.mutation = {src, dst, 1.0f, /*insert=*/false};
+        produced = true;
+        break;
+      }
+    }
+    if (!produced) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const uint64_t src = rng_.NextBounded(options_.num_vertices);
+        const uint64_t dst = rng_.NextBounded(options_.num_vertices);
+        if (src == dst) continue;
+        const uint64_t key = PackedKey(src, dst);
+        if (edge_set_.count(key) != 0 || touched.count(key) != 0) continue;
+        touched.insert(key);
+        edge_set_.insert(key);
+        edges_.push_back({src, dst});
+        ev.mutation = {src, dst, 1.0f, /*insert=*/true};
+        produced = true;
+        break;
+      }
+    }
+    // Both samplers exhausted their retries (degenerate tiny graphs):
+    // drop the slot rather than emit an invalid event. Still
+    // deterministic — the rng draws above are part of the stream.
+    if (produced) epoch.events.push_back(ev);
+  }
+  return epoch;
+}
+
+}  // namespace psgraph::stream

@@ -1,0 +1,92 @@
+// Deterministic, seed-driven stream of INSERT/DELETE edge events — the
+// dynamic-graph front door (GraphStreamingCC's update shape, PAPERS.md).
+//
+// The log owns a shadow copy of the live edge set, so every generated
+// event is *valid* by construction: INSERT picks a (src, dst) pair that
+// does not exist yet, DELETE picks one that does. Within one epoch the
+// same (src, dst) edge is touched at most once, which is what lets the
+// PS apply an epoch batch as a set (inserts before deletes, sorted by
+// edge) — see net::MutateRequest. Everything is derived from Rng(seed),
+// so two logs built from the same (initial edges, options) emit
+// byte-identical epochs: the replay path after a kill/restart
+// regenerates the exact stream instead of persisting it.
+//
+// Arrival stamps are simulated time: event i of an epoch arrives at
+// epoch_start + i * epoch_ticks / count. The freshness pipeline measures
+// staleness against these stamps (arrival -> visibility in a served
+// embedding), so they are part of the deterministic contract too.
+
+#ifndef PSGRAPH_STREAM_MUTATION_LOG_H_
+#define PSGRAPH_STREAM_MUTATION_LOG_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/types.h"
+#include "ps/agent.h"
+
+namespace psgraph::stream {
+
+/// One edge delta plus its simulated arrival time.
+struct MutationEvent {
+  ps::EdgeMutation mutation;
+  int64_t arrival_ticks = 0;
+};
+
+/// One ingest batch. Epoch numbering starts at 1 so the pipeline's
+/// applied-epoch watermark can use 0 for "nothing applied yet".
+struct MutationEpoch {
+  int64_t epoch = 0;
+  int64_t start_ticks = 0;
+  int64_t end_ticks = 0;  ///< window close; ingest happens at/after this
+  std::vector<MutationEvent> events;
+};
+
+struct MutationLogOptions {
+  uint64_t seed = 7;
+  /// Vertex-id space; sampled endpoints are uniform over [0, n). Must be
+  /// non-zero and (for the packed edge key) below 2^32.
+  uint64_t num_vertices = 0;
+  double mutations_per_second = 100.0;
+  double epoch_seconds = 1.0;
+  /// Probability an event is a DELETE of a live edge (falls back to
+  /// INSERT while the live set is empty).
+  double delete_fraction = 0.3;
+  int64_t start_ticks = 0;  ///< arrival clock origin of epoch 1
+};
+
+class MutationLog {
+ public:
+  /// Seeds the shadow edge set from the frozen graph the stream mutates
+  /// (self-loops and duplicate edges in the input are dropped — they can
+  /// never be the target of a valid generated event).
+  MutationLog(const graph::EdgeList& initial_edges,
+              const MutationLogOptions& options);
+
+  /// Generates the next epoch (1, 2, ...). Deterministic: the k-th call
+  /// returns the same batch for any two logs with equal construction
+  /// arguments.
+  MutationEpoch Next();
+
+  int64_t epochs_generated() const { return next_epoch_ - 1; }
+  uint64_t live_edges() const { return edges_.size(); }
+
+ private:
+  uint64_t PackedKey(uint64_t src, uint64_t dst) const {
+    return src * options_.num_vertices + dst;
+  }
+
+  MutationLogOptions options_;
+  Rng rng_;
+  int64_t next_epoch_ = 1;
+  /// Live edge set: list for uniform DELETE draws (swap-remove), set for
+  /// O(1) INSERT membership checks.
+  std::vector<std::pair<uint64_t, uint64_t>> edges_;
+  std::unordered_set<uint64_t> edge_set_;
+};
+
+}  // namespace psgraph::stream
+
+#endif  // PSGRAPH_STREAM_MUTATION_LOG_H_

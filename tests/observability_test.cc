@@ -1046,7 +1046,7 @@ TEST(RunReportTest, V5TimeseriesAndAlertsSectionsFromCleanRun) {
   cluster.sampler().ForceSample(cluster.clock().MakespanTicks());
 
   sim::RunReport report = sim::CollectRunReport("v5", &cluster);
-  EXPECT_EQ(sim::kRunReportSchemaVersion, 6);
+  EXPECT_EQ(sim::kRunReportSchemaVersion, 7);
   EXPECT_GT(report.timeseries.points, 0u);
   EXPECT_GT(report.timeseries.base_interval_ticks, 0);
   ASSERT_GE(report.alert_rules.size(), 3u);  // context default rules
